@@ -1,0 +1,73 @@
+// Figure 11 (Section 6.3): bucket size sweep.
+//
+// Throughput and latency of the double-buffered HB+-tree for bucket
+// sizes 8K..64K. Expected: throughput grows with the bucket size for the
+// implicit tree and saturates at ~16K for the regular tree, while average
+// latency keeps growing (~1.7X at 32K, ~2.7X at 64K vs 16K) — which is
+// why the paper settles on M = 16K.
+
+#include <cstdio>
+
+#include "bench_support/hb_runner.h"
+
+namespace hbtree::bench {
+namespace {
+
+template <typename Bench, typename K>
+void RunTree(const char* name, SimPlatform* sim,
+             const std::vector<KeyValue<K>>& data,
+             const std::vector<K>& queries, Table& table) {
+  Bench bench(sim, data, queries);
+  double latency_16k = 0;
+  for (int bucket : {8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024}) {
+    PipelineStats stats = bench.Run(
+        queries, bench.MakeConfig(BucketStrategy::kDoubleBuffered, bucket));
+    if (bucket == 16 * 1024) latency_16k = stats.avg_latency_us;
+    table.PrintRow({name, std::to_string(bucket / 1024) + "K",
+                    Table::Num(stats.mqps, 1),
+                    Table::Num(stats.avg_latency_us, 1),
+                    latency_16k > 0
+                        ? Table::Num(stats.avg_latency_us / latency_16k, 2) +
+                              "x"
+                        : "-"});
+  }
+}
+
+void Run(const Args& args) {
+  sim::PlatformSpec platform = PlatformFromArgs(args, "m1");
+  const std::size_t n = std::size_t{1} << args.GetInt("n_log2", 23);
+  const std::size_t q = std::size_t{1} << args.GetInt("queries_log2", 20);
+  std::uint64_t seed = args.GetInt("seed", 42);
+
+  std::printf("Platform: %s, n=%zu\n", platform.name.c_str(), n);
+  auto data = GenerateDataset<Key64>(n, seed);
+  auto queries = MakeLookupQueries(data, seed + 1);
+  queries.resize(std::min(q, queries.size()));
+
+  Table table({"tree", "bucket", "MQPS", "latency us", "vs 16K lat"});
+  table.PrintTitle("bucket size sweep (paper Fig. 11)");
+  table.PrintHeader();
+  {
+    SimPlatform sim(platform);
+    RunTree<HbImplicitBench<Key64>, Key64>("implicit", &sim, data, queries,
+                                           table);
+  }
+  {
+    SimPlatform sim(platform);
+    RunTree<HbRegularBench<Key64>, Key64>("regular", &sim, data, queries,
+                                          table);
+  }
+  std::printf(
+      "\nPaper expectation: implicit throughput grows with M; regular flat "
+      "beyond 16K; latency ~1.7x at 32K and ~2.7x at 64K.\n");
+}
+
+}  // namespace
+}  // namespace hbtree::bench
+
+int main(int argc, char** argv) {
+  hbtree::bench::Args args(argc, argv);
+  args.PrintActive();
+  hbtree::bench::Run(args);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 13 (Section 6.3): regular HB+-tree update methods.
+//
+// (a) update throughput of the single-threaded asynchronous, parallel
+//     asynchronous, and synchronized methods across tree sizes — the
+//     I-segment transfer is excluded for the asynchronous methods, as in
+//     the paper; parallel async is expected ~3X over single-threaded,
+//     while the synchronized method is bounded by per-node transfer
+//     initialization latency.
+// (b) I-segment synchronization time per tree size.
+
+#include <cstdio>
+
+#include "bench_support/hb_runner.h"
+#include "hybrid/batch_update.h"
+
+namespace hbtree::bench {
+namespace {
+
+void Run(const Args& args) {
+  sim::PlatformSpec platform = PlatformFromArgs(args, "m1");
+  auto sizes = SizeSweepFromArgs(args, 20, 24, 2);
+  const std::size_t batch_size = args.GetInt("batch", 128 * 1024);
+  std::uint64_t seed = args.GetInt("seed", 42);
+
+  std::printf("Platform: %s, batch=%zu updates\n", platform.name.c_str(),
+              batch_size);
+  Table table({"tuples", "method", "Mupd/s", "vs async-1t", "modified"});
+  table.PrintTitle("update method throughput (paper Fig. 13a)");
+  table.PrintHeader();
+  Table sync_table({"tuples", "I-seg MB", "sync ms"});
+
+  std::vector<std::pair<std::size_t, double>> sync_times;
+  for (std::size_t n : sizes) {
+    auto data = GenerateDataset<Key64>(n, seed);
+    auto probes = MakeLookupQueries(data, seed + 1);
+    probes.resize(std::min<std::size_t>(probes.size(), 1 << 16));
+
+    double base_rate = 0;
+    for (UpdateMethod method :
+         {UpdateMethod::kAsyncSingleThread, UpdateMethod::kAsyncParallel,
+          UpdateMethod::kSynchronized}) {
+      SimPlatform sim(platform);
+      PageRegistry registry;
+      HBRegularTree<Key64>::Config config;
+      config.tree.leaf_fill = 0.7;
+      HBRegularTree<Key64> tree(config, &registry, &sim.device,
+                                &sim.transfer);
+      HBTREE_CHECK(tree.Build(data));
+
+      BatchUpdateConfig uconfig;
+      uconfig.real_threads = 2;
+      uconfig.model_threads = platform.cpu.threads;
+      uconfig.cpu_update_us = EstimateUpdateCostUs(tree.host_tree(), probes,
+                                                   platform, registry);
+      auto batch = MakeUpdateBatch<Key64>(data, batch_size,
+                                          /*insert_fraction=*/0.5, seed + 2);
+      BatchUpdateStats stats = RunBatchUpdate(tree, batch, method, uconfig);
+      // Figure 13a excludes the bulk I-segment transfer for async methods.
+      const double time_us = method == UpdateMethod::kSynchronized
+                                 ? stats.total_us
+                                 : stats.update_us;
+      const double mups = batch.size() / time_us;
+      if (base_rate == 0) base_rate = mups;
+      table.PrintRow({Table::Log2Size(n), UpdateMethodName(method),
+                      Table::Num(mups, 2),
+                      Table::Num(mups / base_rate, 2) + "x",
+                      std::to_string(stats.modified_nodes)});
+      if (method == UpdateMethod::kAsyncSingleThread) {
+        sync_times.emplace_back(n, stats.sync_us);
+      }
+    }
+  }
+
+  sync_table.PrintTitle("I-segment synchronization time (paper Fig. 13b)");
+  sync_table.PrintHeader();
+  for (auto [n, sync_us] : sync_times) {
+    const double i_seg_mb =
+        static_cast<double>(n) / 256 * sizeof(RegularInnerHot<Key64>) / 1e6;
+    sync_table.PrintRow({Table::Log2Size(n), Table::Num(i_seg_mb, 1),
+                         Table::Num(sync_us / 1e3, 2)});
+  }
+  std::printf(
+      "\nPaper expectation: parallel async ~3x single-threaded; "
+      "synchronized bounded by per-node transfer latency; I-segment sync "
+      "time grows linearly with tree size.\n");
+}
+
+}  // namespace
+}  // namespace hbtree::bench
+
+int main(int argc, char** argv) {
+  hbtree::bench::Args args(argc, argv);
+  args.PrintActive();
+  hbtree::bench::Run(args);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 14 (Section 6.3): update batch size — synchronized vs
+// asynchronous crossover.
+//
+// Time to apply batches of 8K..512K updates to a regular HB+-tree,
+// including I-segment maintenance. Expected: the synchronized method
+// (one small transfer per modified node) wins for small batches; the
+// asynchronous method (one bulk I-segment transfer) wins once the batch
+// is large enough to amortize it — the paper's 64M-key tree crosses over
+// between 64K and 128K. The crossover scales with the tree (I-segment)
+// size; run with --n_log2=26 for the paper's configuration.
+
+#include <cstdio>
+
+#include "bench_support/hb_runner.h"
+#include "hybrid/batch_update.h"
+
+namespace hbtree::bench {
+namespace {
+
+void Run(const Args& args) {
+  sim::PlatformSpec platform = PlatformFromArgs(args, "m1");
+  const std::size_t n = std::size_t{1} << args.GetInt("n_log2", 24);
+  std::uint64_t seed = args.GetInt("seed", 42);
+
+  std::printf("Platform: %s, n=%zu\n", platform.name.c_str(), n);
+  auto data = GenerateDataset<Key64>(n, seed);
+  auto probes = MakeLookupQueries(data, seed + 1);
+  probes.resize(std::min<std::size_t>(probes.size(), 1 << 16));
+
+  Table table({"batch", "sync ms", "async ms", "winner"});
+  table.PrintTitle("batch size: sync vs async update (paper Fig. 14)");
+  table.PrintHeader();
+  for (std::size_t batch_size = 8 * 1024; batch_size <= 512 * 1024;
+       batch_size *= 2) {
+    double times[2];
+    int i = 0;
+    for (UpdateMethod method :
+         {UpdateMethod::kSynchronized, UpdateMethod::kAsyncParallel}) {
+      SimPlatform sim(platform);
+      PageRegistry registry;
+      HBRegularTree<Key64>::Config config;
+      config.tree.leaf_fill = 0.7;
+      HBRegularTree<Key64> tree(config, &registry, &sim.device,
+                                &sim.transfer);
+      HBTREE_CHECK(tree.Build(data));
+      BatchUpdateConfig uconfig;
+      uconfig.real_threads = 2;
+      uconfig.model_threads = platform.cpu.threads;
+      uconfig.cpu_update_us = EstimateUpdateCostUs(tree.host_tree(), probes,
+                                                   platform, registry);
+      auto batch = MakeUpdateBatch<Key64>(data, batch_size,
+                                          /*insert_fraction=*/0.5, seed + 2);
+      // Figure 14 includes I-segment maintenance for both methods.
+      BatchUpdateStats stats = RunBatchUpdate(tree, batch, method, uconfig);
+      times[i++] = stats.total_us / 1e3;
+    }
+    table.PrintRow({std::to_string(batch_size / 1024) + "K",
+                    Table::Num(times[0], 2), Table::Num(times[1], 2),
+                    times[0] < times[1] ? "sync" : "async"});
+  }
+  std::printf(
+      "\nPaper expectation (64M tree): sync wins up to ~64K, async from "
+      "~128K; the crossover shifts with tree size.\n");
+}
+
+}  // namespace
+}  // namespace hbtree::bench
+
+int main(int argc, char** argv) {
+  hbtree::bench::Args args(argc, argv);
+  args.PrintActive();
+  hbtree::bench::Run(args);
+  return 0;
+}

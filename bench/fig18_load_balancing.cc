@@ -1,0 +1,90 @@
+// Figure 18 (Section 6.5): load balancing on a CPU-bound-unfriendly
+// platform.
+//
+// M2 pairs a capable quad-core CPU with a weak mobile GPU behind a slow
+// link. Expected: without load balancing the HB+-tree runs ~25% *slower*
+// than the CPU-optimized tree (communication overhead exceeds the GPU's
+// help); the (D, R) discovery algorithm (Algorithm 1) moves the top
+// inner levels back to the CPU, improving the HB+-tree by ~65% and
+// beating the CPU tree by up to 32% (implicit) / 65% (regular).
+
+#include <cstdio>
+
+#include "bench_support/hb_runner.h"
+#include "cpubtree/implicit_btree.h"
+#include "cpubtree/regular_btree.h"
+#include "hybrid/load_balancer.h"
+
+namespace hbtree::bench {
+namespace {
+
+template <typename CpuTree, typename Bench, typename K>
+void RunTree(const char* name, const sim::PlatformSpec& platform,
+             const std::vector<KeyValue<K>>& data,
+             const std::vector<K>& queries, Table& table) {
+  // CPU-optimized baseline.
+  PageRegistry cpu_registry;
+  typename CpuTree::Config cpu_config;
+  CpuTree cpu_tree(cpu_config, &cpu_registry);
+  cpu_tree.Build(data);
+  auto cpu = MeasureCpuSearch(cpu_tree, queries, platform, cpu_registry,
+                              cpu_config.search_algo);
+
+  // HB+-tree without load balancing.
+  SimPlatform sim(platform);
+  Bench bench(&sim, data, queries);
+  PipelineStats plain = bench.Run(queries, bench.MakeConfig());
+
+  // Discover (D, R) on a sample, then run load-balanced.
+  std::vector<K> sample(queries.begin(),
+                        queries.begin() +
+                            std::min<std::size_t>(queries.size(), 16384));
+  LoadBalanceSetting setting =
+      DiscoverLoadBalance(bench.tree(), sample.data(), sample.size(),
+                          bench.MakeConfig());
+  PipelineStats balanced = bench.Run(
+      queries, WithLoadBalance(bench.MakeConfig(), setting));
+
+  table.PrintRow({name, Table::Num(cpu.estimate.mqps, 1),
+                  Table::Num(plain.mqps, 1), Table::Num(balanced.mqps, 1),
+                  "D=" + std::to_string(setting.d) +
+                      " R=" + Table::Num(setting.r, 2),
+                  Table::Num(balanced.mqps / plain.mqps, 2) + "x",
+                  Table::Num(balanced.mqps / cpu.estimate.mqps, 2) + "x"});
+}
+
+void Run(const Args& args) {
+  sim::PlatformSpec platform = PlatformFromArgs(args, "m2");
+  const std::size_t n = std::size_t{1} << args.GetInt("n_log2", 23);
+  const std::size_t q = std::size_t{1} << args.GetInt("queries_log2", 19);
+  std::uint64_t seed = args.GetInt("seed", 42);
+
+  std::printf("Platform: %s (%s + %s)\n", platform.name.c_str(),
+              platform.cpu.name.c_str(), platform.gpu.name.c_str());
+  auto data = GenerateDataset<Key64>(n, seed);
+  auto queries = MakeLookupQueries(data, seed + 1);
+  queries.resize(std::min(q, queries.size()));
+
+  Table table({"tree", "cpu MQPS", "hb MQPS", "hb-lb MQPS", "setting",
+               "lb gain", "vs cpu"});
+  table.PrintTitle("load balancing on M2 (paper Fig. 18)");
+  table.PrintHeader();
+  RunTree<ImplicitBTree<Key64>, HbImplicitBench<Key64>, Key64>(
+      "implicit", platform, data, queries, table);
+  RunTree<RegularBTree<Key64>, HbRegularBench<Key64>, Key64>(
+      "regular", platform, data, queries, table);
+  std::printf(
+      "\nPaper expectation: plain HB ~25%% below the CPU tree; load "
+      "balancing +65%%; balanced HB up to +32%% (implicit) / +65%% "
+      "(regular) over the CPU tree.\n");
+}
+
+}  // namespace
+}  // namespace hbtree::bench
+
+int main(int argc, char** argv) {
+  hbtree::bench::Args args(argc, argv);
+  args.PrintActive();
+  hbtree::bench::Run(args);
+  return 0;
+}

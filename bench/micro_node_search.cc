@@ -1,0 +1,99 @@
+// Microbenchmark (real wall clock, google-benchmark): intra-node search
+// algorithms of Section 4.2 — sequential vs linear AVX vs hierarchical
+// AVX, for both key widths. This is the one place in the suite where the
+// host machine's actual SIMD units are measured directly; it is also the
+// ablation for DESIGN.md's "index-line" choice: the regular node's
+// three-line search vs a naive scan over all key lines.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/random.h"
+#include "core/simd.h"
+#include "core/types.h"
+
+namespace hbtree {
+namespace {
+
+template <typename K>
+std::vector<K> MakeSortedLine(int count, Rng& rng) {
+  std::vector<K> keys(count);
+  K v = 0;
+  for (auto& key : keys) {
+    v = static_cast<K>(v + 1 + rng.NextBounded(1000));
+    key = v;
+  }
+  return keys;
+}
+
+template <typename K, NodeSearchAlgo algo>
+void BM_NodeSearch(benchmark::State& state) {
+  Rng rng(7);
+  constexpr int kPer = KeyTraits<K>::kPerCacheLine;
+  auto keys = MakeSortedLine<K>(kPer, rng);
+  std::vector<K> probes(1024);
+  for (auto& probe : probes) {
+    probe = static_cast<K>(rng.NextBounded(keys.back() + 10));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    int r = SearchCacheLine<K>(keys.data(), probes[i++ & 1023], algo);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_NodeSearch<Key64, NodeSearchAlgo::kSequential>);
+BENCHMARK(BM_NodeSearch<Key64, NodeSearchAlgo::kLinearSimd>);
+BENCHMARK(BM_NodeSearch<Key64, NodeSearchAlgo::kHierarchicalSimd>);
+BENCHMARK(BM_NodeSearch<Key32, NodeSearchAlgo::kSequential>);
+BENCHMARK(BM_NodeSearch<Key32, NodeSearchAlgo::kLinearSimd>);
+BENCHMARK(BM_NodeSearch<Key32, NodeSearchAlgo::kHierarchicalSimd>);
+
+/// Ablation: the fat inner node's 3-line search (index line -> key line)
+/// vs scanning all key lines of a 64-fanout node.
+void BM_FatNodeIndexedSearch(benchmark::State& state) {
+  Rng rng(11);
+  auto keys = MakeSortedLine<Key64>(64, rng);
+  Key64 indexes[8];
+  for (int s = 0; s < 8; ++s) indexes[s] = keys[s * 8 + 7];
+  std::vector<Key64> probes(1024);
+  for (auto& probe : probes) {
+    probe = static_cast<Key64>(rng.NextBounded(keys.back()));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    Key64 q = probes[i++ & 1023];
+    int s = SearchLine64LinearAvx(indexes, q);
+    int j = SearchLine64LinearAvx(keys.data() + s * 8, q);
+    benchmark::DoNotOptimize(s * 8 + j);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FatNodeIndexedSearch);
+
+void BM_FatNodeFullScan(benchmark::State& state) {
+  Rng rng(11);
+  auto keys = MakeSortedLine<Key64>(64, rng);
+  std::vector<Key64> probes(1024);
+  for (auto& probe : probes) {
+    probe = static_cast<Key64>(rng.NextBounded(keys.back()));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    Key64 q = probes[i++ & 1023];
+    int c = 0;
+    for (int line = 0; line < 8; ++line) {
+      c += SearchLine64LinearAvx(keys.data() + line * 8, q);
+    }
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FatNodeFullScan);
+
+}  // namespace
+}  // namespace hbtree
+
+BENCHMARK_MAIN();

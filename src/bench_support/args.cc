@@ -1,0 +1,53 @@
+#include "bench_support/args.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/macros.h"
+
+namespace hbtree::bench {
+
+Args::Args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    HBTREE_CHECK_MSG(arg.rfind("--", 0) == 0, "bad flag '%s'", arg.c_str());
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool Args::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Args::GetString(const std::string& key,
+                            const std::string& default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+std::int64_t Args::GetInt(const std::string& key,
+                          std::int64_t default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value
+                             : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Args::GetDouble(const std::string& key, double default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value
+                             : std::strtod(it->second.c_str(), nullptr);
+}
+
+void Args::PrintActive() const {
+  for (const auto& [key, value] : values_) {
+    std::printf("# flag --%s=%s\n", key.c_str(), value.c_str());
+  }
+}
+
+}  // namespace hbtree::bench

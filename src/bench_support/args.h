@@ -1,0 +1,37 @@
+#ifndef HBTREE_BENCH_SUPPORT_ARGS_H_
+#define HBTREE_BENCH_SUPPORT_ARGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hbtree::bench {
+
+/// Minimal `--key=value` flag parser shared by the figure harnesses.
+///
+/// Common flags across benches:
+///   --platform=m1|m2     simulated platform (default per figure)
+///   --min_log2, --max_log2   dataset size sweep bounds (log2 of N)
+///   --queries_log2       measured queries per data point
+///   --seed               workload seed
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  std::int64_t GetInt(const std::string& key,
+                      std::int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+
+  /// Prints every flag that was set (for log provenance).
+  void PrintActive() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace hbtree::bench
+
+#endif  // HBTREE_BENCH_SUPPORT_ARGS_H_

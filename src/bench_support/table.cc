@@ -1,0 +1,60 @@
+#include "bench_support/table.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace hbtree::bench {
+
+Table::Table(std::vector<std::string> columns, int width)
+    : columns_(std::move(columns)), width_(width) {}
+
+void Table::PrintTitle(const std::string& title) const {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void Table::PrintHeader() const {
+  for (const auto& column : columns_) {
+    std::printf("%-*s", width_, column.c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    for (int j = 0; j < width_ - 2; ++j) std::printf("-");
+    std::printf("  ");
+  }
+  std::printf("\n");
+}
+
+void Table::PrintRow(const std::vector<std::string>& cells) const {
+  for (const auto& cell : cells) {
+    std::printf("%-*s", width_, cell.c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string Table::Num(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string Table::Log2Size(std::size_t n) {
+  char buffer[64];
+  const double log2n = std::log2(static_cast<double>(n));
+  if (n >= (1ull << 30)) {
+    std::snprintf(buffer, sizeof(buffer), "%" PRIu64 "G (2^%.0f)",
+                  static_cast<std::uint64_t>(n >> 30), log2n);
+  } else if (n >= (1ull << 20)) {
+    std::snprintf(buffer, sizeof(buffer), "%" PRIu64 "M (2^%.0f)",
+                  static_cast<std::uint64_t>(n >> 20), log2n);
+  } else if (n >= (1ull << 10)) {
+    std::snprintf(buffer, sizeof(buffer), "%" PRIu64 "K (2^%.0f)",
+                  static_cast<std::uint64_t>(n >> 10), log2n);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%zu", n);
+  }
+  return buffer;
+}
+
+}  // namespace hbtree::bench

@@ -1,0 +1,30 @@
+#ifndef HBTREE_BENCH_SUPPORT_TABLE_H_
+#define HBTREE_BENCH_SUPPORT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace hbtree::bench {
+
+/// Fixed-width console table, used by every figure harness to print the
+/// same rows/series the paper's plots show.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns, int width = 14);
+
+  void PrintTitle(const std::string& title) const;
+  void PrintHeader() const;
+  void PrintRow(const std::vector<std::string>& cells) const;
+
+  /// Formatting helpers.
+  static std::string Num(double value, int precision = 2);
+  static std::string Log2Size(std::size_t n);  // "8M (2^23)"
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+};
+
+}  // namespace hbtree::bench
+
+#endif  // HBTREE_BENCH_SUPPORT_TABLE_H_

@@ -1,0 +1,138 @@
+#include "core/distributions.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/macros.h"
+
+namespace hbtree {
+
+namespace {
+
+// Parameters from Section 6.3.
+constexpr double kNormalMu = 0.5;
+constexpr double kNormalSigma = 0.35355339059327373;  // sqrt(0.125)
+constexpr double kGammaShape = 3.0;
+constexpr double kGammaScale = 3.0;
+// Gamma(3, 3) mass is overwhelmingly below ~45 (P[X > 45] < 1e-5); samples
+// are rescaled by this bound and clamped so the mapping into [0, 1] is
+// stable and heavy skew toward small values is preserved.
+constexpr double kGammaUpperBound = 45.0;
+constexpr double kZipfAlpha = 2.0;
+// Number of distinct ranks used for the Zipf sampler. Large enough that the
+// rank grid is much finer than any tree's key spacing at the sizes we test.
+constexpr std::uint64_t kZipfRanks = 1ull << 24;
+
+}  // namespace
+
+const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform:
+      return "uniform";
+    case Distribution::kNormal:
+      return "normal";
+    case Distribution::kGamma:
+      return "gamma";
+    case Distribution::kZipf:
+      return "zipf";
+  }
+  return "unknown";
+}
+
+Distribution ParseDistribution(const std::string& name) {
+  if (name == "uniform") return Distribution::kUniform;
+  if (name == "normal") return Distribution::kNormal;
+  if (name == "gamma") return Distribution::kGamma;
+  if (name == "zipf") return Distribution::kZipf;
+  HBTREE_CHECK_MSG(false, "unknown distribution '%s'", name.c_str());
+  return Distribution::kUniform;
+}
+
+DistributionSampler::DistributionSampler(Distribution distribution,
+                                         std::uint64_t seed)
+    : distribution_(distribution), rng_(seed) {}
+
+double DistributionSampler::Next() {
+  switch (distribution_) {
+    case Distribution::kUniform:
+      return rng_.NextDouble();
+    case Distribution::kNormal: {
+      double v = kNormalMu + kNormalSigma * NextNormal();
+      if (v < 0.0) v = 0.0;
+      if (v > 1.0) v = 1.0;
+      return v;
+    }
+    case Distribution::kGamma: {
+      double v = NextGamma(kGammaShape, kGammaScale) / kGammaUpperBound;
+      if (v > 1.0) v = 1.0;
+      return v;
+    }
+    case Distribution::kZipf:
+      return NextZipf();
+  }
+  return 0.0;
+}
+
+double DistributionSampler::NextNormal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller transform.
+  double u1 = rng_.NextDouble();
+  double u2 = rng_.NextDouble();
+  while (u1 <= 1e-300) u1 = rng_.NextDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double angle = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double DistributionSampler::NextGamma(double shape, double scale) {
+  // Marsaglia & Tsang (2000), "A simple method for generating gamma
+  // variables". Valid for shape >= 1, which holds for the paper's k = 3.
+  HBTREE_DCHECK(shape >= 1.0);
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = NextNormal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = rng_.NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return scale * d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+double DistributionSampler::NextZipf() {
+  // Rejection-inversion sampling (Hörmann & Derflinger 1996) for
+  // Zipf(alpha) over ranks [1, kZipfRanks]. For alpha = 2 the helper
+  // H(x) = -1/x has the closed-form inverse used below.
+  const double alpha = kZipfAlpha;
+  auto h = [alpha](double x) {
+    return std::pow(x, 1.0 - alpha) / (1.0 - alpha);
+  };
+  auto h_inv = [alpha](double y) {
+    return std::pow((1.0 - alpha) * y, 1.0 / (1.0 - alpha));
+  };
+  static const double kHx0 = h(0.5) - 1.0;
+  const double h_max = h(kZipfRanks + 0.5);
+  for (;;) {
+    double u = kHx0 + rng_.NextDouble() * (h_max - kHx0);
+    double x = h_inv(u);
+    std::uint64_t rank = static_cast<std::uint64_t>(x + 0.5);
+    if (rank < 1) rank = 1;
+    if (rank > kZipfRanks) rank = kZipfRanks;
+    double rank_d = static_cast<double>(rank);
+    if (u >= h(rank_d + 0.5) - std::pow(rank_d, -alpha)) {
+      // Map rank r (1 = most popular) onto [0, 1].
+      return (rank_d - 1.0) / static_cast<double>(kZipfRanks - 1);
+    }
+  }
+}
+
+}  // namespace hbtree

@@ -1,0 +1,53 @@
+#ifndef HBTREE_CORE_DISTRIBUTIONS_H_
+#define HBTREE_CORE_DISTRIBUTIONS_H_
+
+#include <string>
+
+#include "core/random.h"
+
+namespace hbtree {
+
+/// Query-key distributions evaluated in the paper's skew experiment
+/// (Section 6.3, Figure 12). Samples are drawn in [0, 1] and linearly
+/// mapped onto the key domain by the workload generator.
+enum class Distribution {
+  kUniform,
+  /// Normal(mu = 0.5, sigma^2 = 0.125), clamped to [0, 1].
+  kNormal,
+  /// Gamma(k = 3, theta = 3), rescaled into [0, 1].
+  kGamma,
+  /// Zipf(alpha = 2) over a large rank domain, mapped into [0, 1].
+  kZipf,
+};
+
+const char* DistributionName(Distribution d);
+
+/// Parses "uniform" / "normal" / "gamma" / "zipf"; aborts on anything else.
+Distribution ParseDistribution(const std::string& name);
+
+/// Stateful sampler producing values in [0, 1] for a given distribution,
+/// with the exact parameters used in the paper.
+class DistributionSampler {
+ public:
+  DistributionSampler(Distribution distribution, std::uint64_t seed);
+
+  /// Returns the next sample in [0, 1].
+  double Next();
+
+  Distribution distribution() const { return distribution_; }
+
+ private:
+  double NextNormal();
+  double NextGamma(double shape, double scale);
+  double NextZipf();
+
+  Distribution distribution_;
+  Rng rng_;
+  // Box-Muller produces samples in pairs; the spare is cached here.
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace hbtree
+
+#endif  // HBTREE_CORE_DISTRIBUTIONS_H_

@@ -1,0 +1,49 @@
+#ifndef HBTREE_CORE_MACROS_H_
+#define HBTREE_CORE_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Unconditional invariant check. Used for programming errors that must
+/// never happen in a correct build; prints the failing expression and
+/// aborts. Kept active in release builds because index corruption must not
+/// pass silently.
+#define HBTREE_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "HBTREE_CHECK failed: %s at %s:%d\n", #cond,     \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Check with a printf-style message appended.
+#define HBTREE_CHECK_MSG(cond, ...)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "HBTREE_CHECK failed: %s at %s:%d: ", #cond,     \
+                   __FILE__, __LINE__);                                     \
+      std::fprintf(stderr, __VA_ARGS__);                                    \
+      std::fprintf(stderr, "\n");                                           \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Debug-only check, compiled out of release builds.
+#ifndef NDEBUG
+#define HBTREE_DCHECK(cond) HBTREE_CHECK(cond)
+#else
+#define HBTREE_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define HBTREE_LIKELY(x) __builtin_expect(!!(x), 1)
+#define HBTREE_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define HBTREE_LIKELY(x) (x)
+#define HBTREE_UNLIKELY(x) (x)
+#endif
+
+#endif  // HBTREE_CORE_MACROS_H_

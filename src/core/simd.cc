@@ -1,0 +1,27 @@
+#include "core/simd.h"
+
+#include "core/macros.h"
+
+namespace hbtree {
+
+const char* NodeSearchAlgoName(NodeSearchAlgo algo) {
+  switch (algo) {
+    case NodeSearchAlgo::kSequential:
+      return "sequential";
+    case NodeSearchAlgo::kLinearSimd:
+      return "linear-simd";
+    case NodeSearchAlgo::kHierarchicalSimd:
+      return "hierarchical-simd";
+  }
+  return "unknown";
+}
+
+NodeSearchAlgo ParseNodeSearchAlgo(const std::string& name) {
+  if (name == "sequential") return NodeSearchAlgo::kSequential;
+  if (name == "linear-simd") return NodeSearchAlgo::kLinearSimd;
+  if (name == "hierarchical-simd") return NodeSearchAlgo::kHierarchicalSimd;
+  HBTREE_CHECK_MSG(false, "unknown node search algorithm '%s'", name.c_str());
+  return NodeSearchAlgo::kSequential;
+}
+
+}  // namespace hbtree

@@ -1,0 +1,41 @@
+#ifndef HBTREE_CORE_STATUS_H_
+#define HBTREE_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace hbtree {
+
+/// Minimal error-reporting type for recoverable failures (I/O, format
+/// errors). Programming errors still abort via HBTREE_CHECK; Status is for
+/// conditions a caller can reasonably handle.
+class Status {
+ public:
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status status;
+    status.ok_ = false;
+    status.message_ = std::move(message);
+    return status;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+  explicit operator bool() const { return ok_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// Early-return helper for call sites that propagate failures.
+#define HBTREE_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::hbtree::Status _status = (expr);          \
+    if (!_status.ok()) return _status;          \
+  } while (0)
+
+}  // namespace hbtree
+
+#endif  // HBTREE_CORE_STATUS_H_

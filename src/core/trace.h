@@ -1,0 +1,28 @@
+#ifndef HBTREE_CORE_TRACE_H_
+#define HBTREE_CORE_TRACE_H_
+
+#include <cstddef>
+
+namespace hbtree {
+
+/// Memory-access tracing hook.
+///
+/// Tree traversal code is written once as a template over a tracer type.
+/// The default `NullTracer` compiles away entirely, leaving the untraced
+/// fast path; the platform simulator supplies a tracer that feeds every
+/// access into its cache, TLB, and cost models (DESIGN.md Section 1).
+///
+/// The tracer contract:
+///  * `OnAccess(addr, bytes)` — one logical memory access (tree code issues
+///    one per touched cache line).
+///  * `OnQueryStart()` / `OnQueryEnd()` — brackets the accesses belonging
+///    to one index query, so per-query latency can be attributed.
+struct NullTracer {
+  void OnAccess(const void* /*addr*/, std::size_t /*bytes*/) {}
+  void OnQueryStart() {}
+  void OnQueryEnd() {}
+};
+
+}  // namespace hbtree
+
+#endif  // HBTREE_CORE_TRACE_H_

@@ -1,0 +1,160 @@
+#include "core/workload.h"
+
+#include <algorithm>
+
+#include "core/macros.h"
+
+namespace hbtree {
+
+template <typename K>
+std::vector<K> GenerateSortedUniqueKeys(std::size_t n, std::uint64_t seed) {
+  // The all-ones value is reserved as the empty-slot sentinel (Section 4.1),
+  // so keys are drawn from [0, kMax - 1].
+  const K bound = KeyTraits<K>::kMax;  // exclusive bound == kMax
+  Rng rng(seed);
+  std::vector<K> keys;
+  keys.reserve(n + n / 16 + 16);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(static_cast<K>(rng.NextBounded(bound)));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  // Top up until we have n unique keys. For 64-bit keys collisions are
+  // vanishingly rare; for 32-bit keys at large n a few rounds suffice.
+  while (keys.size() < n) {
+    std::size_t missing = n - keys.size();
+    std::vector<K> extra;
+    extra.reserve(missing + missing / 8 + 8);
+    for (std::size_t i = 0; i < missing + missing / 8 + 8; ++i) {
+      extra.push_back(static_cast<K>(rng.NextBounded(bound)));
+    }
+    std::sort(extra.begin(), extra.end());
+    extra.erase(std::unique(extra.begin(), extra.end()), extra.end());
+    std::vector<K> merged;
+    merged.reserve(keys.size() + extra.size());
+    std::set_union(keys.begin(), keys.end(), extra.begin(), extra.end(),
+                   std::back_inserter(merged));
+    keys = std::move(merged);
+  }
+  keys.resize(n);
+  return keys;
+}
+
+template <typename K>
+std::vector<KeyValue<K>> GenerateDataset(std::size_t n, std::uint64_t seed) {
+  std::vector<K> keys = GenerateSortedUniqueKeys<K>(n, seed);
+  Rng rng(seed ^ 0xabcdef0123456789ull);
+  std::vector<KeyValue<K>> dataset(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dataset[i].key = keys[i];
+    dataset[i].value = static_cast<K>(rng.Next());
+  }
+  return dataset;
+}
+
+template <typename K>
+std::vector<K> MakeLookupQueries(const std::vector<KeyValue<K>>& dataset,
+                                 std::uint64_t seed) {
+  std::vector<K> queries(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    queries[i] = dataset[i].key;
+  }
+  Rng rng(seed ^ 0x517cc1b727220a95ull);
+  KnuthShuffle(queries, rng);
+  return queries;
+}
+
+template <typename K>
+std::vector<K> MakeDistributedQueries(std::size_t count,
+                                      Distribution distribution,
+                                      std::uint64_t seed) {
+  DistributionSampler sampler(distribution, seed);
+  std::vector<K> queries(count);
+  const double domain = static_cast<double>(KeyTraits<K>::kMax) - 1.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    queries[i] = static_cast<K>(sampler.Next() * domain);
+  }
+  return queries;
+}
+
+template <typename K>
+std::vector<RangeQuery<K>> MakeRangeQueries(
+    const std::vector<KeyValue<K>>& dataset, std::size_t count,
+    int match_count, std::uint64_t seed) {
+  HBTREE_CHECK(dataset.size() >= static_cast<std::size_t>(match_count));
+  Rng rng(seed ^ 0x2545f4914f6cdd1dull);
+  const std::size_t max_start = dataset.size() - match_count;
+  std::vector<RangeQuery<K>> queries(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t start = rng.NextBounded(max_start + 1);
+    queries[i] = RangeQuery<K>{dataset[start].key, match_count};
+  }
+  return queries;
+}
+
+template <typename K>
+std::vector<UpdateQuery<K>> MakeUpdateBatch(
+    const std::vector<KeyValue<K>>& dataset, std::size_t count,
+    double insert_fraction, std::uint64_t seed) {
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  const std::size_t insert_count =
+      static_cast<std::size_t>(count * insert_fraction);
+  std::vector<UpdateQuery<K>> batch;
+  batch.reserve(count);
+
+  // Inserts: fresh keys absent from the dataset.
+  auto key_exists = [&dataset](K key) {
+    auto it = std::lower_bound(
+        dataset.begin(), dataset.end(), key,
+        [](const KeyValue<K>& kv, K k) { return kv.key < k; });
+    return it != dataset.end() && it->key == key;
+  };
+  for (std::size_t i = 0; i < insert_count; ++i) {
+    K key;
+    do {
+      key = static_cast<K>(rng.NextBounded(KeyTraits<K>::kMax));
+    } while (key_exists(key));
+    batch.push_back(UpdateQuery<K>{UpdateQuery<K>::Kind::kInsert,
+                                   {key, static_cast<K>(rng.Next())}});
+  }
+
+  // Deletes: distinct existing keys.
+  std::size_t delete_count = count - insert_count;
+  HBTREE_CHECK(delete_count <= dataset.size());
+  // Floyd's algorithm for sampling without replacement would need a set;
+  // with delete_count << n, rejection on a bitmap of picked indices is
+  // simpler and fast enough for workload generation.
+  std::vector<bool> picked(dataset.size(), false);
+  for (std::size_t i = 0; i < delete_count; ++i) {
+    std::size_t idx;
+    do {
+      idx = rng.NextBounded(dataset.size());
+    } while (picked[idx]);
+    picked[idx] = true;
+    batch.push_back(
+        UpdateQuery<K>{UpdateQuery<K>::Kind::kDelete, dataset[idx]});
+  }
+  KnuthShuffle(batch, rng);
+  return batch;
+}
+
+// Explicit instantiations for the two key widths the paper evaluates.
+#define HBTREE_INSTANTIATE(K)                                                \
+  template std::vector<K> GenerateSortedUniqueKeys<K>(std::size_t,           \
+                                                      std::uint64_t);        \
+  template std::vector<KeyValue<K>> GenerateDataset<K>(std::size_t,          \
+                                                       std::uint64_t);       \
+  template std::vector<K> MakeLookupQueries<K>(                              \
+      const std::vector<KeyValue<K>>&, std::uint64_t);                       \
+  template std::vector<K> MakeDistributedQueries<K>(                         \
+      std::size_t, Distribution, std::uint64_t);                             \
+  template std::vector<RangeQuery<K>> MakeRangeQueries<K>(                   \
+      const std::vector<KeyValue<K>>&, std::size_t, int, std::uint64_t);     \
+  template std::vector<UpdateQuery<K>> MakeUpdateBatch<K>(                   \
+      const std::vector<KeyValue<K>>&, std::size_t, double, std::uint64_t);
+
+HBTREE_INSTANTIATE(Key64)
+HBTREE_INSTANTIATE(Key32)
+#undef HBTREE_INSTANTIATE
+
+}  // namespace hbtree

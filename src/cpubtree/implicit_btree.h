@@ -1,0 +1,405 @@
+#ifndef HBTREE_CPUBTREE_IMPLICIT_BTREE_H_
+#define HBTREE_CPUBTREE_IMPLICIT_BTREE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "core/macros.h"
+#include "core/status.h"
+#include "core/simd.h"
+#include "core/trace.h"
+#include "core/types.h"
+#include "cpubtree/node_layout.h"
+#include "mem/page_allocator.h"
+
+namespace hbtree {
+
+/// Implicit (pointer-free) B+-tree, Section 4.1 / Figure 2 (a)-(b).
+///
+/// Nodes are laid out breadth-first in two flat segments: the I-segment
+/// (inner nodes, root first) and the L-segment (leaf lines). The j-th
+/// child of the i-th node of a level sits at position `i * F + j` of the
+/// next level, so no pointers are stored and an inner node is nothing but
+/// one cache line of separator keys.
+///
+/// Two layouts are supported (`Config::hybrid_layout`):
+///  * CPU-optimized: fanout = keys-per-line + 1 (9 for 64-bit keys) — the
+///    highest fanout one cache line supports.
+///  * HB+-tree: fanout = keys-per-line (8 for 64-bit keys) with the last
+///    key pinned to the maximum representable value, so the GPU search
+///    kernel can dedicate exactly one thread per key (Section 5.2).
+///
+/// Updates require a full rebuild (Section 5.6): call Build() again with
+/// the updated sorted dataset.
+template <typename K>
+class ImplicitBTree {
+ public:
+  using Node = ImplicitInnerNode<K>;
+  using LeafLine = ImplicitLeafLine<K>;
+  static constexpr int kKeysPerNode = KeyTraits<K>::kPerCacheLine;
+  static constexpr int kPairsPerLine = KeyTraits<K>::kPairsPerCacheLine;
+  static constexpr K kMax = KeyTraits<K>::kMax;
+
+  struct Config {
+    /// false: CPU-optimized fanout (keys+1); true: HB+-tree fanout (keys).
+    bool hybrid_layout = false;
+    PageSize inner_page = PageSize::k1G;
+    PageSize leaf_page = PageSize::k1G;
+    NodeSearchAlgo search_algo = NodeSearchAlgo::kHierarchicalSimd;
+  };
+
+  ImplicitBTree(const Config& config, PageRegistry* registry)
+      : config_(config),
+        registry_(registry),
+        fanout_(kKeysPerNode + (config.hybrid_layout ? 0 : 1)) {}
+
+  /// (Re)builds the tree from key-sorted unique pairs. No key may equal
+  /// the maximum representable value (reserved as the empty sentinel).
+  void Build(const std::vector<KeyValue<K>>& sorted_pairs);
+
+  /// Rebuilds only the I-segment from the current L-segment (used to time
+  /// the rebuild phases of Figure 15 separately).
+  void BuildISegment();
+
+  /// Replaces the tree's contents with previously serialized segments
+  /// (io/tree_io.h). Fails if the byte counts do not match the geometry
+  /// implied by `pair_count` and this tree's layout configuration.
+  Status Restore(std::uint64_t pair_count, const void* l_segment,
+                 std::size_t l_bytes, const void* i_segment,
+                 std::size_t i_bytes);
+
+  // -- Lookup -------------------------------------------------------------
+
+  /// Point lookup. `tracer` receives one OnAccess per touched cache line.
+  template <typename Tracer = NullTracer>
+  LookupResult<K> Search(K key, Tracer* tracer = nullptr) const {
+    NullTracer null_tracer;
+    auto* t = ResolveTracer(tracer, &null_tracer);
+    t->OnQueryStart();
+    std::uint64_t line = FindLeafLine(key, t);
+    LookupResult<K> result = SearchLeafLine(line, key, t);
+    t->OnQueryEnd();
+    return result;
+  }
+
+  /// Inner-node traversal only: returns the leaf line index holding the
+  /// lower bound of `key`. This is the part the GPU executes in the
+  /// HB+-tree; the CPU baseline uses it too so both share one code path.
+  template <typename Tracer = NullTracer>
+  std::uint64_t FindLeafLine(K key, Tracer* tracer = nullptr) const {
+    NullTracer null_tracer;
+    auto* t = ResolveTracer(tracer, &null_tracer);
+    std::uint64_t node = 0;
+    for (int level = height_; level >= 1; --level) {
+      const Node& nd =
+          i_segment_.template as<Node>()[level_offset_[level] + node];
+      t->OnAccess(&nd, sizeof(Node));
+      int j = SearchCacheLine(nd.keys, key, config_.search_algo);
+      node = node * fanout_ + static_cast<std::uint64_t>(j);
+      // Queries above the global maximum walk into padding; clamp to the
+      // materialized part of the next level (the landing node/line holds
+      // only kMax sentinels, so the query still misses correctly).
+      const std::uint64_t bound =
+          level > 1 ? level_alloc_[level - 1] : leaf_alloc_lines_;
+      if (HBTREE_UNLIKELY(node >= bound)) node = bound - 1;
+    }
+    return node;
+  }
+
+  /// Partial inner traversal for the load-balancing scheme (Section 5.5):
+  /// descends `depth` levels starting from the root and returns the node
+  /// index at level `height - depth` (0 = root position of that level).
+  template <typename Tracer = NullTracer>
+  std::uint64_t DescendLevels(K key, int depth,
+                              Tracer* tracer = nullptr) const {
+    NullTracer null_tracer;
+    auto* t = ResolveTracer(tracer, &null_tracer);
+    std::uint64_t node = 0;
+    for (int level = height_; level > height_ - depth; --level) {
+      const Node& nd =
+          i_segment_.template as<Node>()[level_offset_[level] + node];
+      t->OnAccess(&nd, sizeof(Node));
+      int j = SearchCacheLine(nd.keys, key, config_.search_algo);
+      node = node * fanout_ + static_cast<std::uint64_t>(j);
+      const std::uint64_t bound =
+          level > 1 ? level_alloc_[level - 1] : leaf_alloc_lines_;
+      if (HBTREE_UNLIKELY(node >= bound)) node = bound - 1;
+    }
+    return node;
+  }
+
+  /// Leaf-line search: the final step of every lookup, always on the CPU
+  /// in the HB+-tree (Section 5.4, step 4).
+  template <typename Tracer = NullTracer>
+  LookupResult<K> SearchLeafLine(std::uint64_t line, K key,
+                                 Tracer* tracer = nullptr) const {
+    NullTracer null_tracer;
+    auto* t = ResolveTracer(tracer, &null_tracer);
+    const LeafLine& leaf = l_segment_.template as<LeafLine>()[line];
+    t->OnAccess(&leaf, sizeof(LeafLine));
+    for (int i = 0; i < kPairsPerLine; ++i) {
+      if (leaf.pairs[i].key == key && key != kMax) {
+        return LookupResult<K>{true, leaf.pairs[i].value};
+      }
+    }
+    return LookupResult<K>{false, 0};
+  }
+
+  /// Range scan: copies up to `max_matches` pairs with key >= `first_key`
+  /// into `out`, returning the number copied. Leaf lines are scanned
+  /// sequentially — the implicit layout's strength (Section 4.1).
+  template <typename Tracer = NullTracer>
+  int RangeScan(K first_key, int max_matches, KeyValue<K>* out,
+                Tracer* tracer = nullptr) const {
+    NullTracer null_tracer;
+    auto* t = ResolveTracer(tracer, &null_tracer);
+    t->OnQueryStart();
+    std::uint64_t line = FindLeafLine(first_key, t);
+    int copied = ScanLeaves(line, first_key, max_matches, out, t);
+    t->OnQueryEnd();
+    return copied;
+  }
+
+  /// Leaf-sequential part of a range scan, starting at `line` (the CPU's
+  /// share of an HB+-tree range query; the GPU supplies the line).
+  template <typename Tracer = NullTracer>
+  int ScanLeaves(std::uint64_t line, K first_key, int max_matches,
+                 KeyValue<K>* out, Tracer* tracer = nullptr) const {
+    NullTracer null_tracer;
+    auto* t = ResolveTracer(tracer, &null_tracer);
+    int copied = 0;
+    const auto* leaves = l_segment_.template as<LeafLine>();
+    while (copied < max_matches && line < leaf_alloc_lines_) {
+      const LeafLine& leaf = leaves[line];
+      t->OnAccess(&leaf, sizeof(LeafLine));
+      for (int i = 0; i < kPairsPerLine && copied < max_matches; ++i) {
+        if (leaf.pairs[i].key == kMax) return copied;  // padding: data end
+        if (leaf.pairs[i].key >= first_key) out[copied++] = leaf.pairs[i];
+      }
+      ++line;
+    }
+    return copied;
+  }
+
+  // -- Geometry / introspection -------------------------------------------
+
+  /// Number of inner levels (0 for trees that fit in one leaf line).
+  int height() const { return height_; }
+  int fanout() const { return fanout_; }
+  std::size_t size() const { return size_; }
+  std::uint64_t leaf_lines() const { return leaf_lines_; }
+
+  std::size_t i_segment_bytes() const { return i_segment_.size(); }
+  std::size_t l_segment_bytes() const { return l_segment_.size(); }
+
+  const Node* i_segment_nodes() const { return i_segment_.template as<Node>(); }
+  std::uint64_t i_segment_node_count() const { return inner_alloc_nodes_; }
+  /// Node offset of inner level `level` (level height() = root ... 1 =
+  /// last inner level) within the I-segment.
+  std::uint64_t level_offset(int level) const { return level_offset_[level]; }
+  /// Allocated node count of level `level` (level 0 = leaf lines). Child
+  /// indices are clamped to this bound during descent: a query above the
+  /// tree's maximum key walks into padding whose implicit children are
+  /// not materialized.
+  std::uint64_t level_alloc(int level) const {
+    return level == 0 ? leaf_alloc_lines_ : level_alloc_[level];
+  }
+  const LeafLine* l_segment_lines() const {
+    return l_segment_.template as<LeafLine>();
+  }
+
+  const Config& config() const { return config_; }
+
+  /// Structural self-check (test support): verifies separator invariants
+  /// and leaf ordering; aborts on violation.
+  void Validate() const;
+
+ private:
+  template <typename Tracer>
+  static Tracer* ResolveTracer(Tracer* tracer, NullTracer* fallback) {
+    if constexpr (std::is_same_v<Tracer, NullTracer>) {
+      return tracer != nullptr ? tracer : fallback;
+    } else {
+      HBTREE_DCHECK(tracer != nullptr);
+      return tracer;
+    }
+  }
+
+  /// Derives leaf/level geometry from size_ (shared by Build and Restore).
+  void ComputeLayout();
+
+  Config config_;
+  PageRegistry* registry_;
+  int fanout_;
+
+  std::size_t size_ = 0;
+  int height_ = 0;
+  std::uint64_t leaf_lines_ = 0;        // lines holding real data
+  std::uint64_t leaf_alloc_lines_ = 0;  // allocated lines (incl. padding)
+  std::uint64_t inner_alloc_nodes_ = 0;
+  /// level_offset_[l] = first node index of level l; offsets are stored
+  /// root-first so higher levels come first in the segment.
+  std::vector<std::uint64_t> level_offset_;
+  /// Allocated node count per level.
+  std::vector<std::uint64_t> level_alloc_;
+
+  PagedBuffer i_segment_;
+  PagedBuffer l_segment_;
+};
+
+// ---------------------------------------------------------------------------
+// Implementation.
+// ---------------------------------------------------------------------------
+
+template <typename K>
+void ImplicitBTree<K>::ComputeLayout() {
+  leaf_lines_ = (size_ + kPairsPerLine - 1) / kPairsPerLine;
+
+  // Determine the level sizes bottom-up: m[0] = leaf lines, m[i] nodes at
+  // inner level i, up to a single root.
+  std::vector<std::uint64_t> m = {leaf_lines_};
+  while (m.back() > 1 || m.size() == 1) {
+    std::uint64_t next = (m.back() + fanout_ - 1) / fanout_;
+    m.push_back(next);
+    if (next == 1) break;
+  }
+  height_ = static_cast<int>(m.size()) - 1;
+
+  // Allocation per level: the parent level addresses children as
+  // node*F+j, so each level is padded to parent_count * F entries.
+  level_alloc_.assign(height_ + 1, 0);
+  level_alloc_[height_] = 1;
+  for (int level = height_; level >= 1; --level) {
+    level_alloc_[level - 1] = m[level] * fanout_;
+  }
+  leaf_alloc_lines_ = height_ > 0 ? level_alloc_[0] : 1;
+
+  // Root-first offsets in the I-segment.
+  level_offset_.assign(height_ + 1, 0);
+  std::uint64_t offset = 0;
+  for (int level = height_; level >= 1; --level) {
+    level_offset_[level] = offset;
+    offset += level_alloc_[level];
+  }
+  inner_alloc_nodes_ = offset;
+}
+
+template <typename K>
+Status ImplicitBTree<K>::Restore(std::uint64_t pair_count,
+                                 const void* l_segment,
+                                 std::size_t l_bytes, const void* i_segment,
+                                 std::size_t i_bytes) {
+  if (pair_count == 0) return Status::Error("empty tree image");
+  size_ = pair_count;
+  ComputeLayout();
+  if (l_bytes != leaf_alloc_lines_ * sizeof(LeafLine) ||
+      i_bytes != inner_alloc_nodes_ * sizeof(Node)) {
+    return Status::Error("segment sizes do not match the tree geometry");
+  }
+  l_segment_.Reset(l_bytes, config_.leaf_page, registry_);
+  std::memcpy(l_segment_.data(), l_segment, l_bytes);
+  i_segment_.Reset(i_bytes, config_.inner_page, registry_);
+  std::memcpy(i_segment_.data(), i_segment, i_bytes);
+  return Status::Ok();
+}
+
+template <typename K>
+void ImplicitBTree<K>::Build(const std::vector<KeyValue<K>>& sorted_pairs) {
+  HBTREE_CHECK(!sorted_pairs.empty());
+  size_ = sorted_pairs.size();
+  ComputeLayout();
+
+  // -- L-segment ----------------------------------------------------------
+  l_segment_.Reset(leaf_alloc_lines_ * sizeof(LeafLine), config_.leaf_page,
+                   registry_);
+  auto* leaves = l_segment_.template as<LeafLine>();
+  for (std::uint64_t line = 0; line < leaf_alloc_lines_; ++line) {
+    for (int i = 0; i < kPairsPerLine; ++i) {
+      std::size_t idx = line * kPairsPerLine + i;
+      leaves[line].pairs[i] = idx < size_ ? sorted_pairs[idx]
+                                          : KeyValue<K>{kMax, kMax};
+      HBTREE_DCHECK(idx >= size_ || sorted_pairs[idx].key != kMax);
+    }
+  }
+
+  BuildISegment();
+}
+
+template <typename K>
+void ImplicitBTree<K>::BuildISegment() {
+  i_segment_.Reset(inner_alloc_nodes_ * sizeof(Node), config_.inner_page,
+                   registry_);
+  if (height_ == 0) return;
+  auto* nodes = i_segment_.template as<Node>();
+  const auto* leaves = l_segment_.template as<LeafLine>();
+
+  // subtree_max[j] = maximum key under child j of the level being built.
+  std::vector<K> subtree_max(leaf_alloc_lines_);
+  for (std::uint64_t line = 0; line < leaf_alloc_lines_; ++line) {
+    subtree_max[line] = leaves[line].pairs[kPairsPerLine - 1].key;
+  }
+
+  for (int level = 1; level <= height_; ++level) {
+    const std::uint64_t count = level_alloc_[level];
+    std::vector<K> next_max(count);
+    for (std::uint64_t n = 0; n < count; ++n) {
+      Node& nd = nodes[level_offset_[level] + n];
+      for (int j = 0; j < kKeysPerNode; ++j) {
+        std::uint64_t child = n * fanout_ + j;
+        nd.keys[j] = child < subtree_max.size() ? subtree_max[child] : kMax;
+      }
+      if (config_.hybrid_layout) {
+        // HB layout: the last key is pinned to the maximum so the GPU
+        // team's last thread always sees a sentinel (Section 5.2).
+        nd.keys[kKeysPerNode - 1] = kMax;
+      }
+      // The node's own subtree max is its last child's max. Padding
+      // children report kMax, which is exactly the routing the parent
+      // needs: queries beyond the real maximum fall into a padded subtree
+      // and miss at the leaf.
+      std::uint64_t last_child = n * fanout_ + fanout_ - 1;
+      next_max[n] =
+          last_child < subtree_max.size() ? subtree_max[last_child] : kMax;
+    }
+    subtree_max = std::move(next_max);
+  }
+}
+
+template <typename K>
+void ImplicitBTree<K>::Validate() const {
+  const auto* leaves = l_segment_.template as<LeafLine>();
+  // Leaf pairs must be globally sorted with padding only at the tail.
+  K prev = 0;
+  bool in_padding = false;
+  bool first = true;
+  for (std::uint64_t line = 0; line < leaf_alloc_lines_; ++line) {
+    for (int i = 0; i < kPairsPerLine; ++i) {
+      K key = leaves[line].pairs[i].key;
+      if (key == kMax) {
+        in_padding = true;
+        continue;
+      }
+      HBTREE_CHECK_MSG(!in_padding, "data after padding at line %llu",
+                       static_cast<unsigned long long>(line));
+      if (!first) HBTREE_CHECK(key > prev);
+      prev = key;
+      first = false;
+    }
+  }
+  // Every key must be reachable through the separators.
+  const auto* nodes = i_segment_.template as<Node>();
+  for (int level = 1; level <= height_; ++level) {
+    for (std::uint64_t n = 0; n < level_alloc_[level]; ++n) {
+      const Node& nd = nodes[level_offset_[level] + n];
+      for (int j = 1; j < kKeysPerNode; ++j) {
+        HBTREE_CHECK(nd.keys[j - 1] <= nd.keys[j]);
+      }
+    }
+  }
+}
+
+}  // namespace hbtree
+
+#endif  // HBTREE_CPUBTREE_IMPLICIT_BTREE_H_

@@ -1,0 +1,139 @@
+#ifndef HBTREE_CPUBTREE_TREE_STATS_H_
+#define HBTREE_CPUBTREE_TREE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cpubtree/implicit_btree.h"
+#include "cpubtree/regular_btree.h"
+
+namespace hbtree {
+
+/// Structural introspection — occupancy and memory accounting for
+/// capacity planning (what share of device memory will the I-segment
+/// take? how full are the big leaves after a batch?). Used by tests to
+/// assert structural invariants and by operators via the examples.
+
+struct ImplicitTreeStats {
+  int height = 0;
+  int fanout = 0;
+  std::uint64_t pairs = 0;
+  std::uint64_t leaf_lines_used = 0;
+  std::uint64_t leaf_lines_allocated = 0;
+  std::uint64_t inner_nodes_allocated = 0;
+  std::uint64_t i_segment_bytes = 0;
+  std::uint64_t l_segment_bytes = 0;
+  /// Fraction of allocated leaf-line slots holding live pairs.
+  double leaf_occupancy = 0;
+  /// Allocation padding beyond the minimal breadth-first layout.
+  double padding_overhead = 0;
+  double bytes_per_pair = 0;
+};
+
+template <typename K>
+ImplicitTreeStats CollectStats(const ImplicitBTree<K>& tree) {
+  ImplicitTreeStats stats;
+  stats.height = tree.height();
+  stats.fanout = tree.fanout();
+  stats.pairs = tree.size();
+  stats.leaf_lines_used = tree.leaf_lines();
+  stats.leaf_lines_allocated = tree.level_alloc(0);
+  stats.inner_nodes_allocated = tree.i_segment_node_count();
+  stats.i_segment_bytes = tree.i_segment_bytes();
+  stats.l_segment_bytes = tree.l_segment_bytes();
+  const double slots = static_cast<double>(stats.leaf_lines_allocated) *
+                       KeyTraits<K>::kPairsPerCacheLine;
+  stats.leaf_occupancy = slots > 0 ? stats.pairs / slots : 0;
+  stats.padding_overhead =
+      stats.leaf_lines_used > 0
+          ? static_cast<double>(stats.leaf_lines_allocated) /
+                    stats.leaf_lines_used -
+                1.0
+          : 0;
+  stats.bytes_per_pair =
+      stats.pairs > 0 ? static_cast<double>(stats.i_segment_bytes +
+                                            stats.l_segment_bytes) /
+                            stats.pairs
+                      : 0;
+  return stats;
+}
+
+struct RegularTreeStats {
+  int height = 0;
+  std::uint64_t pairs = 0;
+  std::uint64_t inner_nodes = 0;       // levels >= 2
+  std::uint64_t last_inner_nodes = 0;  // == big leaves
+  std::vector<std::uint64_t> nodes_per_level;  // index = level (1 = last)
+  /// Mean child slots in use across inner nodes (levels >= 2).
+  double inner_occupancy = 0;
+  /// Mean pair slots in use across big leaves.
+  double leaf_occupancy = 0;
+  std::uint64_t i_segment_bytes = 0;
+  std::uint64_t l_segment_bytes = 0;
+  std::uint64_t cold_bytes = 0;
+  double bytes_per_pair = 0;
+};
+
+template <typename K>
+RegularTreeStats CollectStats(const RegularBTree<K>& tree) {
+  RegularTreeStats stats;
+  stats.height = tree.height();
+  stats.pairs = tree.size();
+  stats.nodes_per_level.assign(tree.height() + 1, 0);
+
+  // Walk the tree level by level via the leaf chain and parent structure:
+  // a simple recursive walk is clearer and this is cold introspection
+  // code.
+  std::uint64_t child_slots_used = 0;
+  std::uint64_t pair_slots_used = 0;
+  struct Walker {
+    const RegularBTree<K>& tree;
+    RegularTreeStats& stats;
+    std::uint64_t& child_slots_used;
+    std::uint64_t& pair_slots_used;
+
+    void Visit(NodeRef node, int level) {
+      ++stats.nodes_per_level[level];
+      if (level == 1) {
+        ++stats.last_inner_nodes;
+        pair_slots_used += tree.big_leaf(node).info.pair_count;
+        return;
+      }
+      ++stats.inner_nodes;
+      const auto& hot = tree.inner_hot(node);
+      // The live child count lives in the cold fragment (keys cannot
+      // distinguish a kMax separator on the rightmost spine from padding).
+      const std::uint16_t count =
+          tree.inner_pool().secondary(node).child_count;
+      for (int c = 0; c < count; ++c) {
+        Visit(static_cast<NodeRef>(hot.refs[c]), level - 1);
+      }
+      child_slots_used += count;
+    }
+  } walker{tree, stats, child_slots_used, pair_slots_used};
+  walker.Visit(tree.root(), tree.height());
+
+  stats.inner_occupancy =
+      stats.inner_nodes > 0
+          ? static_cast<double>(child_slots_used) /
+                (stats.inner_nodes * RegularBTree<K>::kFanout)
+          : 0;
+  stats.leaf_occupancy =
+      stats.last_inner_nodes > 0
+          ? static_cast<double>(pair_slots_used) /
+                (stats.last_inner_nodes * RegularBTree<K>::kLeafCap)
+          : 0;
+  stats.i_segment_bytes = tree.i_segment_bytes();
+  stats.l_segment_bytes = tree.l_segment_bytes();
+  stats.cold_bytes = tree.inner_pool().secondary_bytes();
+  stats.bytes_per_pair =
+      stats.pairs > 0 ? static_cast<double>(stats.i_segment_bytes +
+                                            stats.l_segment_bytes) /
+                            stats.pairs
+                      : 0;
+  return stats;
+}
+
+}  // namespace hbtree
+
+#endif  // HBTREE_CPUBTREE_TREE_STATS_H_

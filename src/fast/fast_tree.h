@@ -1,0 +1,232 @@
+#ifndef HBTREE_FAST_FAST_TREE_H_
+#define HBTREE_FAST_FAST_TREE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "core/macros.h"
+#include "core/trace.h"
+#include "core/types.h"
+#include "mem/page_allocator.h"
+
+namespace hbtree {
+
+/// FAST — Fast Architecture Sensitive Tree (Kim et al., SIGMOD 2010) —
+/// reimplemented as the comparison baseline of Section 6.2 / Figure 9.
+///
+/// FAST is a static implicit *binary* search tree whose nodes are
+/// rearranged hierarchically so that the 3 (64-bit keys) or 4 (32-bit
+/// keys) levels of a subtree share one cache line: one line fetch serves
+/// several binary steps. Leaves map to positions of the sorted key-value
+/// array, where the final equality check and value retrieval happen.
+///
+/// This implementation keeps FAST's essential architecture sensitivity —
+/// cache-line blocking and branch-free in-block search — while omitting
+/// the paper's additional page-level blocking tier (its effect is TLB
+/// locality, which our huge-page allocation provides instead).
+template <typename K>
+class FastTree {
+ public:
+  static constexpr K kMax = KeyTraits<K>::kMax;
+  /// Depth of one cache-line block: 3 levels (7 keys of 8 B) or 4 levels
+  /// (15 keys of 4 B) fit one 64-byte line.
+  static constexpr int kBlockDepth = sizeof(K) == 8 ? 3 : 4;
+  /// Keys per block, padded to a full line.
+  static constexpr int kBlockSlots = KeyTraits<K>::kPerCacheLine;
+  static constexpr int kBlockKeys = (1 << kBlockDepth) - 1;
+  /// Block fanout: children blocks per block.
+  static constexpr int kBlockFanout = 1 << kBlockDepth;
+
+  struct Config {
+    PageSize tree_page = PageSize::k1G;
+    PageSize data_page = PageSize::k1G;
+  };
+
+  FastTree(const Config& config, PageRegistry* registry)
+      : config_(config), registry_(registry) {}
+
+  /// Builds from key-sorted unique pairs.
+  void Build(const std::vector<KeyValue<K>>& sorted_pairs);
+
+  /// Point lookup.
+  template <typename Tracer = NullTracer>
+  LookupResult<K> Search(K key, Tracer* tracer = nullptr) const {
+    NullTracer null_tracer;
+    Tracer* t = tracer;
+    if constexpr (std::is_same_v<Tracer, NullTracer>) {
+      if (t == nullptr) t = &null_tracer;
+    }
+    t->OnQueryStart();
+    const std::uint64_t pos = LowerBoundIndex(key, t);
+    LookupResult<K> result{false, 0};
+    if (pos < size_) {
+      const KeyValue<K>& kv = pairs_.template as<KeyValue<K>>()[pos];
+      t->OnAccess(&kv, sizeof(kv));
+      if (kv.key == key) result = LookupResult<K>{true, kv.value};
+    }
+    t->OnQueryEnd();
+    return result;
+  }
+
+  /// Index of the first pair with key >= `key` (== size() if none).
+  template <typename Tracer = NullTracer>
+  std::uint64_t LowerBoundIndex(K key, Tracer* tracer = nullptr) const {
+    NullTracer null_tracer;
+    Tracer* t = tracer;
+    if constexpr (std::is_same_v<Tracer, NullTracer>) {
+      if (t == nullptr) t = &null_tracer;
+    }
+    const K* blocks = tree_.template as<K>();
+    std::uint64_t block = 0;  // block index within its level
+    std::uint64_t level_base = 0;
+    std::uint64_t level_blocks = 1;
+    std::uint64_t path = 0;  // leaf path accumulated over all levels
+    for (int bl = 0; bl < block_levels_; ++bl) {
+      const K* line = blocks + (level_base + block) * kBlockSlots;
+      t->OnAccess(line, kCacheLineSize);
+      // Branch-free descent through the in-block binary levels. Node r at
+      // in-block depth d sits at slot (2^d - 1) + r.
+      unsigned in_block = 0;
+      for (int d = 0; d < kBlockDepth; ++d) {
+        const K sep = line[(1u << d) - 1 + in_block];
+        in_block = 2 * in_block + (sep < key ? 1 : 0);
+      }
+      path = (path << kBlockDepth) | in_block;
+      level_base += level_blocks;
+      level_blocks *= kBlockFanout;
+      block = block * kBlockFanout + in_block;
+    }
+    return path;  // leaf index == lower-bound position (padded misses land
+                  // beyond size_)
+  }
+
+  /// Partial blocked descent for heterogeneous load balancing: follows
+  /// `block_depth` block levels from the root and returns the block index
+  /// within level `block_depth` together with the leaf-path prefix packed
+  /// as the block index itself (blocks and path prefixes coincide).
+  template <typename Tracer = NullTracer>
+  std::uint64_t DescendBlocks(K key, int block_depth,
+                              Tracer* tracer = nullptr) const {
+    NullTracer null_tracer;
+    Tracer* t = tracer;
+    if constexpr (std::is_same_v<Tracer, NullTracer>) {
+      if (t == nullptr) t = &null_tracer;
+    }
+    const K* blocks = tree_.template as<K>();
+    std::uint64_t block = 0;
+    std::uint64_t level_base = 0;
+    std::uint64_t level_blocks = 1;
+    for (int bl = 0; bl < block_depth; ++bl) {
+      const K* line = blocks + (level_base + block) * kBlockSlots;
+      t->OnAccess(line, kCacheLineSize);
+      unsigned in_block = 0;
+      for (int d = 0; d < kBlockDepth; ++d) {
+        const K sep = line[(1u << d) - 1 + in_block];
+        in_block = 2 * in_block + (sep < key ? 1 : 0);
+      }
+      level_base += level_blocks;
+      level_blocks *= kBlockFanout;
+      block = block * kBlockFanout + in_block;
+    }
+    return block;
+  }
+
+  /// The final CPU step of a hybridized FAST search: check position `pos`
+  /// of the sorted pair array against `key`.
+  template <typename Tracer = NullTracer>
+  LookupResult<K> VerifyAt(std::uint64_t pos, K key,
+                           Tracer* tracer = nullptr) const {
+    NullTracer null_tracer;
+    Tracer* t = tracer;
+    if constexpr (std::is_same_v<Tracer, NullTracer>) {
+      if (t == nullptr) t = &null_tracer;
+    }
+    if (pos >= size_) return LookupResult<K>{false, 0};
+    const KeyValue<K>& kv = pairs_.template as<KeyValue<K>>()[pos];
+    t->OnAccess(&kv, sizeof(kv));
+    if (kv.key == key) return LookupResult<K>{true, kv.value};
+    return LookupResult<K>{false, 0};
+  }
+
+  std::size_t size() const { return size_; }
+  /// Total binary depth (multiple of kBlockDepth).
+  int depth() const { return depth_; }
+  int block_levels() const { return block_levels_; }
+  std::size_t tree_bytes() const { return tree_.size(); }
+  /// Raw blocked separator array (for mirroring into device memory).
+  const K* tree_data() const { return tree_.template as<K>(); }
+
+ private:
+  Config config_;
+  PageRegistry* registry_;
+  std::size_t size_ = 0;
+  int depth_ = 0;
+  int block_levels_ = 0;
+  PagedBuffer tree_;   // blocked separator array
+  PagedBuffer pairs_;  // sorted key-value data
+};
+
+template <typename K>
+void FastTree<K>::Build(const std::vector<KeyValue<K>>& sorted_pairs) {
+  HBTREE_CHECK(!sorted_pairs.empty());
+  size_ = sorted_pairs.size();
+
+  // Binary depth, rounded up to whole blocks.
+  depth_ = 1;
+  while ((1ull << depth_) < size_) ++depth_;
+  depth_ = (depth_ + kBlockDepth - 1) / kBlockDepth * kBlockDepth;
+  block_levels_ = depth_ / kBlockDepth;
+
+  // Total blocks over all block levels: (C^L - 1) / (C - 1).
+  std::uint64_t total_blocks = 0;
+  std::uint64_t level_blocks = 1;
+  for (int bl = 0; bl < block_levels_; ++bl) {
+    total_blocks += level_blocks;
+    level_blocks *= kBlockFanout;
+  }
+  tree_.Reset(total_blocks * kCacheLineSize, config_.tree_page, registry_);
+  pairs_.Reset(size_ * sizeof(KeyValue<K>), config_.data_page, registry_);
+  std::memcpy(pairs_.data(), sorted_pairs.data(),
+              size_ * sizeof(KeyValue<K>));
+
+  // Block-level base offsets.
+  std::vector<std::uint64_t> level_bases(block_levels_);
+  std::uint64_t base = 0;
+  std::uint64_t blocks_at = 1;
+  for (int bl = 0; bl < block_levels_; ++bl) {
+    level_bases[bl] = base;
+    base += blocks_at;
+    blocks_at *= kBlockFanout;
+  }
+
+  // Fill every internal node of the conceptual binary tree directly: the
+  // node at depth d with path p covers leaves [p << (D-d), (p+1) << (D-d))
+  // and its separator is the maximum of the left half.
+  K* blocks = tree_.template as<K>();
+  for (int d = 0; d < depth_; ++d) {
+    const int bl = d / kBlockDepth;        // block level
+    const int in_depth = d % kBlockDepth;  // depth within the block
+    const std::uint64_t nodes_at_depth = 1ull << d;
+    for (std::uint64_t p = 0; p < nodes_at_depth; ++p) {
+      // Separator = max of left subtree = element just below the midpoint.
+      const std::uint64_t mid =
+          (p << (depth_ - d)) + (1ull << (depth_ - d - 1));
+      const K sep = mid - 1 < size_ ? sorted_pairs[mid - 1].key : kMax;
+      // Blocked slot: block index = top bits of the path above this
+      // block's levels; in-block node index = the remaining low bits.
+      const std::uint64_t block_in_level = p >> in_depth;
+      const unsigned in_block =
+          static_cast<unsigned>(p & ((1ull << in_depth) - 1));
+      K* line = blocks + (level_bases[bl] + block_in_level) * kBlockSlots;
+      line[(1u << in_depth) - 1 + in_block] = sep;
+    }
+  }
+  // The unused padding slot of each line is never read; its value is
+  // irrelevant.
+}
+
+}  // namespace hbtree
+
+#endif  // HBTREE_FAST_FAST_TREE_H_

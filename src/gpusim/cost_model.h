@@ -1,0 +1,33 @@
+#ifndef HBTREE_GPUSIM_COST_MODEL_H_
+#define HBTREE_GPUSIM_COST_MODEL_H_
+
+#include "gpusim/warp.h"
+#include "sim/platform.h"
+
+namespace hbtree::gpu {
+
+/// Modelled execution time of one kernel launch.
+struct KernelTime {
+  double total_us = 0;
+  double launch_us = 0;    // K_init in the Section 5.4 cost model
+  double memory_us = 0;    // bandwidth-bound component
+  double compute_us = 0;   // instruction-issue-bound component
+  double latency_us = 0;   // latency-bound component (low occupancy)
+  /// Which component dominated (for utilization reporting).
+  const char* bound = "memory";
+};
+
+/// Roofline-style kernel time estimate.
+///
+/// A GPU hides memory latency with resident warps rather than caches
+/// (Section 5.1): with enough warps in flight, execution time is the
+/// maximum of the bandwidth term and the instruction-issue term. When the
+/// launch is too small to fill the machine (few resident warps), the
+/// latency term dominates — which is exactly why the bucket size M matters
+/// in Figure 11 and why K_init punishes small buckets.
+KernelTime EstimateKernelTime(const sim::GpuSpec& spec,
+                              const KernelStats& stats);
+
+}  // namespace hbtree::gpu
+
+#endif  // HBTREE_GPUSIM_COST_MODEL_H_

@@ -1,0 +1,130 @@
+#include "gpusim/device.h"
+
+#include <cstring>
+
+#include "core/macros.h"
+
+namespace hbtree::gpu {
+
+Device::Device(const sim::GpuSpec& spec)
+    : spec_(spec),
+      l2_(sim::CacheLevel::Config{"gpu-l2", spec.l2_bytes,
+                                  spec.l2_associativity, 64}) {}
+
+bool Device::AccessL2(DevicePtr ptr) {
+  // Segment id: allocation id in the high bits, 64-byte segment in the low
+  // bits — distinct allocations can never alias.
+  const std::uint64_t segment =
+      (static_cast<std::uint64_t>(ptr.alloc_id) << 40) | (ptr.offset / 64);
+  return l2_.Access(segment);
+}
+
+DevicePtr Device::TryMalloc(std::size_t bytes) {
+  if (bytes == 0 || used_ + bytes > spec_.memory_bytes) return DevicePtr{};
+  Allocation alloc;
+  alloc.data = std::make_unique<std::byte[]>(bytes);
+  alloc.size = bytes;
+  alloc.live = true;
+  used_ += bytes;
+  // Reuse a dead slot if available to keep ids bounded.
+  for (std::size_t i = 0; i < allocations_.size(); ++i) {
+    if (!allocations_[i].live) {
+      allocations_[i] = std::move(alloc);
+      return DevicePtr{static_cast<std::uint32_t>(i), 0};
+    }
+  }
+  allocations_.push_back(std::move(alloc));
+  return DevicePtr{static_cast<std::uint32_t>(allocations_.size() - 1), 0};
+}
+
+DevicePtr Device::Malloc(std::size_t bytes) {
+  DevicePtr ptr = TryMalloc(bytes);
+  HBTREE_CHECK_MSG(!ptr.is_null(),
+                   "device out of memory: requested %zu, used %zu of %zu",
+                   bytes, used_, static_cast<std::size_t>(spec_.memory_bytes));
+  return ptr;
+}
+
+void Device::Free(DevicePtr ptr) {
+  if (ptr.is_null()) return;
+  HBTREE_CHECK(ptr.alloc_id < allocations_.size());
+  Allocation& alloc = allocations_[ptr.alloc_id];
+  HBTREE_CHECK(alloc.live);
+  HBTREE_CHECK_MSG(ptr.offset == 0, "Free requires the allocation base");
+  used_ -= alloc.size;
+  alloc.data.reset();
+  alloc.size = 0;
+  alloc.live = false;
+}
+
+const Device::Allocation& Device::Resolve(DevicePtr ptr) const {
+  HBTREE_CHECK(!ptr.is_null());
+  HBTREE_CHECK(ptr.alloc_id < allocations_.size());
+  const Allocation& alloc = allocations_[ptr.alloc_id];
+  HBTREE_CHECK(alloc.live);
+  HBTREE_CHECK(ptr.offset <= alloc.size);
+  return alloc;
+}
+
+std::byte* Device::HostView(DevicePtr ptr) {
+  const Allocation& alloc = Resolve(ptr);
+  return alloc.data.get() + ptr.offset;
+}
+
+const std::byte* Device::HostView(DevicePtr ptr) const {
+  const Allocation& alloc = Resolve(ptr);
+  return alloc.data.get() + ptr.offset;
+}
+
+std::size_t Device::AllocationSize(DevicePtr ptr) const {
+  return Resolve(ptr).size;
+}
+
+TransferEngine::TransferEngine(Device* device, const sim::PcieSpec& pcie)
+    : device_(device), pcie_(pcie) {
+  HBTREE_CHECK(device != nullptr);
+}
+
+double TransferEngine::CopyToDevice(DevicePtr dst, const void* src,
+                                    std::size_t bytes) {
+  std::memcpy(device_->HostView(dst), src, bytes);
+  bytes_h2d_ += bytes;
+  ++transfers_;
+  return HostToDeviceUs(bytes);
+}
+
+double TransferEngine::CopyToHost(void* dst, DevicePtr src,
+                                  std::size_t bytes) {
+  std::memcpy(dst, device_->HostView(src), bytes);
+  bytes_d2h_ += bytes;
+  ++transfers_;
+  return DeviceToHostUs(bytes);
+}
+
+double TransferEngine::CopyOnDevice(DevicePtr dst, DevicePtr src,
+                                    std::size_t bytes) {
+  std::memmove(device_->HostView(dst), device_->HostView(src), bytes);
+  // Device-local copies move at device bandwidth (read + write).
+  return bytes * 2.0 / (device_->spec().memory_bandwidth_gbps * 1e3);
+}
+
+double TransferEngine::StreamedCopyToDevice(DevicePtr dst, const void* src,
+                                            std::size_t bytes) {
+  std::memcpy(device_->HostView(dst), src, bytes);
+  bytes_h2d_ += bytes;
+  ++transfers_;
+  return pcie_.streamed_init_us +
+         static_cast<double>(bytes) / (pcie_.bandwidth_h2d_gbps * 1e3);
+}
+
+double TransferEngine::HostToDeviceUs(std::size_t bytes) const {
+  return pcie_.transfer_init_us +
+         static_cast<double>(bytes) / (pcie_.bandwidth_h2d_gbps * 1e3);
+}
+
+double TransferEngine::DeviceToHostUs(std::size_t bytes) const {
+  return pcie_.transfer_init_us +
+         static_cast<double>(bytes) / (pcie_.bandwidth_d2h_gbps * 1e3);
+}
+
+}  // namespace hbtree::gpu

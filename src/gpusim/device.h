@@ -1,0 +1,129 @@
+#ifndef HBTREE_GPUSIM_DEVICE_H_
+#define HBTREE_GPUSIM_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/cache_sim.h"
+#include "sim/platform.h"
+
+namespace hbtree::gpu {
+
+/// Handle to simulated device memory. Like a CUDA device pointer it is not
+/// host-dereferenceable; kernels and transfer functions resolve it through
+/// the owning Device. Offset arithmetic is supported so that array
+/// indexing inside kernels mirrors real device code.
+struct DevicePtr {
+  static constexpr std::uint32_t kNullAlloc = 0xffffffffu;
+
+  std::uint32_t alloc_id = kNullAlloc;
+  std::uint64_t offset = 0;
+
+  bool is_null() const { return alloc_id == kNullAlloc; }
+
+  DevicePtr operator+(std::uint64_t bytes) const {
+    return DevicePtr{alloc_id, offset + bytes};
+  }
+};
+
+/// A simulated discrete GPU: a capacity-limited device memory plus the
+/// spec numbers the kernel cost model consumes.
+///
+/// The capacity limit is not a nicety — it is the core constraint the
+/// paper's hybrid design exists to escape ("GPU performance is bounded by
+/// memory capacity", Section 1). Allocation fails exactly as cudaMalloc
+/// would when the I-segment (or a whole tree, for the pure-GPU strawman)
+/// does not fit into the 3 GB of a GTX 780.
+class Device {
+ public:
+  explicit Device(const sim::GpuSpec& spec);
+
+  /// Allocates device memory; returns a null pointer if `bytes` does not
+  /// fit into the remaining capacity (the CUDA out-of-memory analogue).
+  DevicePtr TryMalloc(std::size_t bytes);
+  /// Allocates device memory; aborts on out-of-memory (programming error).
+  DevicePtr Malloc(std::size_t bytes);
+  void Free(DevicePtr ptr);
+
+  /// Host-visible backing storage of an allocation (+offset). Used by the
+  /// functional kernel executor and the transfer engine — the moral
+  /// equivalent of the GDDR behind a device pointer.
+  std::byte* HostView(DevicePtr ptr);
+  const std::byte* HostView(DevicePtr ptr) const;
+
+  template <typename T>
+  T* HostViewAs(DevicePtr ptr) {
+    return reinterpret_cast<T*>(HostView(ptr));
+  }
+  template <typename T>
+  const T* HostViewAs(DevicePtr ptr) const {
+    return reinterpret_cast<const T*>(HostView(ptr));
+  }
+
+  std::size_t AllocationSize(DevicePtr ptr) const;
+
+  std::size_t used_bytes() const { return used_; }
+  std::size_t capacity_bytes() const { return spec_.memory_bytes; }
+  const sim::GpuSpec& spec() const { return spec_; }
+
+  /// Simulates one 64-byte-segment access through the device L2; returns
+  /// true on hit (the segment does not consume DRAM bandwidth). Keyed by
+  /// (allocation, segment) so distinct allocations never alias.
+  bool AccessL2(DevicePtr ptr);
+  sim::CacheLevel& l2() { return l2_; }
+
+ private:
+  struct Allocation {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    bool live = false;
+  };
+
+  const Allocation& Resolve(DevicePtr ptr) const;
+
+  sim::GpuSpec spec_;
+  std::vector<Allocation> allocations_;
+  std::size_t used_ = 0;
+  sim::CacheLevel l2_;
+};
+
+/// Host<->device transfer engine. Copies are functional (the data really
+/// moves, so results are verifiable); the returned times follow the
+/// paper's own transfer model T = T_init + bytes / Bandwidth (Section 5.4).
+class TransferEngine {
+ public:
+  TransferEngine(Device* device, const sim::PcieSpec& pcie);
+
+  /// Copies host → device; returns the modelled transfer time in µs.
+  double CopyToDevice(DevicePtr dst, const void* src, std::size_t bytes);
+  /// Copies device → host; returns the modelled transfer time in µs.
+  double CopyToHost(void* dst, DevicePtr src, std::size_t bytes);
+  /// Copies device → device (same GPU); charged at device bandwidth.
+  double CopyOnDevice(DevicePtr dst, DevicePtr src, std::size_t bytes);
+
+  double HostToDeviceUs(std::size_t bytes) const;
+  double DeviceToHostUs(std::size_t bytes) const;
+
+  /// Copies host -> device as one of many small queued transfers (the
+  /// synchronized update method's unit); charged the amortized streamed
+  /// initialization cost instead of a full submission latency.
+  double StreamedCopyToDevice(DevicePtr dst, const void* src,
+                              std::size_t bytes);
+
+  std::uint64_t bytes_h2d() const { return bytes_h2d_; }
+  std::uint64_t bytes_d2h() const { return bytes_d2h_; }
+  std::uint64_t transfers() const { return transfers_; }
+
+ private:
+  Device* device_;
+  sim::PcieSpec pcie_;
+  std::uint64_t bytes_h2d_ = 0;
+  std::uint64_t bytes_d2h_ = 0;
+  std::uint64_t transfers_ = 0;
+};
+
+}  // namespace hbtree::gpu
+
+#endif  // HBTREE_GPUSIM_DEVICE_H_

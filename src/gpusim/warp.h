@@ -1,0 +1,122 @@
+#ifndef HBTREE_GPUSIM_WARP_H_
+#define HBTREE_GPUSIM_WARP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device.h"
+
+namespace hbtree::gpu {
+
+/// Aggregate execution statistics of one kernel launch, consumed by the
+/// kernel cost model.
+struct KernelStats {
+  std::uint64_t warps_executed = 0;
+  std::uint64_t warp_instructions = 0;    // issued warp-wide instructions
+  std::uint64_t memory_gathers = 0;       // dependent warp-wide loads/stores
+  std::uint64_t memory_transactions = 0;  // coalesced 64 B segments
+  std::uint64_t dram_bytes = 0;           // segment bytes missing device L2
+  std::uint64_t l2_bytes = 0;             // segment bytes served by L2
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t shared_bank_conflicts = 0;
+  std::uint64_t divergent_branches = 0;
+
+  KernelStats& operator+=(const KernelStats& other) {
+    warps_executed += other.warps_executed;
+    warp_instructions += other.warp_instructions;
+    memory_gathers += other.memory_gathers;
+    memory_transactions += other.memory_transactions;
+    dram_bytes += other.dram_bytes;
+    l2_bytes += other.l2_bytes;
+    shared_accesses += other.shared_accesses;
+    shared_bank_conflicts += other.shared_bank_conflicts;
+    divergent_branches += other.divergent_branches;
+    return *this;
+  }
+};
+
+/// Warp-synchronous execution scope.
+///
+/// Kernels in this repository are written in the warp-synchronous style
+/// the paper's Snippet 3 uses: threads of a warp proceed in lockstep, so a
+/// per-lane loop between two statements is semantically a `__syncthreads`
+/// at warp granularity. The scope's job is the accounting a real GPU does
+/// in hardware:
+///
+///  * `Gather` / `Scatter` — per-lane device memory accesses, coalesced
+///    into aligned 32/64/128-byte transactions exactly as the CUDA
+///    programming guide describes (Appendix C); the transaction count is
+///    what makes 64-byte-node layouts win (Section 5.2).
+///  * `SharedAccess` — shared memory with 32-bank conflict modelling.
+///  * `Instruction` — warp-wide instruction issue (the compute side of the
+///    cost model).
+///  * `DivergentBranch` — a warp fork that serializes both paths.
+class WarpScope {
+ public:
+  static constexpr int kWarpSize = 32;
+  static constexpr int kSharedBanks = 32;
+  static constexpr std::uint64_t kTransactionBytes = 64;
+
+  WarpScope(Device* device, KernelStats* stats, int active_lanes = kWarpSize);
+  ~WarpScope();
+
+  int active_lanes() const { return active_lanes_; }
+
+  /// Per-lane gather: lane i reads one element of `width` bytes at
+  /// `base + lane_offsets[i]`. Returns nothing; callers read through the
+  /// typed helpers below. Counts coalesced transactions.
+  void RecordAccess(DevicePtr base, const std::uint64_t* lane_offsets,
+                    int lanes, std::size_t width);
+
+  /// Typed per-lane load: out[i] = *(T*)(base + lane_offsets[i]).
+  /// Functional (reads the backing store) + accounted.
+  template <typename T>
+  void Gather(DevicePtr base, const std::uint64_t* lane_offsets, int lanes,
+              T* out) {
+    RecordAccess(base, lane_offsets, lanes, sizeof(T));
+    for (int i = 0; i < lanes; ++i) {
+      out[i] = *reinterpret_cast<const T*>(
+          device_->HostView(base + lane_offsets[i]));
+    }
+  }
+
+  /// Typed per-lane store: *(T*)(base + lane_offsets[i]) = values[i].
+  template <typename T>
+  void Scatter(DevicePtr base, const std::uint64_t* lane_offsets, int lanes,
+               const T* values) {
+    RecordAccess(base, lane_offsets, lanes, sizeof(T));
+    for (int i = 0; i < lanes; ++i) {
+      *reinterpret_cast<T*>(device_->HostView(base + lane_offsets[i])) =
+          values[i];
+    }
+  }
+
+  /// One warp-wide shared-memory access; `lane_banks[i]` is the bank
+  /// (word address % 32) lane i touches. Conflicting lanes serialize.
+  void SharedAccess(const int* lane_banks, int lanes);
+
+  /// `count` warp-wide ALU/control instructions.
+  void Instruction(int count = 1) {
+    stats_->warp_instructions += static_cast<std::uint64_t>(count);
+  }
+
+  /// A data-dependent branch where `paths` distinct code paths are taken
+  /// within the warp; the hardware serializes them (Appendix C).
+  void DivergentBranch(int paths) {
+    if (paths > 1) {
+      stats_->divergent_branches += 1;
+      stats_->warp_instructions += static_cast<std::uint64_t>(paths - 1);
+    }
+  }
+
+  Device* device() { return device_; }
+
+ private:
+  Device* device_;
+  KernelStats* stats_;
+  int active_lanes_;
+};
+
+}  // namespace hbtree::gpu
+
+#endif  // HBTREE_GPUSIM_WARP_H_

@@ -1,0 +1,17 @@
+#include "hybrid/batch_update.h"
+
+namespace hbtree {
+
+const char* UpdateMethodName(UpdateMethod m) {
+  switch (m) {
+    case UpdateMethod::kAsyncSingleThread:
+      return "async-1t";
+    case UpdateMethod::kAsyncParallel:
+      return "async-parallel";
+    case UpdateMethod::kSynchronized:
+      return "synchronized";
+  }
+  return "unknown";
+}
+
+}  // namespace hbtree

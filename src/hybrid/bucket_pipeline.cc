@@ -1,0 +1,17 @@
+#include "hybrid/bucket_pipeline.h"
+
+namespace hbtree {
+
+const char* BucketStrategyName(BucketStrategy s) {
+  switch (s) {
+    case BucketStrategy::kSequential:
+      return "sequential";
+    case BucketStrategy::kPipelined:
+      return "pipelined";
+    case BucketStrategy::kDoubleBuffered:
+      return "double-buffered";
+  }
+  return "unknown";
+}
+
+}  // namespace hbtree

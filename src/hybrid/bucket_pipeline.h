@@ -1,0 +1,410 @@
+#ifndef HBTREE_HYBRID_BUCKET_PIPELINE_H_
+#define HBTREE_HYBRID_BUCKET_PIPELINE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/macros.h"
+#include "core/types.h"
+#include "gpusim/cost_model.h"
+#include "gpusim/device.h"
+#include "hybrid/hb_fast.h"
+#include "hybrid/hb_implicit.h"
+#include "hybrid/hb_regular.h"
+#include "sim/resource.h"
+
+namespace hbtree {
+
+/// Bucket handling strategies evaluated in Figure 10 (Section 5.4).
+enum class BucketStrategy {
+  /// Load and resolve each bucket strictly in sequence (baseline).
+  kSequential,
+  /// CPU-GPU pipelining (Figure 5): CPU leaf search overlaps the next
+  /// bucket's GPU work, but the GPU-side steps (transfer in, kernel,
+  /// transfer out) of consecutive buckets share one engine.
+  kPipelined,
+  /// Pipelining with double buffering (Figure 6): two buffer sets let
+  /// transfers overlap kernel execution on separate engines.
+  kDoubleBuffered,
+};
+
+const char* BucketStrategyName(BucketStrategy s);
+
+/// Execution parameters for the heterogeneous search pipeline.
+struct PipelineConfig {
+  int bucket_size = 16 * 1024;  // M (Section 6.3 settles on 16K)
+  BucketStrategy strategy = BucketStrategy::kDoubleBuffered;
+
+  /// Modelled CPU rate for the leaf-search step, queries per µs — compute
+  /// with the CPU cost model on a traced run (see bench_support).
+  double cpu_queries_per_us = 1.0;
+
+  // -- Load balancing (Section 5.5). Defaults = all inner levels on GPU. --
+  int cpu_descend_levels = 0;    // D
+  double cpu_split_ratio = 1.0;  // R: fraction descending only D levels on
+                                 // the CPU (the rest descends D+1)
+  /// Modelled CPU cost of one inner level of descent, µs per query
+  /// (fallback when the by-depth table below is empty).
+  double cpu_descend_us_per_level = 0.0;
+  /// Modelled CPU cost of descending exactly d levels (index d; [0] = 0).
+  /// Captures that the top levels are cache-resident and cheap — the
+  /// premise of the load-balancing scheme.
+  std::vector<double> cpu_descend_us_by_depth;
+  /// Buckets in flight: 2 normally, 3 with load balancing (Section 5.5).
+  int buckets_in_flight = 2;
+};
+
+/// Aggregate result of one pipeline run.
+struct PipelineStats {
+  std::uint64_t queries = 0;
+  double total_us = 0;
+  double mqps = 0;
+  double avg_latency_us = 0;
+  // Average per-bucket step times of the Section 5.4 cost model.
+  double t1_us = 0;   // host->device transfer
+  double t2_us = 0;   // GPU inner-search kernel
+  double t3_us = 0;   // device->host transfer of intermediate results
+  double t4_us = 0;   // CPU share (leaf search + LB descent)
+  gpu::KernelStats kernel;  // aggregated over all buckets
+  double gpu_busy_us = 0;
+  double cpu_busy_us = 0;
+  double pcie_busy_us = 0;
+  /// Average kernel and CPU time per bucket — the discovery algorithm's
+  /// getSample() observables (Algorithm 1).
+  double sample_gpu_us = 0;
+  double sample_cpu_us = 0;
+};
+
+namespace pipeline_internal {
+
+/// Job-shop scheduler over the simulated platform resources; encodes the
+/// overlap rules of the three strategies.
+class Scheduler {
+ public:
+  explicit Scheduler(BucketStrategy strategy) : strategy_(strategy) {}
+
+  /// Schedules one bucket; returns its completion time. `ready` is when
+  /// the bucket's buffer set becomes available, `tpre` the CPU pre-descent
+  /// time (load balancing; 0 otherwise).
+  double ScheduleBucket(double ready, double tpre, double t1, double t2,
+                        double t3, double t4) {
+    double start = ready;
+    switch (strategy_) {
+      case BucketStrategy::kSequential:
+        // Nothing overlaps: chain after the previous bucket completed.
+        start = std::max(start, last_end_);
+        if (tpre > 0) start = cpu_.Acquire(start, tpre) + tpre;
+        {
+          double s1 = h2d_.Acquire(start, t1);
+          double s2 = gpu_.Acquire(s1 + t1, t2);
+          double s3 = d2h_.Acquire(s2 + t2, t3);
+          double s4 = cpu_.Acquire(s3 + t3, t4);
+          last_end_ = s4 + t4;
+        }
+        break;
+      case BucketStrategy::kPipelined: {
+        // One GPU-side engine serializes T1+T2+T3 across buckets; only
+        // the CPU step overlaps (Figure 5). A load-balancing pre-descent
+        // delays this bucket's upload (latency) but its CPU *capacity* is
+        // charged together with the leaf stage: the CPU threads
+        // interleave descents of future buckets with current finishes, so
+        // a strict descend-then-finish ordering on one timeline would
+        // falsely serialize the whole pipeline.
+        double s_gpu = gpu_.Acquire(start + tpre, t1 + t2 + t3);
+        h2d_.Acquire(s_gpu, t1);              // utilization accounting
+        d2h_.Acquire(s_gpu + t1 + t2, t3);    // utilization accounting
+        double s4 = cpu_.Acquire(s_gpu + t1 + t2 + t3, t4 + tpre);
+        last_end_ = s4 + t4;
+        break;
+      }
+      case BucketStrategy::kDoubleBuffered: {
+        // Transfers, kernel, and CPU each on their own engine (Figure 6).
+        // Pre-descent is handled as in the pipelined case.
+        double s1 = h2d_.Acquire(start + tpre, t1);
+        double s2 = gpu_.Acquire(s1 + t1, t2);
+        double s3 = d2h_.Acquire(s2 + t2, t3);
+        double s4 = cpu_.Acquire(s3 + t3, t4 + tpre);
+        last_end_ = s4 + t4;
+        break;
+      }
+    }
+    return last_end_;
+  }
+
+  double gpu_busy() const { return gpu_.busy_time(); }
+  double cpu_busy() const { return cpu_.busy_time(); }
+  double pcie_busy() const { return h2d_.busy_time() + d2h_.busy_time(); }
+
+ private:
+  BucketStrategy strategy_;
+  sim::ResourceTimeline h2d_, d2h_, gpu_, cpu_;
+  double last_end_ = 0;
+};
+
+/// Tree-variant adapters: how to pre-descend on the CPU, launch the GPU
+/// kernel, and finish a query from its intermediate result.
+template <typename K>
+struct ImplicitAdapter {
+  using Tree = HBImplicitTree<K>;
+
+  static int Height(const Tree& tree) { return tree.host_tree().height(); }
+
+  static std::uint64_t Descend(const Tree& tree, K query, int depth) {
+    return tree.host_tree().DescendLevels(query, depth);
+  }
+
+  static gpu::KernelStats Launch(Tree& tree, gpu::DevicePtr queries,
+                                 gpu::DevicePtr results, std::uint32_t count,
+                                 int start_level,
+                                 gpu::DevicePtr start_nodes) {
+    auto params = tree.MakeKernelParams(queries, results, count, start_level,
+                                        start_nodes);
+    return RunImplicitInnerSearch<K>(tree.device(), params);
+  }
+
+  static LookupResult<K> Finish(const Tree& tree, std::uint64_t intermediate,
+                                K query) {
+    return tree.host_tree().SearchLeafLine(intermediate, query);
+  }
+};
+
+template <typename K>
+struct RegularAdapter {
+  using Tree = HBRegularTree<K>;
+
+  static int Height(const Tree& tree) { return tree.host_tree().height(); }
+
+  static std::uint64_t Descend(const Tree& tree, K query, int depth) {
+    return tree.host_tree().DescendLevels(query, depth);
+  }
+
+  static gpu::KernelStats Launch(Tree& tree, gpu::DevicePtr queries,
+                                 gpu::DevicePtr results, std::uint32_t count,
+                                 int start_level,
+                                 gpu::DevicePtr start_nodes) {
+    auto params = tree.MakeKernelParams(queries, results, count, start_level,
+                                        start_nodes);
+    return RunRegularInnerSearch<K>(tree.device(), params);
+  }
+
+  static LookupResult<K> Finish(const Tree& tree, std::uint64_t intermediate,
+                                K query) {
+    typename RegularBTree<K>::LeafPosition pos{UnpackLeafNode(intermediate),
+                                               UnpackLeafLine(intermediate)};
+    return tree.host_tree().SearchLeafLine(pos, query);
+  }
+};
+
+template <typename K>
+struct FastAdapter {
+  using Tree = HBFastTree<K>;
+
+  static int Height(const Tree& tree) {
+    return tree.host_tree().block_levels();
+  }
+
+  static std::uint64_t Descend(const Tree& tree, K query, int depth) {
+    return tree.host_tree().DescendBlocks(query, depth);
+  }
+
+  static gpu::KernelStats Launch(Tree& tree, gpu::DevicePtr queries,
+                                 gpu::DevicePtr results, std::uint32_t count,
+                                 int start_level,
+                                 gpu::DevicePtr start_nodes) {
+    auto params = tree.MakeKernelParams(queries, results, count, start_level,
+                                        start_nodes);
+    return RunFastSearch<K>(tree.device(), params);
+  }
+
+  static LookupResult<K> Finish(const Tree& tree, std::uint64_t intermediate,
+                                K query) {
+    return tree.host_tree().VerifyAt(intermediate, query);
+  }
+};
+
+template <typename K, typename Adapter>
+PipelineStats RunPipeline(typename Adapter::Tree& tree, const K* queries,
+                          std::size_t count, const PipelineConfig& config,
+                          std::vector<LookupResult<K>>* results) {
+  gpu::Device& device = tree.device();
+  gpu::TransferEngine& transfer = tree.transfer();
+  const int height = Adapter::Height(tree);
+  // D is capped so that even the D+1 part leaves the GPU at least the
+  // last inner level to search.
+  const int d_levels =
+      std::clamp(config.cpu_descend_levels, 0, std::max(height - 2, 0));
+  const double split = std::clamp(config.cpu_split_ratio, 0.0, 1.0);
+  const bool balanced = (d_levels > 0 || split < 1.0) && height >= 2;
+
+  const std::uint32_t m = static_cast<std::uint32_t>(config.bucket_size);
+  HBTREE_CHECK(m > 0);
+  gpu::DevicePtr q_dev = device.Malloc(m * sizeof(K));
+  gpu::DevicePtr r_dev = device.Malloc(m * sizeof(std::uint64_t));
+  gpu::DevicePtr s_dev =
+      balanced ? device.Malloc(m * sizeof(std::uint32_t)) : gpu::DevicePtr{};
+
+  PipelineStats stats;
+  Scheduler scheduler(config.strategy);
+  // Start-node indices travel as 32-bit values: every level a partial
+  // descent can reach has fewer than 2^32 nodes.
+  std::vector<std::uint32_t> start_nodes(m);
+  std::vector<std::uint64_t> intermediate(m);
+  std::vector<double> bucket_end;
+  double latency_sum = 0;
+
+  if (results != nullptr) results->resize(count);
+
+  for (std::size_t base = 0; base < count; base += m) {
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(std::min<std::size_t>(m, count - base));
+
+    // -- CPU pre-descent (Section 5.5): R*n queries descend D levels, the
+    // rest D+1; the kernel is launched once per part with the matching
+    // start level (stats are merged, so K_init is charged once — the
+    // pre-submission effect the paper exploits with 3 buckets in flight).
+    double tpre = 0;
+    std::uint32_t part1 = n;
+    if (balanced) {
+      part1 = static_cast<std::uint32_t>(n * split);
+      auto descend_cost = [&config](int depth) {
+        const auto& table = config.cpu_descend_us_by_depth;
+        if (depth < static_cast<int>(table.size())) return table[depth];
+        return depth * config.cpu_descend_us_per_level;
+      };
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const int depth = i < part1 ? d_levels : d_levels + 1;
+        start_nodes[i] = static_cast<std::uint32_t>(
+            Adapter::Descend(tree, queries[base + i], depth));
+      }
+      tpre = part1 * descend_cost(d_levels) +
+             (n - part1) * descend_cost(d_levels + 1);
+    }
+
+    // -- T1: queries (+ start nodes) to device, one combined transfer ----
+    std::size_t t1_bytes = n * sizeof(K);
+    transfer.CopyToDevice(q_dev, queries + base, n * sizeof(K));
+    if (balanced) {
+      transfer.CopyToDevice(s_dev, start_nodes.data(),
+                            n * sizeof(std::uint32_t));
+      t1_bytes += n * sizeof(std::uint32_t);
+    }
+    const double t1 = transfer.HostToDeviceUs(t1_bytes);
+
+    // -- T2: kernel launch(es) --------------------------------------------
+    gpu::KernelStats ks;
+    if (!balanced) {
+      ks = Adapter::Launch(tree, q_dev, r_dev, n, height, gpu::DevicePtr{});
+    } else {
+      if (part1 > 0) {
+        ks += Adapter::Launch(tree, q_dev, r_dev, part1,
+                              height - d_levels, s_dev);
+      }
+      if (part1 < n) {
+        ks += Adapter::Launch(
+            tree, q_dev + part1 * sizeof(K),
+            r_dev + part1 * sizeof(std::uint64_t), n - part1,
+            height - d_levels - 1,
+            s_dev + part1 * sizeof(std::uint32_t));
+      }
+    }
+    stats.kernel += ks;
+    const double t2 = gpu::EstimateKernelTime(device.spec(), ks).total_us;
+
+    // -- T3: intermediate results back ------------------------------------
+    const double t3 = transfer.CopyToHost(intermediate.data(), r_dev,
+                                          n * sizeof(std::uint64_t));
+
+    // -- T4: CPU leaf search ----------------------------------------------
+    for (std::uint32_t i = 0; i < n; ++i) {
+      LookupResult<K> r =
+          Adapter::Finish(tree, intermediate[i], queries[base + i]);
+      if (results != nullptr) (*results)[base + i] = r;
+    }
+    const double t4 = n / config.cpu_queries_per_us;
+
+    // -- Schedule on the simulated platform -------------------------------
+    const std::size_t b = bucket_end.size();
+    const double ready =
+        b >= static_cast<std::size_t>(config.buckets_in_flight)
+            ? bucket_end[b - config.buckets_in_flight]
+            : 0.0;
+    const double end = scheduler.ScheduleBucket(ready, tpre, t1, t2, t3, t4);
+    bucket_end.push_back(end);
+    latency_sum += end - ready;
+
+    stats.t1_us += t1;
+    stats.t2_us += t2;
+    stats.t3_us += t3;
+    stats.t4_us += t4 + tpre;
+    stats.sample_gpu_us += t2;
+    stats.sample_cpu_us += t4 + tpre;
+  }
+
+  device.Free(q_dev);
+  device.Free(r_dev);
+  if (!s_dev.is_null()) device.Free(s_dev);
+
+  const double buckets = static_cast<double>(bucket_end.size());
+  stats.queries = count;
+  stats.total_us = bucket_end.empty() ? 0 : bucket_end.back();
+  stats.mqps = stats.total_us > 0 ? count / stats.total_us : 0;
+  stats.avg_latency_us = buckets > 0 ? latency_sum / buckets : 0;
+  if (buckets > 0) {
+    stats.t1_us /= buckets;
+    stats.t2_us /= buckets;
+    stats.t3_us /= buckets;
+    stats.t4_us /= buckets;
+    stats.sample_gpu_us /= buckets;
+    stats.sample_cpu_us /= buckets;
+  }
+  stats.gpu_busy_us = scheduler.gpu_busy();
+  stats.cpu_busy_us = scheduler.cpu_busy();
+  stats.pcie_busy_us = scheduler.pcie_busy();
+  return stats;
+}
+
+}  // namespace pipeline_internal
+
+/// Runs the heterogeneous search pipeline on an implicit HB+-tree:
+/// buckets go to the device, the GPU kernel resolves inner nodes,
+/// intermediate leaf-line indices come back, and the CPU finishes in the
+/// L-segment. Fully functional — `results` (optional) receives every
+/// lookup — while the returned stats carry the simulated platform timing.
+template <typename K>
+PipelineStats RunSearchPipeline(HBImplicitTree<K>& tree, const K* queries,
+                                std::size_t count,
+                                const PipelineConfig& config,
+                                std::vector<LookupResult<K>>* results =
+                                    nullptr) {
+  return pipeline_internal::RunPipeline<K, pipeline_internal::ImplicitAdapter<K>>(
+      tree, queries, count, config, results);
+}
+
+/// Regular-tree variant: the kernel performs the three-step fat-node
+/// search and the intermediate result packs (last inner node, leaf line).
+template <typename K>
+PipelineStats RunSearchPipeline(HBRegularTree<K>& tree, const K* queries,
+                                std::size_t count,
+                                const PipelineConfig& config,
+                                std::vector<LookupResult<K>>* results =
+                                    nullptr) {
+  return pipeline_internal::RunPipeline<K, pipeline_internal::RegularAdapter<K>>(
+      tree, queries, count, config, results);
+}
+
+/// HB-FAST variant (Section 7 future work, see hybrid/hb_fast.h): any
+/// leaf-stored tree plugs into the same pipeline through an adapter.
+template <typename K>
+PipelineStats RunSearchPipeline(HBFastTree<K>& tree, const K* queries,
+                                std::size_t count,
+                                const PipelineConfig& config,
+                                std::vector<LookupResult<K>>* results =
+                                    nullptr) {
+  return pipeline_internal::RunPipeline<K, pipeline_internal::FastAdapter<K>>(
+      tree, queries, count, config, results);
+}
+
+}  // namespace hbtree
+
+#endif  // HBTREE_HYBRID_BUCKET_PIPELINE_H_

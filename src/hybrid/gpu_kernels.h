@@ -1,0 +1,294 @@
+#ifndef HBTREE_HYBRID_GPU_KERNELS_H_
+#define HBTREE_HYBRID_GPU_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/macros.h"
+#include "core/types.h"
+#include "cpubtree/node_layout.h"
+#include "gpusim/device.h"
+#include "gpusim/warp.h"
+
+namespace hbtree {
+
+/// GPU kernels of the HB+-tree (Section 5.3, Appendix D).
+///
+/// Both kernels implement the paper's parallel node search: a team of T
+/// threads per query (T = 8 for 64-bit keys, 16 for 32-bit), each thread
+/// comparing one key of the current node, with the team's winner found via
+/// shared-memory flags — Snippet 3. They are written warp-synchronously
+/// against the SIMT simulator: per-lane loops between accounting calls are
+/// the lockstep execution a real warp performs, `Gather` coalesces the
+/// team loads into 64-byte transactions, and `SharedAccess`/`Instruction`
+/// charge the flag exchange and ALU work.
+///
+/// Both kernels support the load-balancing scheme (Section 5.5): queries
+/// may carry a per-query start node produced by a partial CPU descent.
+
+/// Launch parameters for the implicit-tree inner search.
+template <typename K>
+struct ImplicitKernelParams {
+  gpu::DevicePtr nodes;  // ImplicitInnerNode<K>[], root-first by level
+  /// Node offset of each level within `nodes` (host-side kernel constant,
+  /// the levelOffsets array of Snippet 3), indexed by level (height..1).
+  std::vector<std::uint64_t> level_offsets;
+  /// Materialized node count per level (index 0 = leaf lines); child
+  /// indices are clamped to it, mirroring the host-side descent.
+  std::vector<std::uint64_t> level_alloc;
+  int height = 0;       // inner levels in the tree
+  int start_level = 0;  // first level the GPU searches (== height unless
+                        // the CPU pre-descended, Section 5.5)
+  int fanout = 0;       // == keys per node (hybrid layout)
+
+  gpu::DevicePtr queries;      // K[count]
+  gpu::DevicePtr start_nodes;  // uint32[count]; null -> all start at node 0
+  gpu::DevicePtr results;      // uint64[count]: leaf line index
+  std::uint32_t count = 0;
+};
+
+/// Runs the implicit inner-node search kernel; returns per-launch stats
+/// for the kernel cost model. Functionally computes results in device
+/// memory exactly as Snippet 3 would.
+template <typename K>
+gpu::KernelStats RunImplicitInnerSearch(gpu::Device& device,
+                                        const ImplicitKernelParams<K>& p) {
+  gpu::KernelStats stats;
+  constexpr int kTeam = KeyTraits<K>::kPerCacheLine;  // threads per query
+  const int teams_per_warp = gpu::WarpScope::kWarpSize / kTeam;
+
+  for (std::uint32_t warp_base = 0; warp_base < p.count;
+       warp_base += teams_per_warp) {
+    const int teams =
+        static_cast<int>(std::min<std::uint32_t>(teams_per_warp,
+                                                 p.count - warp_base));
+    const int lanes = teams * kTeam;
+    gpu::WarpScope warp(&device, &stats, lanes);
+
+    // Load this warp's queries (coalesced: consecutive keys).
+    std::uint64_t offsets[gpu::WarpScope::kWarpSize];
+    K team_query[gpu::WarpScope::kWarpSize];
+    {
+      std::uint64_t qoff[gpu::WarpScope::kWarpSize];
+      for (int t = 0; t < teams; ++t) qoff[t] = (warp_base + t) * sizeof(K);
+      warp.Gather(p.queries, qoff, teams, team_query);
+    }
+
+    // Starting node per team (32-bit indices on the wire).
+    std::uint64_t node[gpu::WarpScope::kWarpSize];
+    if (p.start_nodes.is_null()) {
+      for (int t = 0; t < teams; ++t) node[t] = 0;
+    } else {
+      std::uint64_t soff[gpu::WarpScope::kWarpSize];
+      std::uint32_t start32[gpu::WarpScope::kWarpSize];
+      for (int t = 0; t < teams; ++t) {
+        soff[t] = (warp_base + t) * sizeof(std::uint32_t);
+      }
+      warp.Gather(p.start_nodes, soff, teams, start32);
+      for (int t = 0; t < teams; ++t) node[t] = start32[t];
+    }
+
+    // Inner-node descent (Snippet 3).
+    for (int level = p.start_level; level >= 1; --level) {
+      // Each lane loads one key of its team's node: selfKey.
+      K self_key[gpu::WarpScope::kWarpSize];
+      for (int t = 0; t < teams; ++t) {
+        const std::uint64_t node_byte =
+            (p.level_offsets[level] + node[t]) * kCacheLineSize;
+        for (int lane = 0; lane < kTeam; ++lane) {
+          offsets[t * kTeam + lane] = node_byte + lane * sizeof(K);
+        }
+      }
+      warp.Gather(p.nodes, offsets, lanes, self_key);
+
+      // flag[threadIdx] = (teamQuery <= selfKey); write + barrier + read
+      // neighbour flag + conditional result write (Snippet 3 lines 13-24).
+      int banks[gpu::WarpScope::kWarpSize];
+      for (int i = 0; i < lanes; ++i) banks[i] = i % gpu::WarpScope::kSharedBanks;
+      warp.SharedAccess(banks, lanes);  // flag store
+      warp.Instruction(2);              // compare + selfFlag
+      warp.SharedAccess(banks, lanes);  // neighbour flag load
+      warp.Instruction(2);              // transition test + result store
+      warp.Instruction(2);              // __syncthreads x2 (warp-level)
+
+      for (int t = 0; t < teams; ++t) {
+        // result = the lane whose flag is 1 while its left neighbour's is
+        // 0 == the number of keys smaller than the query.
+        int result = 0;
+        for (int lane = 0; lane < kTeam; ++lane) {
+          if (self_key[t * kTeam + lane] < team_query[t]) ++result;
+        }
+        HBTREE_DCHECK(result < p.fanout);
+        node[t] = node[t] * p.fanout + static_cast<std::uint64_t>(result);
+        const std::uint64_t bound = p.level_alloc[level - 1];
+        if (node[t] >= bound) node[t] = bound - 1;
+      }
+      warp.Instruction(1);  // the clamp
+    }
+
+    // Scatter leaf line indices (one lane per team writes; consecutive
+    // 8-byte results coalesce into one transaction per warp).
+    std::uint64_t roff[gpu::WarpScope::kWarpSize];
+    for (int t = 0; t < teams; ++t) {
+      roff[t] = (warp_base + t) * sizeof(std::uint64_t);
+    }
+    warp.Scatter(p.results, roff, teams, node);
+  }
+  return stats;
+}
+
+/// Launch parameters for the regular-tree inner search.
+template <typename K>
+struct RegularKernelParams {
+  gpu::DevicePtr inner_hot;  // RegularInnerHot<K>[] indexed by pool slot
+  gpu::DevicePtr last_hot;   // RegularInnerHot<K>[] for the last level
+  NodeRef root = kNullRef;
+  int root_level = 0;   // levels counted down to 1 (last inner level)
+  int start_level = 0;  // == root_level unless the CPU pre-descended
+
+  gpu::DevicePtr queries;      // K[count]
+  gpu::DevicePtr start_nodes;  // uint32[count]; null -> all start at root
+  gpu::DevicePtr results;      // uint64[count]: (last_inner << 16) | line
+  std::uint32_t count = 0;
+};
+
+/// Packs/unpacks the regular kernel's intermediate result.
+inline std::uint64_t PackLeafPosition(NodeRef node, int line) {
+  return (static_cast<std::uint64_t>(node) << 16) |
+         static_cast<std::uint64_t>(line);
+}
+inline NodeRef UnpackLeafNode(std::uint64_t packed) {
+  return static_cast<NodeRef>(packed >> 16);
+}
+inline int UnpackLeafLine(std::uint64_t packed) {
+  return static_cast<int>(packed & 0xffff);
+}
+
+/// Runs the regular-tree inner search kernel: per level, the team searches
+/// the index line, fetches and searches the selected key line, then one
+/// lane fetches the child reference — "three memory accesses instead of
+/// one" (Section 5.3).
+template <typename K>
+gpu::KernelStats RunRegularInnerSearch(gpu::Device& device,
+                                       const RegularKernelParams<K>& p) {
+  gpu::KernelStats stats;
+  using Shape = RegularShape<K>;
+  constexpr int kTeam = Shape::kIdx;  // 8 (64-bit) / 16 (32-bit)
+  const int teams_per_warp = gpu::WarpScope::kWarpSize / kTeam;
+  constexpr std::uint64_t kHotBytes = sizeof(RegularInnerHot<K>);
+  constexpr std::uint64_t kKeysBase = Shape::kIdx * sizeof(K);
+  constexpr std::uint64_t kRefsBase =
+      kKeysBase + Shape::kFanout * sizeof(K);
+
+  for (std::uint32_t warp_base = 0; warp_base < p.count;
+       warp_base += teams_per_warp) {
+    const int teams =
+        static_cast<int>(std::min<std::uint32_t>(teams_per_warp,
+                                                 p.count - warp_base));
+    const int lanes = teams * kTeam;
+    gpu::WarpScope warp(&device, &stats, lanes);
+
+    K team_query[gpu::WarpScope::kWarpSize];
+    {
+      std::uint64_t qoff[gpu::WarpScope::kWarpSize];
+      for (int t = 0; t < teams; ++t) qoff[t] = (warp_base + t) * sizeof(K);
+      warp.Gather(p.queries, qoff, teams, team_query);
+    }
+
+    std::uint64_t node[gpu::WarpScope::kWarpSize];
+    if (p.start_nodes.is_null()) {
+      for (int t = 0; t < teams; ++t) node[t] = p.root;
+    } else {
+      std::uint64_t soff[gpu::WarpScope::kWarpSize];
+      std::uint32_t start32[gpu::WarpScope::kWarpSize];
+      for (int t = 0; t < teams; ++t) {
+        soff[t] = (warp_base + t) * sizeof(std::uint32_t);
+      }
+      warp.Gather(p.start_nodes, soff, teams, start32);
+      for (int t = 0; t < teams; ++t) node[t] = start32[t];
+    }
+
+    std::uint64_t offsets[gpu::WarpScope::kWarpSize];
+    K lane_key[gpu::WarpScope::kWarpSize];
+    int banks[gpu::WarpScope::kWarpSize];
+    for (int i = 0; i < lanes; ++i) banks[i] = i % gpu::WarpScope::kSharedBanks;
+
+    int line_result[gpu::WarpScope::kWarpSize];
+    for (int level = p.start_level; level >= 1; --level) {
+      const bool last = level == 1;
+      const gpu::DevicePtr pool = last ? p.last_hot : p.inner_hot;
+
+      // Step 1: parallel search of the index line.
+      for (int t = 0; t < teams; ++t) {
+        const std::uint64_t base = node[t] * kHotBytes;
+        for (int lane = 0; lane < kTeam; ++lane) {
+          offsets[t * kTeam + lane] = base + lane * sizeof(K);
+        }
+      }
+      warp.Gather(pool, offsets, lanes, lane_key);
+      warp.SharedAccess(banks, lanes);
+      warp.Instruction(4);
+      warp.SharedAccess(banks, lanes);
+      int s[gpu::WarpScope::kWarpSize];
+      for (int t = 0; t < teams; ++t) {
+        int count_less = 0;
+        for (int lane = 0; lane < kTeam; ++lane) {
+          if (lane_key[t * kTeam + lane] < team_query[t]) ++count_less;
+        }
+        HBTREE_DCHECK(count_less < kTeam);
+        s[t] = count_less;
+      }
+
+      // Step 2: fetch and search the selected key line.
+      for (int t = 0; t < teams; ++t) {
+        const std::uint64_t base =
+            node[t] * kHotBytes + kKeysBase +
+            static_cast<std::uint64_t>(s[t]) * kTeam * sizeof(K);
+        for (int lane = 0; lane < kTeam; ++lane) {
+          offsets[t * kTeam + lane] = base + lane * sizeof(K);
+        }
+      }
+      warp.Gather(pool, offsets, lanes, lane_key);
+      warp.SharedAccess(banks, lanes);
+      warp.Instruction(4);
+      warp.SharedAccess(banks, lanes);
+      for (int t = 0; t < teams; ++t) {
+        int count_less = 0;
+        for (int lane = 0; lane < kTeam; ++lane) {
+          if (lane_key[t * kTeam + lane] < team_query[t]) ++count_less;
+        }
+        HBTREE_DCHECK(count_less < kTeam);
+        line_result[t] = s[t] * kTeam + count_less;
+      }
+
+      if (last) break;
+
+      // Step 3: one lane per team fetches the child reference.
+      K child_ref[gpu::WarpScope::kWarpSize];
+      for (int t = 0; t < teams; ++t) {
+        offsets[t] = node[t] * kHotBytes + kRefsBase +
+                     static_cast<std::uint64_t>(line_result[t]) * sizeof(K);
+      }
+      warp.Gather(pool, offsets, teams, child_ref);
+      warp.Instruction(1);
+      for (int t = 0; t < teams; ++t) {
+        node[t] = static_cast<std::uint64_t>(child_ref[t]);
+      }
+    }
+
+    // Scatter packed (last inner node, leaf line) results.
+    std::uint64_t packed[gpu::WarpScope::kWarpSize];
+    std::uint64_t roff[gpu::WarpScope::kWarpSize];
+    for (int t = 0; t < teams; ++t) {
+      packed[t] = PackLeafPosition(static_cast<NodeRef>(node[t]),
+                                   line_result[t]);
+      roff[t] = (warp_base + t) * sizeof(std::uint64_t);
+    }
+    warp.Scatter(p.results, roff, teams, packed);
+  }
+  return stats;
+}
+
+}  // namespace hbtree
+
+#endif  // HBTREE_HYBRID_GPU_KERNELS_H_

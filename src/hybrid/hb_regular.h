@@ -1,0 +1,185 @@
+#ifndef HBTREE_HYBRID_HB_REGULAR_H_
+#define HBTREE_HYBRID_HB_REGULAR_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/macros.h"
+#include "core/types.h"
+#include "cpubtree/regular_btree.h"
+#include "gpusim/device.h"
+#include "hybrid/gpu_kernels.h"
+#include "mem/page_allocator.h"
+
+namespace hbtree {
+
+/// Regular HB+-tree (Sections 5.2, 5.6): the pointer-based variant that
+/// supports efficient batch updates.
+///
+/// Both inner pools' hot fragments (all inner levels, including the last)
+/// form the I-segment mirrored into device memory as two flat arrays
+/// indexed by pool slot, so the host's child references are valid device
+/// indices without translation. Cold fragments and big leaves stay on the
+/// CPU only.
+///
+/// Synchronization (Section 5.6) offers the paper's two granularities:
+///  * SyncNode — one hot fragment per modified node (the synchronous
+///    method's unit of transfer);
+///  * SyncISegment — the whole mirror at once (the asynchronous method).
+template <typename K>
+class HBRegularTree {
+ public:
+  using Hot = RegularInnerHot<K>;
+
+  struct Config {
+    typename RegularBTree<K>::Config tree;
+    /// Headroom factor for the device arrays so node allocations from
+    /// updates rarely force a device realloc.
+    double device_headroom = 1.25;
+  };
+
+  HBRegularTree(const Config& config, PageRegistry* registry,
+                gpu::Device* device, gpu::TransferEngine* transfer)
+      : config_(config),
+        host_tree_(config.tree, registry),
+        device_(device),
+        transfer_(transfer) {
+    HBTREE_CHECK(device != nullptr && transfer != nullptr);
+  }
+
+  ~HBRegularTree() { FreeDeviceArrays(); }
+
+  HBRegularTree(const HBRegularTree&) = delete;
+  HBRegularTree& operator=(const HBRegularTree&) = delete;
+
+  /// Builds the host tree and mirrors the I-segment. Returns false if the
+  /// mirror does not fit into device memory.
+  bool Build(const std::vector<KeyValue<K>>& sorted_pairs) {
+    host_tree_.Build(sorted_pairs);
+    return ReallocAndSync();
+  }
+
+  /// Copies one modified node's hot fragment to the device; returns the
+  /// modelled transfer time in µs. Grows the device arrays first if the
+  /// node lies beyond them (rare; costed as a full sync).
+  double SyncNode(const ModifiedNode& node) {
+    if (node.ref >= (node.last_level ? last_capacity_ : inner_capacity_)) {
+      return ReallocAndSyncTimed();
+    }
+    const Hot& hot = node.last_level ? host_tree_.last_hot(node.ref)
+                                     : host_tree_.inner_hot(node.ref);
+    gpu::DevicePtr dst =
+        (node.last_level ? device_last_ : device_inner_) +
+        static_cast<std::uint64_t>(node.ref) * sizeof(Hot);
+    return transfer_->StreamedCopyToDevice(dst, &hot, sizeof(Hot));
+  }
+
+  /// Re-uploads the whole I-segment (both pools); returns the modelled
+  /// transfer time in µs.
+  double SyncISegment() { return ReallocAndSyncTimed(); }
+
+  /// Kernel launch parameters for a bucket of `count` queries in device
+  /// memory (see RunRegularInnerSearch).
+  RegularKernelParams<K> MakeKernelParams(
+      gpu::DevicePtr queries, gpu::DevicePtr results, std::uint32_t count,
+      int start_level = -1,
+      gpu::DevicePtr start_nodes = gpu::DevicePtr{}) const {
+    HBTREE_CHECK(!device_inner_.is_null() || host_tree_.height() == 1);
+    RegularKernelParams<K> params;
+    params.inner_hot = device_inner_;
+    params.last_hot = device_last_;
+    params.root = host_tree_.root();
+    params.root_level = host_tree_.height();
+    params.start_level =
+        start_level < 0 ? host_tree_.height() : start_level;
+    params.queries = queries;
+    params.start_nodes = start_nodes;
+    params.results = results;
+    params.count = count;
+    return params;
+  }
+
+  const RegularBTree<K>& host_tree() const { return host_tree_; }
+  RegularBTree<K>& host_tree() { return host_tree_; }
+  gpu::Device& device() { return *device_; }
+  gpu::TransferEngine& transfer() { return *transfer_; }
+
+  std::size_t device_bytes() const {
+    return (inner_capacity_ + last_capacity_) * sizeof(Hot);
+  }
+  std::size_t i_segment_bytes() const {
+    return (host_tree_.inner_pool().high_water() +
+            host_tree_.leaf_pool().high_water()) *
+           sizeof(Hot);
+  }
+
+ private:
+  void FreeDeviceArrays() {
+    if (!device_inner_.is_null()) device_->Free(device_inner_);
+    if (!device_last_.is_null()) device_->Free(device_last_);
+    device_inner_ = gpu::DevicePtr{};
+    device_last_ = gpu::DevicePtr{};
+    inner_capacity_ = last_capacity_ = 0;
+  }
+
+  bool ReallocAndSync() {
+    const std::size_t need_inner = host_tree_.inner_pool().high_water();
+    const std::size_t need_last = host_tree_.leaf_pool().high_water();
+    if (need_inner > inner_capacity_ || need_last > last_capacity_) {
+      FreeDeviceArrays();
+      std::size_t cap_inner = static_cast<std::size_t>(
+          need_inner * config_.device_headroom) + 64;
+      std::size_t cap_last = static_cast<std::size_t>(
+          need_last * config_.device_headroom) + 64;
+      device_inner_ = device_->TryMalloc(cap_inner * sizeof(Hot));
+      device_last_ = device_->TryMalloc(cap_last * sizeof(Hot));
+      if (device_inner_.is_null() || device_last_.is_null()) {
+        FreeDeviceArrays();
+        return false;
+      }
+      inner_capacity_ = cap_inner;
+      last_capacity_ = cap_last;
+    }
+    CopyPools();
+    return true;
+  }
+
+  double ReallocAndSyncTimed() {
+    HBTREE_CHECK(ReallocAndSync());
+    // One bulk transfer of the live I-segment.
+    return transfer_->HostToDeviceUs(i_segment_bytes());
+  }
+
+  /// Chunk-wise copy of both pools' hot fragments into the device arrays.
+  void CopyPools() {
+    CopyPool(host_tree_.inner_pool(), device_inner_);
+    CopyPool(host_tree_.leaf_pool(), device_last_);
+  }
+
+  template <typename Pool>
+  void CopyPool(const Pool& pool, gpu::DevicePtr base) {
+    const std::size_t chunk_slots = pool.chunk_capacity();
+    std::size_t remaining = pool.high_water();
+    for (std::size_t c = 0; c < pool.chunk_count() && remaining > 0; ++c) {
+      const std::size_t here = std::min(chunk_slots, remaining);
+      std::memcpy(
+          device_->HostView(base + c * chunk_slots * sizeof(Hot)),
+          pool.primary_chunk(c), here * sizeof(Hot));
+      remaining -= here;
+    }
+  }
+
+  Config config_;
+  RegularBTree<K> host_tree_;
+  gpu::Device* device_;
+  gpu::TransferEngine* transfer_;
+  gpu::DevicePtr device_inner_;
+  gpu::DevicePtr device_last_;
+  std::size_t inner_capacity_ = 0;
+  std::size_t last_capacity_ = 0;
+};
+
+}  // namespace hbtree
+
+#endif  // HBTREE_HYBRID_HB_REGULAR_H_

@@ -1,0 +1,82 @@
+#ifndef HBTREE_HYBRID_LOAD_BALANCER_H_
+#define HBTREE_HYBRID_LOAD_BALANCER_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "hybrid/bucket_pipeline.h"
+
+namespace hbtree {
+
+/// Result of the load-balance discovery (Algorithm 1, Section 5.5).
+struct LoadBalanceSetting {
+  int d = 0;        // inner levels searched by the CPU
+  double r = 1.0;   // fraction of each bucket descending only D levels
+  double sample_gpu_us = 0;
+  double sample_cpu_us = 0;
+};
+
+/// Runs the paper's discovery algorithm: starting from (D = 0, R = 1) —
+/// maximum GPU load — it raises D while the GPU is the bottleneck, then
+/// binary-searches R for four steps. `getSample` is realized by running
+/// the pipeline over `sample_queries` and reading the average per-bucket
+/// GPU and CPU times.
+///
+/// `base` must carry the platform-derived CPU rates
+/// (cpu_queries_per_us, cpu_descend_us_per_level); buckets_in_flight is
+/// forced to 3 as in the load-balanced HB+-tree.
+template <typename HB, typename K>
+LoadBalanceSetting DiscoverLoadBalance(HB& tree, const K* sample_queries,
+                                       std::size_t count,
+                                       PipelineConfig base) {
+  base.buckets_in_flight = 3;
+  const int max_d =
+      std::max(0, tree.host_tree().height() - 2);
+
+  auto get_sample = [&](int d, double r) {
+    PipelineConfig config = base;
+    config.cpu_descend_levels = d;
+    config.cpu_split_ratio = r;
+    PipelineStats stats =
+        RunSearchPipeline(tree, sample_queries, count, config);
+    return stats;
+  };
+
+  LoadBalanceSetting setting;
+  setting.d = 0;
+  setting.r = 1.0;
+  PipelineStats sample = get_sample(setting.d, setting.r);
+  while (sample.sample_gpu_us > sample.sample_cpu_us && setting.d < max_d) {
+    ++setting.d;
+    sample = get_sample(setting.d, setting.r);
+  }
+  setting.r = 0.5;
+  for (int step = 2; step <= 5; ++step) {
+    sample = get_sample(setting.d, setting.r);
+    // Convention here: R is the fraction descending only D levels on the
+    // CPU, so a *smaller* R moves work to the CPU. (The paper's text and
+    // its Equation 4 use opposite conventions for R; we follow the text
+    // and adjust the update direction accordingly.)
+    if (sample.sample_gpu_us > sample.sample_cpu_us) {
+      setting.r -= 1.0 / (1 << step);
+    } else {
+      setting.r += 1.0 / (1 << step);
+    }
+  }
+  setting.sample_gpu_us = sample.sample_gpu_us;
+  setting.sample_cpu_us = sample.sample_cpu_us;
+  return setting;
+}
+
+/// Applies a discovered setting to a pipeline configuration.
+inline PipelineConfig WithLoadBalance(PipelineConfig config,
+                                      const LoadBalanceSetting& setting) {
+  config.cpu_descend_levels = setting.d;
+  config.cpu_split_ratio = setting.r;
+  config.buckets_in_flight = 3;
+  return config;
+}
+
+}  // namespace hbtree
+
+#endif  // HBTREE_HYBRID_LOAD_BALANCER_H_

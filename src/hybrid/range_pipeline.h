@@ -1,0 +1,186 @@
+#ifndef HBTREE_HYBRID_RANGE_PIPELINE_H_
+#define HBTREE_HYBRID_RANGE_PIPELINE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/workload.h"
+#include "hybrid/bucket_pipeline.h"
+
+namespace hbtree {
+
+/// Heterogeneous range queries (Section 6.4, Figure 17).
+///
+/// Same division of labour as point lookups: the GPU resolves every range
+/// query's *start position* through the mirrored I-segment; the CPU then
+/// scans the leaf chain sequentially — which is where range queries spend
+/// their time, and why the HB+-tree's advantage shrinks as ranges grow.
+///
+/// Results land in a flat pair buffer: query i's matches are
+/// `pairs[i * max_matches .. i * max_matches + counts[i])`.
+
+namespace range_internal {
+
+template <typename K>
+struct ImplicitRangeAdapter {
+  using Tree = HBImplicitTree<K>;
+  using Base = pipeline_internal::ImplicitAdapter<K>;
+
+  static int Scan(const Tree& tree, std::uint64_t intermediate, K first_key,
+                  int max_matches, KeyValue<K>* out) {
+    return tree.host_tree().ScanLeaves(intermediate, first_key, max_matches,
+                                       out);
+  }
+};
+
+template <typename K>
+struct RegularRangeAdapter {
+  using Tree = HBRegularTree<K>;
+  using Base = pipeline_internal::RegularAdapter<K>;
+
+  static int Scan(const Tree& tree, std::uint64_t intermediate, K first_key,
+                  int max_matches, KeyValue<K>* out) {
+    typename RegularBTree<K>::LeafPosition pos{UnpackLeafNode(intermediate),
+                                               UnpackLeafLine(intermediate)};
+    return tree.host_tree().ScanLeaves(pos, first_key, max_matches, out);
+  }
+};
+
+template <typename K, typename Adapter>
+PipelineStats RunRange(typename Adapter::Tree& tree,
+                       const RangeQuery<K>* queries, std::size_t count,
+                       int max_matches, const PipelineConfig& config,
+                       std::vector<KeyValue<K>>* pairs,
+                       std::vector<int>* counts) {
+  using Base = typename Adapter::Base;
+  gpu::Device& device = tree.device();
+  gpu::TransferEngine& transfer = tree.transfer();
+  const int height = Base::Height(tree);
+
+  const std::uint32_t m = static_cast<std::uint32_t>(config.bucket_size);
+  HBTREE_CHECK(m > 0 && max_matches > 0);
+  gpu::DevicePtr q_dev = device.Malloc(m * sizeof(K));
+  gpu::DevicePtr r_dev = device.Malloc(m * sizeof(std::uint64_t));
+
+  PipelineStats stats;
+  pipeline_internal::Scheduler scheduler(config.strategy);
+  std::vector<K> first_keys(m);
+  std::vector<std::uint64_t> intermediate(m);
+  std::vector<double> bucket_end;
+  double latency_sum = 0;
+
+  if (pairs != nullptr) {
+    pairs->resize(count * static_cast<std::size_t>(max_matches));
+  }
+  if (counts != nullptr) counts->assign(count, 0);
+
+  for (std::size_t base = 0; base < count; base += m) {
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(std::min<std::size_t>(m, count - base));
+    for (std::uint32_t i = 0; i < n; ++i) {
+      first_keys[i] = queries[base + i].first_key;
+    }
+
+    // T1: start keys to the device.
+    transfer.CopyToDevice(q_dev, first_keys.data(), n * sizeof(K));
+    const double t1 = transfer.HostToDeviceUs(n * sizeof(K));
+
+    // T2: the same inner-search kernel resolves the start positions.
+    gpu::KernelStats ks =
+        Base::Launch(tree, q_dev, r_dev, n, height, gpu::DevicePtr{});
+    stats.kernel += ks;
+    const double t2 = gpu::EstimateKernelTime(device.spec(), ks).total_us;
+
+    // T3: positions back to the host.
+    const double t3 = transfer.CopyToHost(intermediate.data(), r_dev,
+                                          n * sizeof(std::uint64_t));
+
+    // T4: CPU leaf-chain scan per query.
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto& query = queries[base + i];
+      const int want = std::min(max_matches, query.match_count);
+      KeyValue<K>* out =
+          pairs != nullptr
+              ? pairs->data() + (base + i) * max_matches
+              : nullptr;
+      KeyValue<K> scratch[1];
+      int got;
+      if (out != nullptr) {
+        got = Adapter::Scan(tree, intermediate[i], query.first_key, want,
+                            out);
+      } else {
+        got = Adapter::Scan(tree, intermediate[i], query.first_key,
+                            std::min(want, 1), scratch);
+      }
+      if (counts != nullptr) (*counts)[base + i] = got;
+    }
+    const double t4 = n / config.cpu_queries_per_us;
+
+    const std::size_t b = bucket_end.size();
+    const double ready =
+        b >= static_cast<std::size_t>(config.buckets_in_flight)
+            ? bucket_end[b - config.buckets_in_flight]
+            : 0.0;
+    const double end = scheduler.ScheduleBucket(ready, 0, t1, t2, t3, t4);
+    bucket_end.push_back(end);
+    latency_sum += end - ready;
+
+    stats.t1_us += t1;
+    stats.t2_us += t2;
+    stats.t3_us += t3;
+    stats.t4_us += t4;
+  }
+
+  device.Free(q_dev);
+  device.Free(r_dev);
+
+  const double buckets = static_cast<double>(bucket_end.size());
+  stats.queries = count;
+  stats.total_us = bucket_end.empty() ? 0 : bucket_end.back();
+  stats.mqps = stats.total_us > 0 ? count / stats.total_us : 0;
+  stats.avg_latency_us = buckets > 0 ? latency_sum / buckets : 0;
+  if (buckets > 0) {
+    stats.t1_us /= buckets;
+    stats.t2_us /= buckets;
+    stats.t3_us /= buckets;
+    stats.t4_us /= buckets;
+  }
+  stats.gpu_busy_us = scheduler.gpu_busy();
+  stats.cpu_busy_us = scheduler.cpu_busy();
+  stats.pcie_busy_us = scheduler.pcie_busy();
+  return stats;
+}
+
+}  // namespace range_internal
+
+/// Runs heterogeneous range queries on an implicit HB+-tree. Each query
+/// returns up to `max_matches` pairs (and no more than its own
+/// match_count); `config.cpu_queries_per_us` should be calibrated for the
+/// scan length (see bench/fig17_range_queries).
+template <typename K>
+PipelineStats RunRangePipeline(HBImplicitTree<K>& tree,
+                               const RangeQuery<K>* queries,
+                               std::size_t count, int max_matches,
+                               const PipelineConfig& config,
+                               std::vector<KeyValue<K>>* pairs = nullptr,
+                               std::vector<int>* counts = nullptr) {
+  return range_internal::RunRange<K, range_internal::ImplicitRangeAdapter<K>>(
+      tree, queries, count, max_matches, config, pairs, counts);
+}
+
+/// Regular-tree variant.
+template <typename K>
+PipelineStats RunRangePipeline(HBRegularTree<K>& tree,
+                               const RangeQuery<K>* queries,
+                               std::size_t count, int max_matches,
+                               const PipelineConfig& config,
+                               std::vector<KeyValue<K>>* pairs = nullptr,
+                               std::vector<int>* counts = nullptr) {
+  return range_internal::RunRange<K, range_internal::RegularRangeAdapter<K>>(
+      tree, queries, count, max_matches, config, pairs, counts);
+}
+
+}  // namespace hbtree
+
+#endif  // HBTREE_HYBRID_RANGE_PIPELINE_H_

@@ -1,0 +1,140 @@
+#include "io/tree_io.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace hbtree {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'B', 'T', 'I'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+struct FileHeader {
+  char magic[4];
+  std::uint32_t version;
+  std::uint32_t key_width;      // bytes per key
+  std::uint32_t hybrid_layout;  // 0 / 1
+  std::uint64_t pair_count;
+  std::uint64_t l_bytes;
+  std::uint64_t i_bytes;
+};
+static_assert(sizeof(FileHeader) == 40);
+
+std::uint32_t* Crc32cTable() {
+  static std::uint32_t table[256];
+  static bool initialized = [] {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0);
+      }
+      table[i] = crc;
+    }
+    return true;
+  }();
+  (void)initialized;
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(const void* data, std::size_t size, std::uint32_t seed) {
+  const std::uint32_t* table = Crc32cTable();
+  std::uint32_t crc = ~seed;
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xff];
+  }
+  return ~crc;
+}
+
+template <typename K>
+Status SaveTreeFile(const ImplicitBTree<K>& tree, const std::string& path) {
+  if (tree.size() == 0) return Status::Error("cannot save an empty tree");
+
+  FileHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kFormatVersion;
+  header.key_width = sizeof(K);
+  header.hybrid_layout = tree.config().hybrid_layout ? 1 : 0;
+  header.pair_count = tree.size();
+  header.l_bytes = tree.l_segment_bytes();
+  header.i_bytes = tree.i_segment_bytes();
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Error("cannot open '" + path + "' for writing");
+
+  std::uint32_t crc = Crc32c(&header, sizeof(header));
+  crc = Crc32c(tree.l_segment_lines(), header.l_bytes, crc);
+  crc = Crc32c(tree.i_segment_nodes(), header.i_bytes, crc);
+
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(tree.l_segment_lines()),
+            static_cast<std::streamsize>(header.l_bytes));
+  out.write(reinterpret_cast<const char*>(tree.i_segment_nodes()),
+            static_cast<std::streamsize>(header.i_bytes));
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  if (!out) return Status::Error("short write to '" + path + "'");
+  return Status::Ok();
+}
+
+template <typename K>
+Status LoadTreeFile(ImplicitBTree<K>* tree, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Error("cannot open '" + path + "'");
+
+  FileHeader header{};
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in) return Status::Error("truncated header in '" + path + "'");
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Error("'" + path + "' is not an HB+-tree image");
+  }
+  if (header.version != kFormatVersion) {
+    return Status::Error("unsupported format version " +
+                         std::to_string(header.version));
+  }
+  if (header.key_width != sizeof(K)) {
+    return Status::Error("key width mismatch: file has " +
+                         std::to_string(header.key_width * 8) +
+                         "-bit keys");
+  }
+  if ((header.hybrid_layout != 0) != tree->config().hybrid_layout) {
+    return Status::Error("layout mismatch: file and tree disagree on the "
+                         "hybrid fanout");
+  }
+
+  std::vector<char> l_segment(header.l_bytes);
+  std::vector<char> i_segment(header.i_bytes);
+  in.read(l_segment.data(), static_cast<std::streamsize>(header.l_bytes));
+  in.read(i_segment.data(), static_cast<std::streamsize>(header.i_bytes));
+  std::uint32_t stored_crc = 0;
+  in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
+  if (!in) return Status::Error("truncated body in '" + path + "'");
+
+  std::uint32_t crc = Crc32c(&header, sizeof(header));
+  crc = Crc32c(l_segment.data(), l_segment.size(), crc);
+  crc = Crc32c(i_segment.data(), i_segment.size(), crc);
+  if (crc != stored_crc) {
+    return Status::Error("checksum mismatch in '" + path +
+                         "' (corrupted file)");
+  }
+
+  return tree->Restore(header.pair_count, l_segment.data(),
+                       l_segment.size(), i_segment.data(),
+                       i_segment.size());
+}
+
+template Status SaveTreeFile<Key64>(const ImplicitBTree<Key64>&,
+                                    const std::string&);
+template Status SaveTreeFile<Key32>(const ImplicitBTree<Key32>&,
+                                    const std::string&);
+template Status LoadTreeFile<Key64>(ImplicitBTree<Key64>*,
+                                    const std::string&);
+template Status LoadTreeFile<Key32>(ImplicitBTree<Key32>*,
+                                    const std::string&);
+
+}  // namespace hbtree

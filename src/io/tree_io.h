@@ -1,0 +1,44 @@
+#ifndef HBTREE_IO_TREE_IO_H_
+#define HBTREE_IO_TREE_IO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+#include "cpubtree/implicit_btree.h"
+
+namespace hbtree {
+
+/// Index persistence.
+///
+/// The implicit tree is a pair of flat segments plus a handful of
+/// geometry scalars, so it serializes to a single file that loads without
+/// any rebuilding — exactly what a warehouse wants between restarts (the
+/// regular tree, being update-oriented, is instead rebuilt from data).
+///
+/// File layout (little-endian):
+///   header:  magic "HBTI", format version, key width, hybrid-layout
+///            flag, pair count, heights and per-level geometry
+///   body:    L-segment bytes, I-segment bytes
+///   footer:  CRC32C of everything above
+///
+/// Loading validates the magic, version, key width, layout flag, and the
+/// checksum before touching the tree.
+
+/// CRC32 (Castagnoli polynomial, bit-reflected, software implementation).
+std::uint32_t Crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed = 0);
+
+/// Saves `tree` to `path`, overwriting any existing file.
+template <typename K>
+Status SaveTreeFile(const ImplicitBTree<K>& tree, const std::string& path);
+
+/// Loads a tree previously written by SaveTreeFile into `tree`, replacing
+/// its contents. The tree's configured hybrid-layout flag must match the
+/// file's.
+template <typename K>
+Status LoadTreeFile(ImplicitBTree<K>* tree, const std::string& path);
+
+}  // namespace hbtree
+
+#endif  // HBTREE_IO_TREE_IO_H_

@@ -1,0 +1,119 @@
+#include "mem/page_allocator.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/macros.h"
+#include "core/types.h"
+
+namespace hbtree {
+
+const char* PageSizeName(PageSize s) {
+  switch (s) {
+    case PageSize::k4K:
+      return "4K";
+    case PageSize::k2M:
+      return "2M";
+    case PageSize::k1G:
+      return "1G";
+  }
+  return "unknown";
+}
+
+void PageRegistry::Register(const void* base, std::size_t size,
+                            PageSize page_size) {
+  Region region{reinterpret_cast<std::uintptr_t>(base),
+                reinterpret_cast<std::uintptr_t>(base) + size, page_size};
+  auto it = std::lower_bound(
+      regions_.begin(), regions_.end(), region,
+      [](const Region& a, const Region& b) { return a.base < b.base; });
+  // Overlapping registrations indicate allocator misuse.
+  if (it != regions_.end()) HBTREE_CHECK(region.end <= it->base);
+  if (it != regions_.begin()) HBTREE_CHECK(std::prev(it)->end <= region.base);
+  regions_.insert(it, region);
+}
+
+void PageRegistry::Unregister(const void* base) {
+  auto addr = reinterpret_cast<std::uintptr_t>(base);
+  auto it = std::find_if(regions_.begin(), regions_.end(),
+                         [addr](const Region& r) { return r.base == addr; });
+  if (it != regions_.end()) regions_.erase(it);
+}
+
+PageSize PageRegistry::Lookup(const void* addr) const {
+  auto a = reinterpret_cast<std::uintptr_t>(addr);
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), a,
+      [](std::uintptr_t x, const Region& r) { return x < r.base; });
+  if (it == regions_.begin()) return PageSize::k4K;
+  --it;
+  if (a < it->end) return it->page_size;
+  return PageSize::k4K;
+}
+
+std::uint64_t PageRegistry::PageNumber(const void* addr) const {
+  auto a = reinterpret_cast<std::uintptr_t>(addr);
+  return static_cast<std::uint64_t>(a) / PageBytes(Lookup(addr));
+}
+
+PagedBuffer::PagedBuffer(std::size_t size, PageSize page_size,
+                         PageRegistry* registry) {
+  Reset(size, page_size, registry);
+}
+
+PagedBuffer::~PagedBuffer() { Release(); }
+
+PagedBuffer::PagedBuffer(PagedBuffer&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      page_size_(other.page_size_),
+      registry_(other.registry_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.registry_ = nullptr;
+}
+
+PagedBuffer& PagedBuffer::operator=(PagedBuffer&& other) noexcept {
+  if (this != &other) {
+    Release();
+    data_ = other.data_;
+    size_ = other.size_;
+    page_size_ = other.page_size_;
+    registry_ = other.registry_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.registry_ = nullptr;
+  }
+  return *this;
+}
+
+void PagedBuffer::Reset(std::size_t size, PageSize page_size,
+                        PageRegistry* registry) {
+  Release();
+  size_ = size;
+  page_size_ = page_size;
+  registry_ = registry;
+  if (size == 0) return;
+  // Align to the page size (capped at 2 MB of real alignment to avoid
+  // wasting host memory on simulated 1 GB pages: the *tag*, not the host
+  // alignment, drives TLB behaviour; cache-line alignment is what the node
+  // layouts actually require).
+  std::size_t alignment =
+      std::min<std::size_t>(PageBytes(page_size), 2ull * 1024 * 1024);
+  alignment = std::max<std::size_t>(alignment, kCacheLineSize);
+  std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  data_ = static_cast<std::byte*>(std::aligned_alloc(alignment, rounded));
+  HBTREE_CHECK_MSG(data_ != nullptr, "allocation of %zu bytes failed", size);
+  if (registry_ != nullptr) registry_->Register(data_, rounded, page_size_);
+}
+
+void PagedBuffer::Release() {
+  if (data_ != nullptr) {
+    if (registry_ != nullptr) registry_->Unregister(data_);
+    std::free(data_);
+    data_ = nullptr;
+  }
+  size_ = 0;
+}
+
+}  // namespace hbtree

@@ -1,0 +1,102 @@
+#ifndef HBTREE_MEM_PAGE_ALLOCATOR_H_
+#define HBTREE_MEM_PAGE_ALLOCATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace hbtree {
+
+/// Page sizes supported by the memory-page configuration experiment
+/// (Section 6.2, Figure 7). On the paper's hardware these are real x86
+/// page sizes; here they are *tags* consumed by the TLB simulator — the
+/// paper uses huge pages purely for their TLB behaviour, which the
+/// simulator reproduces (see DESIGN.md, substitutions).
+enum class PageSize : std::uint64_t {
+  k4K = 4ull * 1024,
+  k2M = 2ull * 1024 * 1024,
+  k1G = 1024ull * 1024 * 1024,
+};
+
+const char* PageSizeName(PageSize s);
+
+inline std::uint64_t PageBytes(PageSize s) {
+  return static_cast<std::uint64_t>(s);
+}
+
+/// Tracks which page size backs each allocated region, the moral
+/// equivalent of the paper's custom allocator that "allows determining
+/// whether a node resides on a huge page or not" (Section 4.1).
+///
+/// Thread-compatible: registration happens at build time, lookups during
+/// (single-threaded) trace simulation.
+class PageRegistry {
+ public:
+  struct Region {
+    std::uintptr_t base;
+    std::uintptr_t end;  // one past the last byte
+    PageSize page_size;
+  };
+
+  void Register(const void* base, std::size_t size, PageSize page_size);
+  void Unregister(const void* base);
+
+  /// Page size backing `addr`. Addresses outside any registered region are
+  /// treated as regular 4K-paged memory (matching default OS behaviour).
+  PageSize Lookup(const void* addr) const;
+
+  /// Virtual page number of `addr` given its backing page size. Two
+  /// addresses with equal page numbers *and* page sizes share a TLB entry.
+  std::uint64_t PageNumber(const void* addr) const;
+
+  const std::vector<Region>& regions() const { return regions_; }
+
+ private:
+  std::vector<Region> regions_;  // sorted by base
+};
+
+/// A contiguous, cache-line-aligned allocation tagged with a page size.
+/// The I-segment and L-segment of every tree in this repository live in
+/// PagedBuffers so the TLB simulator can cost their accesses correctly.
+class PagedBuffer {
+ public:
+  PagedBuffer() = default;
+  PagedBuffer(std::size_t size, PageSize page_size, PageRegistry* registry);
+  ~PagedBuffer();
+
+  PagedBuffer(PagedBuffer&& other) noexcept;
+  PagedBuffer& operator=(PagedBuffer&& other) noexcept;
+  PagedBuffer(const PagedBuffer&) = delete;
+  PagedBuffer& operator=(const PagedBuffer&) = delete;
+
+  /// Re-allocates to `size` bytes (content is NOT preserved).
+  void Reset(std::size_t size, PageSize page_size, PageRegistry* registry);
+
+  std::byte* data() { return data_; }
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  PageSize page_size() const { return page_size_; }
+  bool empty() const { return size_ == 0; }
+
+  template <typename T>
+  T* as() {
+    return reinterpret_cast<T*>(data_);
+  }
+  template <typename T>
+  const T* as() const {
+    return reinterpret_cast<const T*>(data_);
+  }
+
+ private:
+  void Release();
+
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  PageSize page_size_ = PageSize::k4K;
+  PageRegistry* registry_ = nullptr;
+};
+
+}  // namespace hbtree
+
+#endif  // HBTREE_MEM_PAGE_ALLOCATOR_H_

@@ -1,0 +1,149 @@
+#ifndef HBTREE_MEM_PAIRED_POOL_H_
+#define HBTREE_MEM_PAIRED_POOL_H_
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "core/macros.h"
+#include "mem/page_allocator.h"
+
+namespace hbtree {
+
+/// Paired-fragment pool, implementing the two allocation tricks of
+/// Section 4.1:
+///
+///  * *Inner node fragmentation* — each regular inner node is split into a
+///    hot fragment (indexes, keys, child references) and a cold fragment
+///    (node size, parent, sibling references). Both fragments are allocated
+///    from two separate chunked arrays "in such a way that both fragments
+///    share the same index".
+///  * *Big-leaf pairing* — each last-level inner node is paired with
+///    exactly one 256-entry big leaf; allocating them from two pools under
+///    one shared index lets the lookup jump straight from the inner-node
+///    search result to the right leaf cache line.
+///
+/// Slots are stable (chunked storage never moves) and reusable via a free
+/// list. Both element types must be trivially copyable PODs, which all
+/// node layouts are.
+template <typename Primary, typename Secondary>
+class PairedPool {
+  static_assert(std::is_trivially_copyable_v<Primary>);
+  static_assert(std::is_trivially_copyable_v<Secondary>);
+
+ public:
+  using Index = std::uint32_t;
+  static constexpr Index kInvalidIndex = 0xffffffffu;
+
+  /// `chunk_capacity` — slots per chunk; the page sizes tag the two
+  /// fragment arrays for the TLB simulator (`registry` may be null to
+  /// skip tagging). Separate tags matter: in the regular HB+-tree the hot
+  /// fragments are I-segment (always huge pages) while big leaves are
+  /// L-segment (configuration-dependent), Section 4.1/5.2.
+  PairedPool(std::size_t chunk_capacity, PageSize primary_page,
+             PageSize secondary_page, PageRegistry* registry)
+      : chunk_capacity_(chunk_capacity),
+        primary_page_(primary_page),
+        secondary_page_(secondary_page),
+        registry_(registry) {
+    HBTREE_CHECK(chunk_capacity > 0);
+  }
+
+  PairedPool(std::size_t chunk_capacity, PageSize page_size,
+             PageRegistry* registry)
+      : PairedPool(chunk_capacity, page_size, page_size, registry) {}
+
+  /// Releases every slot and chunk (used by bulk rebuild).
+  void Clear() {
+    primary_chunks_.clear();
+    secondary_chunks_.clear();
+    free_list_.clear();
+    next_slot_ = 0;
+    live_ = 0;
+  }
+
+  /// Allocates one paired slot. Contents are unspecified; callers
+  /// initialize both fragments.
+  Index Allocate() {
+    if (!free_list_.empty()) {
+      Index idx = free_list_.back();
+      free_list_.pop_back();
+      ++live_;
+      return idx;
+    }
+    if (next_slot_ == primary_chunks_.size() * chunk_capacity_) AddChunk();
+    ++live_;
+    return static_cast<Index>(next_slot_++);
+  }
+
+  void Free(Index idx) {
+    HBTREE_DCHECK(idx < next_slot_);
+    free_list_.push_back(idx);
+    HBTREE_DCHECK(live_ > 0);
+    --live_;
+  }
+
+  Primary& primary(Index idx) {
+    HBTREE_DCHECK(idx < next_slot_);
+    return primary_chunks_[idx / chunk_capacity_].template as<Primary>()
+        [idx % chunk_capacity_];
+  }
+  const Primary& primary(Index idx) const {
+    return const_cast<PairedPool*>(this)->primary(idx);
+  }
+
+  Secondary& secondary(Index idx) {
+    HBTREE_DCHECK(idx < next_slot_);
+    return secondary_chunks_[idx / chunk_capacity_].template as<Secondary>()
+        [idx % chunk_capacity_];
+  }
+  const Secondary& secondary(Index idx) const {
+    return const_cast<PairedPool*>(this)->secondary(idx);
+  }
+
+  /// Number of live (allocated, not freed) slots.
+  std::size_t live() const { return live_; }
+  /// Total slots ever handed out (high-water mark).
+  std::size_t high_water() const { return next_slot_; }
+  std::size_t capacity() const {
+    return primary_chunks_.size() * chunk_capacity_;
+  }
+
+  /// Bytes of primary-fragment storage, for memory-footprint reporting.
+  std::size_t primary_bytes() const {
+    return primary_chunks_.size() * chunk_capacity_ * sizeof(Primary);
+  }
+  std::size_t secondary_bytes() const {
+    return secondary_chunks_.size() * chunk_capacity_ * sizeof(Secondary);
+  }
+
+  /// Chunk-wise access to the primary fragments, used to mirror the
+  /// I-segment into device memory without per-slot copies.
+  std::size_t chunk_count() const { return primary_chunks_.size(); }
+  std::size_t chunk_capacity() const { return chunk_capacity_; }
+  const Primary* primary_chunk(std::size_t i) const {
+    return primary_chunks_[i].template as<Primary>();
+  }
+
+ private:
+  void AddChunk() {
+    primary_chunks_.emplace_back(chunk_capacity_ * sizeof(Primary),
+                                 primary_page_, registry_);
+    secondary_chunks_.emplace_back(chunk_capacity_ * sizeof(Secondary),
+                                   secondary_page_, registry_);
+  }
+
+  std::size_t chunk_capacity_;
+  PageSize primary_page_;
+  PageSize secondary_page_;
+  PageRegistry* registry_;
+  std::vector<PagedBuffer> primary_chunks_;
+  std::vector<PagedBuffer> secondary_chunks_;
+  std::vector<Index> free_list_;
+  std::size_t next_slot_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace hbtree
+
+#endif  // HBTREE_MEM_PAIRED_POOL_H_

@@ -1,0 +1,90 @@
+#include "sim/cache_sim.h"
+
+#include <bit>
+
+#include "core/macros.h"
+
+namespace hbtree::sim {
+
+CacheLevel::CacheLevel(const Config& config) : config_(config) {
+  HBTREE_CHECK(config.associativity > 0);
+  HBTREE_CHECK(config.line_size > 0);
+  num_sets_ = config.size_bytes / (config.line_size * config.associativity);
+  HBTREE_CHECK_MSG(num_sets_ > 0, "cache '%s' too small", config.name.c_str());
+  // Power-of-two set counts allow masking instead of modulo.
+  HBTREE_CHECK_MSG(std::popcount(num_sets_) == 1,
+                   "cache '%s': set count %llu not a power of two",
+                   config.name.c_str(),
+                   static_cast<unsigned long long>(num_sets_));
+  ways_ = config.associativity;
+  tags_.assign(num_sets_ * ways_, 0);
+}
+
+bool CacheLevel::Access(std::uint64_t line_addr) {
+  const std::uint64_t set = line_addr & (num_sets_ - 1);
+  const std::uint64_t tag = line_addr + 1;  // +1 so 0 means "empty way"
+  std::uint64_t* ways = &tags_[set * ways_];
+  for (int i = 0; i < ways_; ++i) {
+    if (ways[i] == tag) {
+      // Move to front (MRU position).
+      for (int j = i; j > 0; --j) ways[j] = ways[j - 1];
+      ways[0] = tag;
+      ++hits_;
+      return true;
+    }
+  }
+  // Miss: install as MRU, evicting the LRU way.
+  for (int j = ways_ - 1; j > 0; --j) ways[j] = ways[j - 1];
+  ways[0] = tag;
+  ++misses_;
+  return false;
+}
+
+void CacheLevel::Flush() { tags_.assign(tags_.size(), 0); }
+
+const char* HitLevelName(HitLevel level) {
+  switch (level) {
+    case HitLevel::kL1:
+      return "L1";
+    case HitLevel::kL2:
+      return "L2";
+    case HitLevel::kL3:
+      return "L3";
+    case HitLevel::kMemory:
+      return "memory";
+  }
+  return "unknown";
+}
+
+CacheHierarchy::CacheHierarchy(std::vector<CacheLevel::Config> levels) {
+  HBTREE_CHECK(!levels.empty());
+  line_size_ = levels[0].line_size;
+  for (const auto& config : levels) {
+    HBTREE_CHECK(config.line_size == line_size_);
+    levels_.emplace_back(config);
+  }
+}
+
+HitLevel CacheHierarchy::AccessLine(std::uint64_t line_addr) {
+  ++accesses_;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].Access(line_addr)) return static_cast<HitLevel>(i);
+    // Miss: fall through and install in the next level too (the loop
+    // continues, so every level on the miss path installs the line —
+    // modelling an inclusive hierarchy).
+  }
+  ++memory_accesses_;
+  return HitLevel::kMemory;
+}
+
+void CacheHierarchy::Flush() {
+  for (auto& level : levels_) level.Flush();
+}
+
+void CacheHierarchy::ResetStats() {
+  accesses_ = 0;
+  memory_accesses_ = 0;
+  for (auto& level : levels_) level.ResetStats();
+}
+
+}  // namespace hbtree::sim

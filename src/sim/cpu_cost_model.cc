@@ -1,0 +1,112 @@
+#include "sim/cpu_cost_model.h"
+
+#include <algorithm>
+
+#include "core/macros.h"
+#include "core/types.h"
+
+namespace hbtree::sim {
+
+CpuTracer::CpuTracer(const CpuSpec& spec, const PageRegistry* registry)
+    : spec_(spec), caches_(spec.cache_levels), tlb_(spec.tlb, registry) {}
+
+void CpuTracer::OnAccess(const void* addr, std::size_t bytes) {
+  // Tree code issues one access per touched cache line; wider accesses are
+  // split here for robustness.
+  auto first = reinterpret_cast<std::uintptr_t>(addr) / kCacheLineSize;
+  auto last =
+      (reinterpret_cast<std::uintptr_t>(addr) + (bytes ? bytes - 1 : 0)) /
+      kCacheLineSize;
+  for (std::uintptr_t line = first; line <= last; ++line) {
+    ++profile_.accesses;
+    HitLevel level = caches_.AccessLine(line);
+    ++profile_.hits[static_cast<int>(level)];
+    switch (level) {
+      case HitLevel::kL1:
+        break;  // folded into the compute cost
+      case HitLevel::kL2:
+        profile_.stall_ns += spec_.l2_latency_ns;
+        break;
+      case HitLevel::kL3:
+        profile_.stall_ns += spec_.l3_latency_ns;
+        break;
+      case HitLevel::kMemory:
+        profile_.stall_ns += spec_.dram_latency_ns;
+        profile_.dram_bytes += kCacheLineSize;
+        break;
+    }
+    const int walk =
+        tlb_.Access(reinterpret_cast<const void*>(line * kCacheLineSize));
+    if (walk > 0) {
+      ++profile_.tlb_misses;
+      profile_.walk_accesses += walk;
+      profile_.stall_ns += walk * spec_.walk_access_ns;
+    }
+  }
+}
+
+void CpuTracer::ResetStats() {
+  profile_ = Profile{};
+  caches_.ResetStats();
+  tlb_.ResetStats();
+}
+
+void CpuTracer::Reset() {
+  ResetStats();
+  caches_.Flush();
+  tlb_.Flush();
+}
+
+CpuEstimate EstimateCpuThroughput(const CpuSpec& spec,
+                                  const CpuTracer::Profile& profile,
+                                  const CpuExecutionParams& params) {
+  HBTREE_CHECK(params.threads > 0);
+  HBTREE_CHECK(params.pipeline_depth > 0);
+  HBTREE_CHECK(profile.queries > 0);
+
+  const double compute_q =
+      profile.AccessesPerQuery() * params.compute_ns_per_access;
+  const double stall_q = profile.StallNsPerQuery();
+  const double bytes_q =
+      profile.DramBytesPerQuery() + params.stream_bytes_per_query;
+
+  // Software pipelining overlaps the stalls of up to `pipeline_depth`
+  // outstanding queries per thread, with diminishing returns as the
+  // core's memory-level parallelism saturates: P/(1 + (P-1)/MLP) rises
+  // smoothly from 1 (no pipelining) toward MLP — reproducing the
+  // continuing-but-flattening gains of Figure 20.
+  const double p = params.pipeline_depth;
+  const double overlap = p / (1.0 + (p - 1.0) / spec.mlp_per_thread);
+
+  CpuEstimate est;
+  est.thread_time_ns = compute_q + stall_q / overlap;
+  est.latency_bound_mqps = params.threads * 1e3 / est.thread_time_ns;
+  // SMT threads share core execution resources: compute capacity scales
+  // with physical cores, plus the second thread's yield from idle slots.
+  est.compute_bound_mqps = spec.cores * spec.smt_compute_yield * 1e3 /
+                           std::max(compute_q, 1e-9);
+  est.bandwidth_bound_mqps =
+      spec.dram_bandwidth_gbps * 1e3 / std::max(bytes_q, 1e-9);
+  est.mqps = std::min({est.latency_bound_mqps, est.compute_bound_mqps,
+                       est.bandwidth_bound_mqps});
+  // All pipeline_depth in-flight queries of a thread complete once per
+  // thread_time on average; the oldest has waited depth * thread_time.
+  const double effective_time_ns =
+      params.threads * 1e3 / std::max(est.mqps, 1e-9) ;
+  est.latency_us = params.pipeline_depth * effective_time_ns / 1e3;
+  return est;
+}
+
+double ComputeNsPerAccess(const CpuSpec& spec, NodeSearchAlgo algo) {
+  switch (algo) {
+    case NodeSearchAlgo::kSequential:
+      return spec.compute_ns_sequential;
+    case NodeSearchAlgo::kLinearSimd:
+      return spec.compute_ns_linear_simd;
+    case NodeSearchAlgo::kHierarchicalSimd:
+      return spec.compute_ns_hierarchical_simd;
+  }
+  return spec.compute_ns_sequential;
+}
+
+}  // namespace hbtree::sim

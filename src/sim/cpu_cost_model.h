@@ -1,0 +1,105 @@
+#ifndef HBTREE_SIM_CPU_COST_MODEL_H_
+#define HBTREE_SIM_CPU_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "core/simd.h"
+#include "mem/page_allocator.h"
+#include "sim/cache_sim.h"
+#include "sim/platform.h"
+#include "sim/tlb_sim.h"
+
+namespace hbtree::sim {
+
+/// Trace-driven CPU memory profile. Tree traversals feed every logical
+/// cache-line access through this tracer (see core/trace.h); the cache and
+/// TLB simulators classify it, and the profile accumulates the per-query
+/// stall and traffic statistics the throughput estimator consumes.
+class CpuTracer {
+ public:
+  struct Profile {
+    std::uint64_t queries = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t hits[4] = {0, 0, 0, 0};  // indexed by HitLevel
+    std::uint64_t tlb_misses = 0;
+    std::uint64_t walk_accesses = 0;
+    double stall_ns = 0;    // cumulative beyond-L1 latency + walk cost
+    double dram_bytes = 0;  // cumulative bytes transferred from DRAM
+
+    double AccessesPerQuery() const {
+      return queries ? static_cast<double>(accesses) / queries : 0;
+    }
+    double StallNsPerQuery() const {
+      return queries ? stall_ns / queries : 0;
+    }
+    double DramBytesPerQuery() const {
+      return queries ? dram_bytes / queries : 0;
+    }
+    double TlbMissesPerQuery() const {
+      return queries ? static_cast<double>(tlb_misses) / queries : 0;
+    }
+  };
+
+  CpuTracer(const CpuSpec& spec, const PageRegistry* registry);
+
+  // Tracer concept (core/trace.h).
+  void OnAccess(const void* addr, std::size_t bytes);
+  void OnQueryStart() {}
+  void OnQueryEnd() { ++profile_.queries; }
+
+  const Profile& profile() const { return profile_; }
+
+  /// Clears accumulated statistics but keeps cache/TLB state warm — call
+  /// after a warm-up pass so steady-state behaviour is measured.
+  void ResetStats();
+  /// Cold restart: flushes caches and TLBs as well.
+  void Reset();
+
+  const CacheHierarchy& caches() const { return caches_; }
+  const TlbSim& tlb() const { return tlb_; }
+
+ private:
+  CpuSpec spec_;
+  CacheHierarchy caches_;
+  TlbSim tlb_;
+  Profile profile_;
+};
+
+/// Execution parameters for the analytic throughput model.
+struct CpuExecutionParams {
+  int threads = 1;
+  /// Software-pipeline depth per thread (Section 4.2, Appendix B.2).
+  int pipeline_depth = 16;
+  /// Compute cost per traversed cache line; pick from CpuSpec according to
+  /// the node-search algorithm in use.
+  double compute_ns_per_access = 3.5;
+  /// Per-query bytes streamed for the query key and result value
+  /// (sequential, prefetched — they cost bandwidth, not latency).
+  double stream_bytes_per_query = 16.0;
+};
+
+/// Model output. `mqps` is the minimum of the three bounds, mirroring how
+/// the paper reasons about compute- vs. memory-bound operating points
+/// (Sections 1 and 5.1).
+struct CpuEstimate {
+  double mqps = 0;
+  double latency_us = 0;
+  double latency_bound_mqps = 0;
+  double compute_bound_mqps = 0;
+  double bandwidth_bound_mqps = 0;
+  /// Time one thread spends per query with pipelining applied (ns).
+  double thread_time_ns = 0;
+};
+
+/// Converts a measured memory profile into throughput/latency under the
+/// given thread count and software-pipeline depth.
+CpuEstimate EstimateCpuThroughput(const CpuSpec& spec,
+                                  const CpuTracer::Profile& profile,
+                                  const CpuExecutionParams& params);
+
+/// Convenience: the CpuSpec compute cost for a node-search algorithm.
+double ComputeNsPerAccess(const CpuSpec& spec, NodeSearchAlgo algo);
+
+}  // namespace hbtree::sim
+
+#endif  // HBTREE_SIM_CPU_COST_MODEL_H_

@@ -1,0 +1,130 @@
+#include "sim/platform.h"
+
+#include "core/macros.h"
+
+namespace hbtree::sim {
+
+PlatformSpec PlatformSpec::M1() {
+  PlatformSpec p;
+  p.name = "M1";
+
+  CpuSpec& cpu = p.cpu;
+  cpu.name = "Intel Xeon E5-2665";
+  cpu.cores = 8;
+  cpu.threads = 16;
+  cpu.frequency_ghz = 2.4;
+  cpu.cache_levels = {
+      {"L1d", 32ull * 1024, 8},
+      {"L2", 256ull * 1024, 8},
+      {"L3", 20ull * 1024 * 1024, 20},
+  };
+  cpu.tlb = TlbSim::Config{};
+  cpu.l2_latency_ns = 5.0;
+  cpu.l3_latency_ns = 15.0;
+  cpu.dram_latency_ns = 95.0;
+  cpu.walk_access_ns = 12.0;
+  cpu.dram_bandwidth_gbps = 51.2;
+  cpu.mlp_per_thread = 5;  // 10 line-fill buffers per core, 2 SMT threads
+  cpu.smt_compute_yield = 1.25;
+  cpu.compute_ns_sequential = 14.0;
+  cpu.compute_ns_linear_simd = 7.7;
+  cpu.compute_ns_hierarchical_simd = 7.0;
+  cpu.hybrid_overhead_ns = 35.0;
+
+  GpuSpec& gpu = p.gpu;
+  gpu.name = "Nvidia GeForce GTX 780";
+  gpu.sm_count = 12;
+  gpu.cores = 2304;
+  gpu.core_clock_ghz = 0.9;
+  gpu.memory_bytes = 3ull * 1024 * 1024 * 1024;
+  gpu.l2_bytes = 1536ull * 1024;
+  gpu.l2_associativity = 24;  // 1024 sets of 64 B lines
+  gpu.memory_bandwidth_gbps = 288.0;
+  gpu.memory_latency_ns = 400.0;
+  gpu.random_access_efficiency = 0.45;
+  gpu.warp_size = 32;
+  gpu.max_resident_warps = 12 * 64;
+  gpu.kernel_launch_us = 5.0;
+  gpu.warp_ipc_per_sm = 4.0;
+
+  PcieSpec& pcie = p.pcie;
+  pcie.bandwidth_h2d_gbps = 12.0;  // PCIe 3.0 x16, effective
+  pcie.bandwidth_d2h_gbps = 12.0;
+  pcie.transfer_init_us = 8.0;
+  pcie.streamed_init_us = 1.3;
+
+  return p;
+}
+
+PlatformSpec PlatformSpec::M2() {
+  PlatformSpec p;
+  p.name = "M2";
+
+  CpuSpec& cpu = p.cpu;
+  cpu.name = "Intel Core i7-4800MQ";
+  cpu.cores = 4;
+  cpu.threads = 8;
+  cpu.frequency_ghz = 2.7;
+  cpu.cache_levels = {
+      {"L1d", 32ull * 1024, 8},
+      {"L2", 256ull * 1024, 8},
+      {"L3", 6ull * 1024 * 1024, 12},
+  };
+  cpu.tlb = TlbSim::Config{};
+  cpu.l2_latency_ns = 4.5;
+  cpu.l3_latency_ns = 13.0;
+  cpu.dram_latency_ns = 90.0;
+  cpu.walk_access_ns = 11.0;
+  cpu.dram_bandwidth_gbps = 25.6;
+  cpu.mlp_per_thread = 5;
+  cpu.smt_compute_yield = 1.25;
+  // Haswell AVX2 is wider/faster per line than the Sandy Bridge server
+  // part; the paper runs the AVX2 node-search comparison on M2.
+  cpu.compute_ns_sequential = 12.0;
+  cpu.compute_ns_linear_simd = 6.2;
+  cpu.compute_ns_hierarchical_simd = 5.6;
+  cpu.hybrid_overhead_ns = 40.0;
+
+  GpuSpec& gpu = p.gpu;
+  gpu.name = "Nvidia GeForce GTX 770M";
+  gpu.sm_count = 5;
+  gpu.cores = 960;
+  gpu.core_clock_ghz = 0.8;
+  gpu.memory_bytes = 3ull * 1024 * 1024 * 1024;
+  gpu.l2_bytes = 384ull * 1024;  // GK106's small L2
+  gpu.l2_associativity = 24;     // 256 sets of 64 B lines
+  gpu.memory_bandwidth_gbps = 96.0;
+  gpu.memory_latency_ns = 450.0;
+  gpu.random_access_efficiency = 0.22;
+  gpu.warp_size = 32;
+  // The mobile part sustains far fewer resident warps (register pressure
+  // and smaller SMX count), leaving tree search latency-bound — the
+  // condition under which Section 5.5's load balancing pays off.
+  gpu.max_resident_warps = 64;
+  gpu.kernel_launch_us = 6.0;
+  // The mobile part issues far fewer warp instructions per cycle on this
+  // scalar, shared-memory-heavy kernel; per-level compute is what the
+  // load-balancing scheme can actually take off the GPU.
+  gpu.warp_ipc_per_sm = 0.6;
+
+  PcieSpec& pcie = p.pcie;
+  // The laptop exposes a PCIe 2.0 x8 link to the MXM GPU: the paper
+  // finds M2's "communication overhead between both processors is far
+  // higher than the acceleration provided by the GPU" (Section 6.5).
+  pcie.bandwidth_h2d_gbps = 3.0;
+  pcie.bandwidth_d2h_gbps = 3.0;
+  pcie.transfer_init_us = 12.0;
+  pcie.streamed_init_us = 2.0;
+
+  return p;
+}
+
+PlatformSpec PlatformSpec::Parse(const std::string& name) {
+  if (name == "m1" || name == "M1") return M1();
+  if (name == "m2" || name == "M2") return M2();
+  HBTREE_CHECK_MSG(false, "unknown platform '%s' (expected m1 or m2)",
+                   name.c_str());
+  return M1();
+}
+
+}  // namespace hbtree::sim

@@ -1,0 +1,106 @@
+#ifndef HBTREE_SIM_PLATFORM_H_
+#define HBTREE_SIM_PLATFORM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cache_sim.h"
+#include "sim/tlb_sim.h"
+
+namespace hbtree::sim {
+
+/// CPU half of a platform model. Latency/bandwidth figures follow public
+/// datasheets and measured literature values for the two evaluation
+/// machines (Section 6.1); they parameterize the trace-driven cost model.
+struct CpuSpec {
+  std::string name;
+  int cores;
+  int threads;  // hardware threads (SMT)
+  double frequency_ghz;
+
+  std::vector<CacheLevel::Config> cache_levels;
+  TlbSim::Config tlb;
+
+  // Access latencies, in nanoseconds, charged when an access is served by
+  // the given level (L1 latency is folded into the compute cost).
+  double l2_latency_ns;
+  double l3_latency_ns;
+  double dram_latency_ns;
+  /// Cost of one page-walk memory access after a TLB miss. Walks mostly
+  /// hit the paging-structure caches and LLC, so this sits between L2 and
+  /// L3 latency.
+  double walk_access_ns;
+
+  double dram_bandwidth_gbps;  // GB/s
+  /// Memory-level parallelism available to one hardware thread (line-fill
+  /// buffers per core divided across SMT threads). Caps how much latency
+  /// software pipelining can hide (Section 4.2, Figure 20).
+  int mlp_per_thread;
+  /// Extra compute throughput the second SMT thread of a core extracts
+  /// from otherwise-idle issue slots (1.0 = none).
+  double smt_compute_yield;
+
+  /// Compute cost per traversed cache line for each node-search algorithm
+  /// (ns at nominal frequency): SIMD search needs fewer ops per line.
+  double compute_ns_sequential;
+  double compute_ns_linear_simd;
+  double compute_ns_hierarchical_simd;
+
+  /// Per-query CPU overhead of the heterogeneous pipeline (bucket
+  /// management, reading intermediate results from the transfer buffer,
+  /// writing outputs) added on top of the leaf-search cost — calibrated
+  /// against the paper's CPU-bound HB+-tree plateau (Figure 16).
+  double hybrid_overhead_ns;
+};
+
+/// GPU half of a platform model (Section 5 / Appendix C).
+struct GpuSpec {
+  std::string name;
+  int sm_count;
+  int cores;  // total CUDA cores
+  double core_clock_ghz;
+  std::uint64_t memory_bytes;          // device memory capacity (the cap
+                                       // that motivates the hybrid design)
+  std::uint64_t l2_bytes;              // device L2 cache
+  int l2_associativity;
+  double memory_bandwidth_gbps;        // peak device bandwidth
+  double memory_latency_ns;            // device DRAM access latency
+  double random_access_efficiency;     // achieved fraction of peak for
+                                       // 64-byte gathers
+  int warp_size;                       // 32
+  int max_resident_warps;              // across the whole device
+  double kernel_launch_us;             // K_init in the Section 5.4 model
+  /// Instruction throughput in warp-instructions per SM per cycle.
+  double warp_ipc_per_sm;
+};
+
+/// PCIe link between host and device (T_init + bytes/BW, Section 5.4).
+struct PcieSpec {
+  double bandwidth_h2d_gbps;
+  double bandwidth_d2h_gbps;
+  double transfer_init_us;  // T_init for individually submitted transfers
+  /// Effective initialization cost when many small transfers are queued
+  /// back-to-back on one stream (the synchronizing thread of Section 5.6
+  /// keeps the copy queue full, amortizing most of the launch latency).
+  double streamed_init_us;
+};
+
+/// A full heterogeneous platform.
+struct PlatformSpec {
+  std::string name;
+  CpuSpec cpu;
+  GpuSpec gpu;
+  PcieSpec pcie;
+
+  /// M1: Intel Xeon E5-2665 + Nvidia GeForce GTX 780 (desktop, PCIe x16).
+  static PlatformSpec M1();
+  /// M2: Intel Core i7-4800MQ + Nvidia GeForce GTX 770M (laptop).
+  static PlatformSpec M2();
+  /// Parses "m1" / "m2".
+  static PlatformSpec Parse(const std::string& name);
+};
+
+}  // namespace hbtree::sim
+
+#endif  // HBTREE_SIM_PLATFORM_H_

@@ -1,0 +1,39 @@
+#ifndef HBTREE_SIM_RESOURCE_H_
+#define HBTREE_SIM_RESOURCE_H_
+
+#include <algorithm>
+
+namespace hbtree::sim {
+
+/// A serially-reusable resource on a simulated timeline (the CPU, the GPU,
+/// or one direction of the PCIe link). The bucket-pipeline simulations of
+/// Section 5.4 are job-shop schedules over three such resources; this tiny
+/// class is all the "discrete event engine" they need.
+class ResourceTimeline {
+ public:
+  /// Schedules a task of `duration` that may not start before `earliest`.
+  /// Returns the start time; the resource becomes free at start+duration.
+  double Acquire(double earliest, double duration) {
+    double start = std::max(earliest, free_at_);
+    free_at_ = start + duration;
+    busy_ += duration;
+    return start;
+  }
+
+  double free_at() const { return free_at_; }
+  /// Total busy time, for utilization reporting.
+  double busy_time() const { return busy_; }
+
+  void Reset() {
+    free_at_ = 0;
+    busy_ = 0;
+  }
+
+ private:
+  double free_at_ = 0;
+  double busy_ = 0;
+};
+
+}  // namespace hbtree::sim
+
+#endif  // HBTREE_SIM_RESOURCE_H_

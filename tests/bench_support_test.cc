@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_support/args.h"
+#include "bench_support/calibrate.h"
+#include "bench_support/harness.h"
+#include "bench_support/table.h"
+#include "cpubtree/implicit_btree.h"
+
+namespace hbtree::bench {
+namespace {
+
+TEST(Args, ParsesTypesAndDefaults) {
+  const char* argv[] = {"prog", "--n_log2=22", "--platform=m2",
+                        "--ratio=0.25", "--flag"};
+  Args args(5, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetInt("n_log2", 10), 22);
+  EXPECT_EQ(args.GetString("platform", "m1"), "m2");
+  EXPECT_DOUBLE_EQ(args.GetDouble("ratio", 0.5), 0.25);
+  EXPECT_EQ(args.GetString("flag", ""), "true");
+  EXPECT_TRUE(args.Has("flag"));
+  EXPECT_FALSE(args.Has("missing"));
+  EXPECT_EQ(args.GetInt("missing", 7), 7);
+}
+
+TEST(Harness, SizeSweepRespectsBoundsAndStep) {
+  const char* argv[] = {"prog", "--min_log2=10", "--max_log2=14"};
+  Args args(3, const_cast<char**>(argv));
+  auto sizes = SizeSweepFromArgs(args, 0, 0, 2);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 1024u);
+  EXPECT_EQ(sizes[1], 4096u);
+  EXPECT_EQ(sizes[2], 16384u);
+}
+
+TEST(TableFormat, NumbersAndSizes) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(10, 0), "10");
+  EXPECT_EQ(Table::Log2Size(1 << 20), "1M (2^20)");
+  EXPECT_EQ(Table::Log2Size(8 << 20), "8M (2^23)");
+  EXPECT_EQ(Table::Log2Size(1 << 12), "4K (2^12)");
+  EXPECT_EQ(Table::Log2Size(std::size_t{1} << 30), "1G (2^30)");
+}
+
+TEST(Calibrate, BiggerTreesAreSlower) {
+  sim::PlatformSpec platform = sim::PlatformSpec::M1();
+  double previous = 1e18;
+  for (std::size_t n : {std::size_t{1} << 16, std::size_t{1} << 20,
+                        std::size_t{1} << 23}) {
+    PageRegistry registry;
+    ImplicitBTree<Key64>::Config config;
+    ImplicitBTree<Key64> tree(config, &registry);
+    auto data = GenerateDataset<Key64>(n, 1);
+    tree.Build(data);
+    auto queries = MakeLookupQueries(data, 2);
+    auto m = MeasureCpuSearch(tree, queries, platform, registry,
+                              config.search_algo);
+    EXPECT_GT(m.estimate.mqps, 0);
+    EXPECT_LE(m.estimate.mqps, previous + 1e-9) << n;
+    previous = m.estimate.mqps;
+  }
+}
+
+TEST(Calibrate, LeafRateExceedsFullSearchRate) {
+  // The CPU's HB+-tree share (one leaf line) must be far cheaper than a
+  // whole traversal — the premise of the hybrid split.
+  sim::PlatformSpec platform = sim::PlatformSpec::M1();
+  PageRegistry registry;
+  ImplicitBTree<Key64>::Config config;
+  config.hybrid_layout = true;
+  ImplicitBTree<Key64> tree(config, &registry);
+  auto data = GenerateDataset<Key64>(1 << 21, 3);
+  tree.Build(data);
+  auto queries = MakeLookupQueries(data, 4);
+  auto full = MeasureCpuSearch(tree, queries, platform, registry,
+                               config.search_algo);
+  auto rates = CalibrateHbCpuRates(tree, queries, platform, registry);
+  EXPECT_GT(rates.leaf_queries_per_us, 1.5 * full.estimate.mqps);
+  // Per-depth descent costs are monotone in depth.
+  for (std::size_t d = 1; d < rates.descend_us_by_depth.size(); ++d) {
+    EXPECT_GT(rates.descend_us_by_depth[d],
+              rates.descend_us_by_depth[d - 1]);
+  }
+}
+
+TEST(Calibrate, RebuildModelScalesLinearly) {
+  sim::PlatformSpec platform = sim::PlatformSpec::M1();
+  RebuildModel small = ModelImplicitRebuild(1 << 20, 1 << 17, platform);
+  RebuildModel large = ModelImplicitRebuild(1 << 24, 1 << 21, platform);
+  EXPECT_NEAR(large.l_build_us / small.l_build_us, 16.0, 0.1);
+  EXPECT_GT(large.transfer_us, small.transfer_us);
+  // Transfer stays a small share of the total (Figure 15).
+  const double share =
+      large.transfer_us /
+      (large.l_build_us + large.i_build_us + large.transfer_us);
+  EXPECT_LT(share, 0.12);
+}
+
+}  // namespace
+}  // namespace hbtree::bench

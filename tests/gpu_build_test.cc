@@ -1,0 +1,85 @@
+#include "hybrid/gpu_build.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/workload.h"
+#include "hybrid/hb_implicit.h"
+#include "sim/platform.h"
+
+namespace hbtree {
+namespace {
+
+struct Fixture {
+  sim::PlatformSpec platform = sim::PlatformSpec::M1();
+  PageRegistry registry;
+  gpu::Device device{platform.gpu};
+  gpu::TransferEngine transfer{&device, platform.pcie};
+};
+
+template <typename K>
+class GpuBuildTypedTest : public ::testing::Test {};
+
+using KeyTypes = ::testing::Types<Key64, Key32>;
+TYPED_TEST_SUITE(GpuBuildTypedTest, KeyTypes);
+
+TYPED_TEST(GpuBuildTypedTest, DeviceBuiltISegmentMatchesHostByteForByte) {
+  using K = TypeParam;
+  for (std::size_t n : {100ull, 5000ull, 300000ull}) {
+    Fixture fx;
+    typename HBImplicitTree<K>::Config config;
+    HBImplicitTree<K> tree(config, &fx.registry, &fx.device, &fx.transfer);
+    auto data = GenerateDataset<K>(n, /*seed=*/n);
+    ASSERT_TRUE(tree.Build(data));  // uploads the host-built I-segment
+
+    // Scribble over the device mirror, then rebuild it with the kernel.
+    const auto& host = tree.host_tree();
+    const std::size_t bytes = host.i_segment_node_count() * kCacheLineSize;
+    std::memset(fx.device.HostView(tree.device_nodes()), 0xee, bytes);
+    BuildISegmentOnDevice<K>(host, fx.device, fx.transfer,
+                             tree.device_nodes());
+
+    EXPECT_EQ(std::memcmp(fx.device.HostView(tree.device_nodes()),
+                          host.i_segment_nodes(), bytes),
+              0)
+        << "n=" << n;
+  }
+}
+
+TEST(GpuBuild, WorksForCpuLayoutToo) {
+  // Fanout 9 (CPU layout): the ninth child has no key; the kernel's
+  // subtree-max chain must still match the host build.
+  Fixture fx;
+  PageRegistry registry;
+  ImplicitBTree<Key64>::Config config;  // CPU layout, huge pages
+  ImplicitBTree<Key64> host(config, &registry);
+  auto data = GenerateDataset<Key64>(200000, /*seed=*/7);
+  host.Build(data);
+
+  const std::size_t bytes = host.i_segment_node_count() * kCacheLineSize;
+  gpu::DevicePtr device_nodes = fx.device.Malloc(bytes);
+  BuildISegmentOnDevice<Key64>(host, fx.device, fx.transfer, device_nodes);
+  EXPECT_EQ(std::memcmp(fx.device.HostView(device_nodes),
+                        host.i_segment_nodes(), bytes),
+            0);
+}
+
+TEST(GpuBuild, TransfersLessThanFullSegmentUpload) {
+  Fixture fx;
+  HBImplicitTree<Key64>::Config config;
+  HBImplicitTree<Key64> tree(config, &fx.registry, &fx.device, &fx.transfer);
+  auto data = GenerateDataset<Key64>(1 << 20, /*seed=*/8);
+  ASSERT_TRUE(tree.Build(data));
+
+  const std::uint64_t before = fx.transfer.bytes_h2d();
+  BuildISegmentOnDevice<Key64>(tree.host_tree(), fx.device, fx.transfer,
+                               tree.device_nodes());
+  const std::uint64_t maxima_bytes = fx.transfer.bytes_h2d() - before;
+  // Uploading leaf maxima moves less data than the full I-segment.
+  EXPECT_LT(maxima_bytes, tree.host_tree().i_segment_bytes());
+}
+
+}  // namespace
+}  // namespace hbtree

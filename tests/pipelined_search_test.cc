@@ -1,0 +1,78 @@
+#include "cpubtree/pipelined_search.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/workload.h"
+
+namespace hbtree {
+namespace {
+
+/// Property sweep: software-pipelined batch search (Algorithm 2) must
+/// return exactly what per-query Search returns, for every pipeline
+/// depth, both tree variants, hit and miss queries, and odd batch sizes.
+class PipelinedSearchTest
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(PipelinedSearchTest, ImplicitMatchesPlainSearch) {
+  const auto [depth, count] = GetParam();
+  PageRegistry registry;
+  ImplicitBTree<Key64>::Config config;
+  ImplicitBTree<Key64> tree(config, &registry);
+  auto data = GenerateDataset<Key64>(30000, /*seed=*/1);
+  tree.Build(data);
+
+  auto queries = MakeDistributedQueries<Key64>(count, Distribution::kUniform,
+                                               /*seed=*/2);
+  // Mix in guaranteed hits and the above-maximum edge case.
+  for (std::size_t i = 0; i < queries.size(); i += 3) {
+    queries[i] = data[(i * 7919) % data.size()].key;
+  }
+  if (!queries.empty()) queries.back() = KeyTraits<Key64>::kMax - 1;
+
+  std::vector<LookupResult<Key64>> results(queries.size());
+  PipelinedSearch(tree, queries.data(), queries.size(), depth,
+                  results.data());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto expect = tree.Search(queries[i]);
+    ASSERT_EQ(results[i].found, expect.found) << "depth " << depth << " i "
+                                              << i;
+    ASSERT_EQ(results[i].value, expect.value);
+  }
+}
+
+TEST_P(PipelinedSearchTest, RegularMatchesPlainSearch) {
+  const auto [depth, count] = GetParam();
+  PageRegistry registry;
+  RegularBTree<Key64>::Config config;
+  RegularBTree<Key64> tree(config, &registry);
+  auto data = GenerateDataset<Key64>(30000, /*seed=*/3);
+  tree.Build(data);
+
+  auto queries = MakeDistributedQueries<Key64>(count, Distribution::kUniform,
+                                               /*seed=*/4);
+  for (std::size_t i = 0; i < queries.size(); i += 3) {
+    queries[i] = data[(i * 104729) % data.size()].key;
+  }
+
+  std::vector<LookupResult<Key64>> results(queries.size());
+  PipelinedSearch(tree, queries.data(), queries.size(), depth,
+                  results.data());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto expect = tree.Search(queries[i]);
+    ASSERT_EQ(results[i].found, expect.found);
+    ASSERT_EQ(results[i].value, expect.value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DepthsAndSizes, PipelinedSearchTest,
+    ::testing::Combine(::testing::Values(1, 2, 7, 16, 64),
+                       ::testing::Values(std::size_t{1}, std::size_t{15},
+                                         std::size_t{4096},
+                                         std::size_t{4097})));
+
+}  // namespace
+}  // namespace hbtree

@@ -1,0 +1,235 @@
+// Cross-module property tests: randomized equivalence against reference
+// implementations and model invariants that must hold for any input.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "core/random.h"
+#include "core/workload.h"
+#include "cpubtree/implicit_btree.h"
+#include "cpubtree/regular_btree.h"
+#include "hybrid/bucket_pipeline.h"
+#include "sim/cache_sim.h"
+
+namespace hbtree {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CacheLevel vs a reference LRU built from std::list, over random traces.
+// ---------------------------------------------------------------------------
+
+class ReferenceLru {
+ public:
+  ReferenceLru(std::size_t sets, int ways) : sets_(sets), lru_(sets) {
+    ways_ = ways;
+  }
+
+  bool Access(std::uint64_t line) {
+    auto& set = lru_[line % sets_];
+    auto it = std::find(set.begin(), set.end(), line);
+    if (it != set.end()) {
+      set.erase(it);
+      set.push_front(line);
+      return true;
+    }
+    set.push_front(line);
+    if (static_cast<int>(set.size()) > ways_) set.pop_back();
+    return false;
+  }
+
+ private:
+  std::size_t sets_;
+  int ways_;
+  std::vector<std::list<std::uint64_t>> lru_;
+};
+
+class CacheEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CacheEquivalenceTest, MatchesReferenceLruOnRandomTraces) {
+  const auto [log2_sets, ways] = GetParam();
+  const std::size_t sets = std::size_t{1} << log2_sets;
+  sim::CacheLevel cache({"t", sets * ways * 64, ways, 64});
+  ReferenceLru reference(sets, ways);
+  Rng rng(17 + log2_sets * 31 + ways);
+  for (int i = 0; i < 50000; ++i) {
+    // Mix of hot (small range) and cold (wide range) lines.
+    std::uint64_t line = (i % 3 == 0) ? rng.NextBounded(sets * ways / 2 + 1)
+                                      : rng.NextBounded(sets * ways * 8);
+    ASSERT_EQ(cache.Access(line), reference.Access(line)) << "access " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheEquivalenceTest,
+                         ::testing::Combine(::testing::Values(0, 3, 6),
+                                            ::testing::Values(1, 4, 20)));
+
+// ---------------------------------------------------------------------------
+// Pipeline scheduler invariants over random stage times.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerProperties, PeriodBoundedByStagesForAllStrategies) {
+  Rng rng(23);
+  for (int round = 0; round < 200; ++round) {
+    const double t1 = 1 + rng.NextDouble() * 50;
+    const double t2 = 1 + rng.NextDouble() * 200;
+    const double t3 = 1 + rng.NextDouble() * 50;
+    const double t4 = 1 + rng.NextDouble() * 200;
+    const int in_flight = 1 + static_cast<int>(rng.NextBounded(3));
+
+    for (BucketStrategy strategy :
+         {BucketStrategy::kSequential, BucketStrategy::kPipelined,
+          BucketStrategy::kDoubleBuffered}) {
+      pipeline_internal::Scheduler scheduler(strategy);
+      std::vector<double> ends;
+      const int buckets = 40;
+      for (int b = 0; b < buckets; ++b) {
+        double ready = b >= in_flight ? ends[b - in_flight] : 0.0;
+        ends.push_back(scheduler.ScheduleBucket(ready, 0, t1, t2, t3, t4));
+      }
+      const double period = ends.back() / buckets;
+      const double chain = t1 + t2 + t3 + t4;
+      // No strategy can beat the slowest stage, or lose to full
+      // serialization.
+      EXPECT_GE(period + 1e-9, std::max({t1, t2, t3, t4}))
+          << BucketStrategyName(strategy);
+      EXPECT_LE(period, chain + 1e-9) << BucketStrategyName(strategy);
+      // Completion times are monotone.
+      for (int b = 1; b < buckets; ++b) {
+        ASSERT_LE(ends[b - 1], ends[b] + 1e-9);
+      }
+      if (strategy == BucketStrategy::kSequential) {
+        EXPECT_NEAR(period, chain, chain * 0.01);
+      }
+    }
+  }
+}
+
+TEST(SchedulerProperties, MoreBucketsInFlightNeverHurts) {
+  Rng rng(29);
+  for (int round = 0; round < 100; ++round) {
+    const double t1 = 1 + rng.NextDouble() * 40;
+    const double t2 = 1 + rng.NextDouble() * 150;
+    const double t3 = 1 + rng.NextDouble() * 40;
+    const double t4 = 1 + rng.NextDouble() * 150;
+    double prev_period = 1e100;
+    for (int in_flight : {1, 2, 3, 4}) {
+      pipeline_internal::Scheduler scheduler(
+          BucketStrategy::kDoubleBuffered);
+      std::vector<double> ends;
+      for (int b = 0; b < 50; ++b) {
+        double ready = b >= in_flight ? ends[b - in_flight] : 0.0;
+        ends.push_back(scheduler.ScheduleBucket(ready, 0, t1, t2, t3, t4));
+      }
+      const double period = ends.back() / 50;
+      EXPECT_LE(period, prev_period + 1e-9);
+      prev_period = period;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trees vs std::map over a small exhaustive domain: every key in the
+// domain is queried, so boundary routing (first key, last key, gaps,
+// duplicates of separators) is covered exhaustively.
+// ---------------------------------------------------------------------------
+
+template <typename K>
+class ExhaustiveDomainTest : public ::testing::Test {};
+
+using KeyTypes = ::testing::Types<Key64, Key32>;
+TYPED_TEST_SUITE(ExhaustiveDomainTest, KeyTypes);
+
+TYPED_TEST(ExhaustiveDomainTest, EveryDomainKeyAgreesWithReference) {
+  using K = TypeParam;
+  Rng rng(31);
+  for (int round = 0; round < 8; ++round) {
+    // Keys drawn from a small domain so exhaustive probing is feasible.
+    const K domain = 3000;
+    std::map<K, K> reference;
+    std::vector<KeyValue<K>> data;
+    const std::size_t n = 50 + rng.NextBounded(1200);
+    while (reference.size() < n) {
+      K key = static_cast<K>(rng.NextBounded(domain));
+      if (reference.emplace(key, static_cast<K>(key * 3 + 1)).second) {
+        data.push_back({key, static_cast<K>(key * 3 + 1)});
+      }
+    }
+    std::sort(data.begin(), data.end(),
+              [](const KeyValue<K>& a, const KeyValue<K>& b) {
+                return a.key < b.key;
+              });
+
+    PageRegistry r1, r2, r3;
+    typename ImplicitBTree<K>::Config cpu_config;
+    ImplicitBTree<K> implicit_cpu(cpu_config, &r1);
+    implicit_cpu.Build(data);
+    typename ImplicitBTree<K>::Config hb_config;
+    hb_config.hybrid_layout = true;
+    ImplicitBTree<K> implicit_hb(hb_config, &r2);
+    implicit_hb.Build(data);
+    typename RegularBTree<K>::Config reg_config;
+    reg_config.leaf_fill = 0.5 + 0.5 * rng.NextDouble();
+    RegularBTree<K> regular(reg_config, &r3);
+    regular.Build(data);
+
+    for (K probe = 0; probe < domain; ++probe) {
+      const auto it = reference.find(probe);
+      const bool expect = it != reference.end();
+      ASSERT_EQ(implicit_cpu.Search(probe).found, expect) << probe;
+      ASSERT_EQ(implicit_hb.Search(probe).found, expect) << probe;
+      ASSERT_EQ(regular.Search(probe).found, expect) << probe;
+      if (expect) {
+        ASSERT_EQ(implicit_cpu.Search(probe).value, it->second);
+        ASSERT_EQ(implicit_hb.Search(probe).value, it->second);
+        ASSERT_EQ(regular.Search(probe).value, it->second);
+      }
+    }
+  }
+}
+
+TYPED_TEST(ExhaustiveDomainTest, RangeScansAgreeWithReference) {
+  using K = TypeParam;
+  Rng rng(37);
+  const K domain = 2000;
+  std::map<K, K> reference;
+  std::vector<KeyValue<K>> data;
+  while (reference.size() < 700) {
+    K key = static_cast<K>(rng.NextBounded(domain));
+    if (reference.emplace(key, key).second) data.push_back({key, key});
+  }
+  std::sort(data.begin(), data.end(),
+            [](const KeyValue<K>& a, const KeyValue<K>& b) {
+              return a.key < b.key;
+            });
+  PageRegistry r1, r2;
+  typename ImplicitBTree<K>::Config implicit_config;
+  ImplicitBTree<K> implicit(implicit_config, &r1);
+  implicit.Build(data);
+  typename RegularBTree<K>::Config regular_config;
+  RegularBTree<K> regular(regular_config, &r2);
+  regular.Build(data);
+
+  KeyValue<K> a[16], b[16];
+  for (K start = 0; start < domain; start += 7) {
+    const int ia = implicit.RangeScan(start, 16, a);
+    const int ib = regular.RangeScan(start, 16, b);
+    // Reference: first 16 pairs with key >= start.
+    auto it = reference.lower_bound(start);
+    int expect = 0;
+    for (; it != reference.end() && expect < 16; ++it, ++expect) {
+      ASSERT_EQ(a[expect].key, it->first) << start;
+      ASSERT_EQ(b[expect].key, it->first) << start;
+    }
+    ASSERT_EQ(ia, expect) << start;
+    ASSERT_EQ(ib, expect) << start;
+  }
+}
+
+}  // namespace
+}  // namespace hbtree

@@ -1,0 +1,102 @@
+#include "hybrid/range_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/workload.h"
+#include "sim/platform.h"
+
+namespace hbtree {
+namespace {
+
+struct Fixture {
+  sim::PlatformSpec platform = sim::PlatformSpec::M1();
+  PageRegistry registry;
+  gpu::Device device{platform.gpu};
+  gpu::TransferEngine transfer{&device, platform.pcie};
+};
+
+template <typename K>
+class RangePipelineTypedTest : public ::testing::Test {};
+
+using KeyTypes = ::testing::Types<Key64, Key32>;
+TYPED_TEST_SUITE(RangePipelineTypedTest, KeyTypes);
+
+TYPED_TEST(RangePipelineTypedTest, ImplicitMatchesHostRangeScan) {
+  using K = TypeParam;
+  Fixture fx;
+  typename HBImplicitTree<K>::Config config;
+  HBImplicitTree<K> tree(config, &fx.registry, &fx.device, &fx.transfer);
+  auto data = GenerateDataset<K>(60000, /*seed=*/1);
+  ASSERT_TRUE(tree.Build(data));
+
+  constexpr int kMatches = 16;
+  auto rq = MakeRangeQueries(data, 5000, kMatches, /*seed=*/2);
+  PipelineConfig pconfig;
+  pconfig.bucket_size = 1024;
+  pconfig.cpu_queries_per_us = 10;
+  std::vector<KeyValue<K>> pairs;
+  std::vector<int> counts;
+  PipelineStats stats = RunRangePipeline(tree, rq.data(), rq.size(),
+                                         kMatches, pconfig, &pairs, &counts);
+  EXPECT_EQ(stats.queries, rq.size());
+  KeyValue<K> expect[kMatches];
+  for (std::size_t i = 0; i < rq.size(); ++i) {
+    int expect_count = tree.host_tree().RangeScan(rq[i].first_key, kMatches,
+                                                  expect);
+    ASSERT_EQ(counts[i], expect_count) << i;
+    for (int j = 0; j < expect_count; ++j) {
+      ASSERT_EQ(pairs[i * kMatches + j], expect[j]) << i << "," << j;
+    }
+  }
+}
+
+TYPED_TEST(RangePipelineTypedTest, RegularMatchesHostRangeScan) {
+  using K = TypeParam;
+  Fixture fx;
+  typename HBRegularTree<K>::Config config;
+  config.tree.leaf_fill = 0.8;
+  HBRegularTree<K> tree(config, &fx.registry, &fx.device, &fx.transfer);
+  auto data = GenerateDataset<K>(60000, /*seed=*/3);
+  ASSERT_TRUE(tree.Build(data));
+
+  constexpr int kMatches = 8;
+  auto rq = MakeRangeQueries(data, 4000, kMatches, /*seed=*/4);
+  PipelineConfig pconfig;
+  pconfig.bucket_size = 512;
+  pconfig.cpu_queries_per_us = 10;
+  std::vector<KeyValue<K>> pairs;
+  std::vector<int> counts;
+  RunRangePipeline(tree, rq.data(), rq.size(), kMatches, pconfig, &pairs,
+                   &counts);
+  KeyValue<K> expect[kMatches];
+  for (std::size_t i = 0; i < rq.size(); ++i) {
+    int expect_count = tree.host_tree().RangeScan(rq[i].first_key, kMatches,
+                                                  expect);
+    ASSERT_EQ(counts[i], expect_count) << i;
+    for (int j = 0; j < expect_count; ++j) {
+      ASSERT_EQ(pairs[i * kMatches + j], expect[j]);
+    }
+  }
+}
+
+TEST(RangePipeline, StartKeysAboveMaximumYieldZeroMatches) {
+  Fixture fx;
+  HBImplicitTree<Key64>::Config config;
+  HBImplicitTree<Key64> tree(config, &fx.registry, &fx.device, &fx.transfer);
+  auto data = GenerateDataset<Key64>(10000, /*seed=*/5);
+  ASSERT_TRUE(tree.Build(data));
+  std::vector<RangeQuery<Key64>> rq(256,
+                                    {KeyTraits<Key64>::kMax - 1, 4});
+  PipelineConfig pconfig;
+  pconfig.bucket_size = 128;
+  pconfig.cpu_queries_per_us = 10;
+  std::vector<KeyValue<Key64>> pairs;
+  std::vector<int> counts;
+  RunRangePipeline(tree, rq.data(), rq.size(), 4, pconfig, &pairs, &counts);
+  for (int count : counts) EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace hbtree

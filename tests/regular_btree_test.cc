@@ -1,0 +1,263 @@
+#include "cpubtree/regular_btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/workload.h"
+
+namespace hbtree {
+namespace {
+
+template <typename K>
+RegularBTree<K> MakeTree(PageRegistry* registry, double leaf_fill = 1.0,
+                         double inner_fill = 1.0) {
+  typename RegularBTree<K>::Config config;
+  config.leaf_fill = leaf_fill;
+  config.inner_fill = inner_fill;
+  return RegularBTree<K>(config, registry);
+}
+
+template <typename K>
+class RegularBTreeTypedTest : public ::testing::Test {};
+
+using KeyTypes = ::testing::Types<Key64, Key32>;
+TYPED_TEST_SUITE(RegularBTreeTypedTest, KeyTypes);
+
+TYPED_TEST(RegularBTreeTypedTest, BulkBuildFindsAllKeys) {
+  using K = TypeParam;
+  PageRegistry registry;
+  auto tree = MakeTree<K>(&registry);
+  auto data = GenerateDataset<K>(50000, /*seed=*/1);
+  tree.Build(data);
+  tree.Validate();
+  for (std::size_t i = 0; i < data.size(); i += 3) {
+    auto result = tree.Search(data[i].key);
+    ASSERT_TRUE(result.found) << i;
+    EXPECT_EQ(result.value, data[i].value);
+  }
+}
+
+TYPED_TEST(RegularBTreeTypedTest, MissesBetweenKeys) {
+  using K = TypeParam;
+  PageRegistry registry;
+  auto tree = MakeTree<K>(&registry);
+  auto data = GenerateDataset<K>(10000, /*seed=*/2);
+  tree.Build(data);
+  Rng rng(7);
+  for (int i = 0; i < 3000; ++i) {
+    K probe = static_cast<K>(rng.NextBounded(KeyTraits<K>::kMax));
+    auto it = std::lower_bound(
+        data.begin(), data.end(), probe,
+        [](const KeyValue<K>& kv, K k) { return kv.key < k; });
+    bool expect = it != data.end() && it->key == probe;
+    EXPECT_EQ(tree.Search(probe).found, expect) << probe;
+  }
+}
+
+TYPED_TEST(RegularBTreeTypedTest, RangeScanMatchesDataset) {
+  using K = TypeParam;
+  PageRegistry registry;
+  auto tree = MakeTree<K>(&registry, /*leaf_fill=*/0.8);
+  auto data = GenerateDataset<K>(30000, /*seed=*/3);
+  tree.Build(data);
+  for (std::size_t start :
+       {std::size_t{0}, std::size_t{123}, std::size_t{29990}}) {
+    KeyValue<K> out[64];
+    int got = tree.RangeScan(data[start].key, 64, out);
+    int expect =
+        static_cast<int>(std::min<std::size_t>(64, data.size() - start));
+    ASSERT_EQ(got, expect);
+    for (int i = 0; i < got; ++i) {
+      EXPECT_EQ(out[i].key, data[start + i].key);
+      EXPECT_EQ(out[i].value, data[start + i].value);
+    }
+  }
+}
+
+TYPED_TEST(RegularBTreeTypedTest, InsertIntoFullTreeSplits) {
+  using K = TypeParam;
+  PageRegistry registry;
+  auto tree = MakeTree<K>(&registry, /*leaf_fill=*/1.0);
+  auto data = GenerateDataset<K>(20000, /*seed=*/4);
+  tree.Build(data);
+  // Insert fresh keys; full leaves force splits immediately.
+  auto batch = MakeUpdateBatch<K>(data, 2000, /*insert_fraction=*/1.0, 5);
+  for (const auto& update : batch) {
+    ASSERT_TRUE(tree.Insert(update.pair));
+  }
+  tree.Validate();
+  EXPECT_EQ(tree.size(), data.size() + batch.size());
+  for (const auto& update : batch) {
+    auto result = tree.Search(update.pair.key);
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.value, update.pair.value);
+  }
+  // Old keys still present.
+  for (std::size_t i = 0; i < data.size(); i += 17) {
+    EXPECT_TRUE(tree.Search(data[i].key).found);
+  }
+}
+
+TYPED_TEST(RegularBTreeTypedTest, DuplicateInsertRejected) {
+  using K = TypeParam;
+  PageRegistry registry;
+  auto tree = MakeTree<K>(&registry);
+  auto data = GenerateDataset<K>(5000, /*seed=*/6);
+  tree.Build(data);
+  EXPECT_FALSE(tree.Insert({data[100].key, 42}));
+  EXPECT_EQ(tree.size(), data.size());
+  // Original value unchanged.
+  EXPECT_EQ(tree.Search(data[100].key).value, data[100].value);
+}
+
+TYPED_TEST(RegularBTreeTypedTest, EraseRemovesKeysAndMerges) {
+  using K = TypeParam;
+  PageRegistry registry;
+  auto tree = MakeTree<K>(&registry, /*leaf_fill=*/0.5);
+  auto data = GenerateDataset<K>(30000, /*seed=*/7);
+  tree.Build(data);
+  // Erase 80% of keys to force merges.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i % 5 != 0) {
+      ASSERT_TRUE(tree.Erase(data[i].key)) << i;
+    }
+  }
+  tree.Validate();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(tree.Search(data[i].key).found, i % 5 == 0);
+  }
+  EXPECT_FALSE(tree.Erase(data[1].key));  // already gone
+}
+
+TYPED_TEST(RegularBTreeTypedTest, FuzzAgainstReferenceModel) {
+  using K = TypeParam;
+  PageRegistry registry;
+  auto tree = MakeTree<K>(&registry, /*leaf_fill=*/0.7);
+  auto data = GenerateDataset<K>(4000, /*seed=*/8);
+  tree.Build(data);
+  std::map<K, K> model;
+  for (const auto& kv : data) model[kv.key] = kv.value;
+
+  Rng rng(99);
+  for (int op = 0; op < 30000; ++op) {
+    const int action = static_cast<int>(rng.NextBounded(10));
+    K key = static_cast<K>(rng.NextBounded(KeyTraits<K>::kMax));
+    if (action < 4) {  // insert random key
+      K value = static_cast<K>(rng.Next());
+      bool inserted = tree.Insert({key, value});
+      bool expect = model.emplace(key, value).second;
+      ASSERT_EQ(inserted, expect);
+    } else if (action < 7 && !model.empty()) {  // erase existing
+      auto it = model.lower_bound(key);
+      if (it == model.end()) it = model.begin();
+      ASSERT_TRUE(tree.Erase(it->first));
+      model.erase(it);
+    } else if (action == 7) {  // erase probably-missing
+      bool erased = tree.Erase(key);
+      ASSERT_EQ(erased, model.erase(key) > 0);
+    } else {  // lookup
+      auto result = tree.Search(key);
+      auto it = model.find(key);
+      ASSERT_EQ(result.found, it != model.end());
+      if (result.found) {
+        ASSERT_EQ(result.value, it->second);
+      }
+    }
+    if (op % 5000 == 4999) tree.Validate();
+  }
+  tree.Validate();
+  EXPECT_EQ(tree.size(), model.size());
+
+  // Full sweep via range scan from the smallest key.
+  if (!model.empty()) {
+    std::vector<KeyValue<K>> out(model.size());
+    int got = tree.RangeScan(model.begin()->first,
+                             static_cast<int>(model.size()), out.data());
+    ASSERT_EQ(static_cast<std::size_t>(got), model.size());
+    auto it = model.begin();
+    for (int i = 0; i < got; ++i, ++it) {
+      EXPECT_EQ(out[i].key, it->first);
+      EXPECT_EQ(out[i].value, it->second);
+    }
+  }
+}
+
+TYPED_TEST(RegularBTreeTypedTest, NonStructuralPathMatchesInsert) {
+  using K = TypeParam;
+  PageRegistry registry;
+  auto tree = MakeTree<K>(&registry, /*leaf_fill=*/0.6);
+  auto data = GenerateDataset<K>(20000, /*seed=*/10);
+  tree.Build(data);
+  auto batch = MakeUpdateBatch<K>(data, 500, /*insert_fraction=*/1.0, 11);
+  int non_structural = 0;
+  for (const auto& update : batch) {
+    NodeRef ln = tree.FindLastInner(update.pair.key);
+    if (!tree.WouldBeStructural(ln, /*is_insert=*/true, update.pair.key)) {
+      ASSERT_TRUE(tree.ApplyNonStructural(ln, true, update.pair));
+      ++non_structural;
+    } else {
+      ASSERT_TRUE(tree.Insert(update.pair));
+    }
+  }
+  // With 60% fill, the overwhelming majority must be non-structural
+  // (the paper reports > 99%).
+  EXPECT_GT(non_structural, static_cast<int>(batch.size() * 95 / 100));
+  tree.Validate();
+  for (const auto& update : batch) {
+    EXPECT_TRUE(tree.Search(update.pair.key).found);
+  }
+}
+
+TYPED_TEST(RegularBTreeTypedTest, ModifiedNodeReporting) {
+  using K = TypeParam;
+  PageRegistry registry;
+  auto tree = MakeTree<K>(&registry, /*leaf_fill=*/1.0);
+  auto data = GenerateDataset<K>(10000, /*seed=*/12);
+  tree.Build(data);
+  auto batch = MakeUpdateBatch<K>(data, 200, /*insert_fraction=*/1.0, 13);
+  std::vector<ModifiedNode> modified;
+  for (const auto& update : batch) tree.Insert(update.pair, &modified);
+  // Full leaves mean every insert splits: plenty of modified nodes, and
+  // each split reports both halves plus the parent.
+  // Every initially-full leaf splits on its first insert, and each split
+  // reports both halves plus the parent.
+  EXPECT_GE(modified.size(), data.size() / RegularBTree<K>::kLeafCap);
+  tree.Validate();
+}
+
+TEST(RegularBTreeGeometry, ShapeConstantsMatchPaper) {
+  // Section 4.1: F_I = 64 (64-bit) / 256 (32-bit); 17 / 33 cache lines;
+  // big leaf 256 / 2048 pairs.
+  EXPECT_EQ(RegularBTree<Key64>::kFanout, 64);
+  EXPECT_EQ(RegularBTree<Key32>::kFanout, 256);
+  EXPECT_EQ(sizeof(RegularInnerHot<Key64>), 17u * kCacheLineSize);
+  EXPECT_EQ(sizeof(RegularInnerHot<Key32>), 33u * kCacheLineSize);
+  EXPECT_EQ(RegularBTree<Key64>::kLeafCap, 256);
+  EXPECT_EQ(RegularBTree<Key32>::kLeafCap, 2048);
+}
+
+TEST(RegularBTreeGeometry, TracedSearchTouchesThreeLinesPerLevel) {
+  PageRegistry registry;
+  RegularBTree<Key64>::Config config;
+  RegularBTree<Key64> tree(config, &registry);
+  auto data = GenerateDataset<Key64>(1000000, /*seed=*/14);
+  tree.Build(data);
+
+  struct CountingTracer {
+    int accesses = 0;
+    void OnAccess(const void*, std::size_t) { ++accesses; }
+    void OnQueryStart() {}
+    void OnQueryEnd() {}
+  } tracer;
+  tree.Search(data[12345].key, &tracer);
+  // Paper Section 4.1: ~3H+1 lines per query (last level needs no ref
+  // line, so exactly 3(H-1) + 2 + 1).
+  const int h = tree.height();
+  EXPECT_EQ(tracer.accesses, 3 * (h - 1) + 2 + 1);
+}
+
+}  // namespace
+}  // namespace hbtree

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/page_allocator.h"
+#include "sim/cache_sim.h"
+#include "sim/cpu_cost_model.h"
+#include "sim/platform.h"
+#include "sim/resource.h"
+#include "sim/tlb_sim.h"
+
+namespace hbtree::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CacheLevel / CacheHierarchy.
+// ---------------------------------------------------------------------------
+
+TEST(CacheLevel, HitsAfterInstall) {
+  CacheLevel cache({"t", 8 * 1024, 8, 64});
+  EXPECT_FALSE(cache.Access(5));
+  EXPECT_TRUE(cache.Access(5));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(CacheLevel, LruEvictionOrder) {
+  // 1 set x 4 ways: lines 0..3 fill the set; touching 0 then adding 4
+  // must evict 1 (the LRU), not 0.
+  CacheLevel cache({"t", 4 * 64, 4, 64});
+  for (std::uint64_t line = 0; line < 4; ++line) cache.Access(line);
+  EXPECT_TRUE(cache.Access(0));   // 0 becomes MRU
+  EXPECT_FALSE(cache.Access(4));  // evicts 1
+  EXPECT_TRUE(cache.Access(0));
+  EXPECT_FALSE(cache.Access(1));  // 1 was evicted
+}
+
+TEST(CacheLevel, SetsIsolateConflicts) {
+  // 2 sets x 2 ways; even lines map to set 0, odd to set 1.
+  CacheLevel cache({"t", 4 * 64, 2, 64});
+  EXPECT_FALSE(cache.Access(0));
+  EXPECT_FALSE(cache.Access(2));
+  EXPECT_FALSE(cache.Access(1));  // other set
+  EXPECT_TRUE(cache.Access(0));
+  EXPECT_TRUE(cache.Access(2));
+  EXPECT_TRUE(cache.Access(1));
+}
+
+TEST(CacheHierarchy, MissFallsThroughAndInstallsEverywhere) {
+  // L1: one set of 8 ways; L2: one set of 64 ways (inclusive install).
+  CacheHierarchy caches({{"L1", 64 * 8, 8, 64}, {"L2", 64 * 64, 64, 64}});
+  EXPECT_EQ(caches.AccessLine(42), HitLevel::kMemory);
+  EXPECT_EQ(caches.AccessLine(42), HitLevel::kL1);
+  // Push 20 other lines through: 42 falls out of the 8-way L1 but was
+  // installed in (and survives in) the 64-way L2.
+  for (std::uint64_t line = 1; line <= 20; ++line) caches.AccessLine(line);
+  EXPECT_EQ(caches.AccessLine(42), HitLevel::kL2);
+}
+
+TEST(CacheHierarchy, WorkingSetLargerThanCacheMisses) {
+  CacheHierarchy caches({{"L1", 32 * 1024, 8, 64}});
+  // Stream 4x the capacity twice: second pass still misses (LRU stream).
+  const std::uint64_t lines = 4 * 32 * 1024 / 64;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t line = 0; line < lines; ++line) caches.AccessLine(line);
+  }
+  EXPECT_EQ(caches.memory_accesses(), 2 * lines);
+}
+
+// ---------------------------------------------------------------------------
+// TLB.
+// ---------------------------------------------------------------------------
+
+TEST(Tlb, HugePagesUseFewerEntries) {
+  PageRegistry registry;
+  PagedBuffer huge(64ull << 20, PageSize::k1G, &registry);  // one 1G page
+  TlbSim::Config config;
+  TlbSim tlb(config, &registry);
+  // First touch misses; every further touch of the 64MB region hits the
+  // single 1G entry.
+  EXPECT_GT(tlb.Access(huge.data()), 0);
+  for (std::size_t off = 0; off < huge.size(); off += 1 << 20) {
+    EXPECT_EQ(tlb.Access(huge.data() + off), 0) << off;
+  }
+  EXPECT_EQ(tlb.misses_1g(), 1u);
+}
+
+TEST(Tlb, SmallPagesThrashWhenWorkingSetExceedsEntries) {
+  PageRegistry registry;
+  TlbSim::Config config;
+  PagedBuffer small(8ull << 20, PageSize::k4K, &registry);  // 2048 4K pages
+  TlbSim tlb(config, &registry);
+  // Touch 2048 distinct pages round-robin: only 512 entries -> all miss.
+  std::uint64_t misses = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t page = 0; page < 2048; ++page) {
+      if (tlb.Access(small.data() + page * 4096) > 0) ++misses;
+    }
+  }
+  EXPECT_EQ(misses, 2 * 2048u);
+}
+
+TEST(Tlb, WalkCostDependsOnPageSize) {
+  // Section 6.2: five accesses for 4K pages, three for 1G pages.
+  EXPECT_EQ(TlbSim::WalkAccesses(PageSize::k4K), 5);
+  EXPECT_EQ(TlbSim::WalkAccesses(PageSize::k2M), 4);
+  EXPECT_EQ(TlbSim::WalkAccesses(PageSize::k1G), 3);
+}
+
+// ---------------------------------------------------------------------------
+// CPU cost model.
+// ---------------------------------------------------------------------------
+
+TEST(CpuCostModel, ThroughputBoundsBehave) {
+  PlatformSpec platform = PlatformSpec::M1();
+  CpuTracer::Profile profile;
+  profile.queries = 1000;
+  profile.accesses = 8000;          // 8 lines per query
+  profile.stall_ns = 1000 * 400.0;  // 400ns stall per query
+  profile.dram_bytes = 1000 * 256.0;
+
+  CpuExecutionParams params;
+  params.threads = 16;
+  params.pipeline_depth = 16;
+  params.compute_ns_per_access = 7.0;
+  CpuEstimate with_swp = EstimateCpuThroughput(platform.cpu, profile, params);
+
+  params.pipeline_depth = 1;
+  CpuEstimate without = EstimateCpuThroughput(platform.cpu, profile, params);
+
+  // Software pipelining must improve throughput and raise latency.
+  EXPECT_GT(with_swp.mqps, 1.5 * without.mqps);
+  params.pipeline_depth = 16;
+  EXPECT_GT(with_swp.latency_us, without.latency_us);
+  // Never above any individual bound.
+  EXPECT_LE(with_swp.mqps, with_swp.compute_bound_mqps + 1e-9);
+  EXPECT_LE(with_swp.mqps, with_swp.bandwidth_bound_mqps + 1e-9);
+  EXPECT_LE(with_swp.mqps, with_swp.latency_bound_mqps + 1e-9);
+}
+
+TEST(CpuCostModel, OverlapSaturatesSmoothly) {
+  PlatformSpec platform = PlatformSpec::M1();
+  CpuTracer::Profile profile;
+  profile.queries = 1000;
+  profile.accesses = 8000;
+  profile.stall_ns = 1000 * 500.0;
+  CpuExecutionParams params;
+  params.threads = 1;  // isolate the latency bound
+  params.compute_ns_per_access = 7.0;
+
+  double prev = 0;
+  double gain_2_4 = 0, gain_16_32 = 0;
+  for (int depth : {1, 2, 4, 8, 16, 32}) {
+    params.pipeline_depth = depth;
+    double mqps = EstimateCpuThroughput(platform.cpu, profile, params).mqps;
+    EXPECT_GE(mqps, prev);  // monotone
+    if (depth == 4) gain_2_4 = mqps / prev;
+    if (depth == 32) gain_16_32 = mqps / prev;
+    prev = mqps;
+  }
+  // Diminishing returns: the 2->4 step gains much more than 16->32.
+  EXPECT_GT(gain_2_4, gain_16_32 + 0.05);
+}
+
+TEST(CpuCostModel, TracerAccumulatesTlbWalks) {
+  PlatformSpec platform = PlatformSpec::M1();
+  PageRegistry registry;
+  PagedBuffer data(16ull << 20, PageSize::k4K, &registry);
+  CpuTracer tracer(platform.cpu, &registry);
+  tracer.OnQueryStart();
+  // Touch 4096 distinct 4K pages: far beyond the TLB.
+  for (std::size_t page = 0; page < 4096; ++page) {
+    tracer.OnAccess(data.data() + page * 4096, 64);
+  }
+  tracer.OnQueryEnd();
+  EXPECT_GT(tracer.profile().tlb_misses, 3000u);
+  EXPECT_EQ(tracer.profile().walk_accesses,
+            tracer.profile().tlb_misses * 5);
+}
+
+TEST(Platform, PresetsAreConsistent) {
+  for (const char* name : {"m1", "m2"}) {
+    PlatformSpec platform = PlatformSpec::Parse(name);
+    EXPECT_GT(platform.cpu.cores, 0);
+    EXPECT_GE(platform.cpu.threads, platform.cpu.cores);
+    EXPECT_GT(platform.gpu.memory_bandwidth_gbps,
+              platform.cpu.dram_bandwidth_gbps);
+    EXPECT_LT(platform.pcie.bandwidth_h2d_gbps,
+              platform.cpu.dram_bandwidth_gbps);
+    EXPECT_GT(platform.gpu.memory_bytes, 1ull << 30);
+    EXPECT_LT(platform.pcie.streamed_init_us, platform.pcie.transfer_init_us);
+  }
+  // M1 is the stronger platform throughout.
+  PlatformSpec m1 = PlatformSpec::M1(), m2 = PlatformSpec::M2();
+  EXPECT_GT(m1.cpu.threads, m2.cpu.threads);
+  EXPECT_GT(m1.gpu.memory_bandwidth_gbps, m2.gpu.memory_bandwidth_gbps);
+}
+
+TEST(ResourceTimeline, SerializesAndTracksUtilization) {
+  ResourceTimeline resource;
+  EXPECT_DOUBLE_EQ(resource.Acquire(0, 10), 0);
+  EXPECT_DOUBLE_EQ(resource.Acquire(5, 10), 10);   // busy until 10
+  EXPECT_DOUBLE_EQ(resource.Acquire(50, 10), 50);  // idle gap allowed
+  EXPECT_DOUBLE_EQ(resource.busy_time(), 30);
+  EXPECT_DOUBLE_EQ(resource.free_at(), 60);
+}
+
+}  // namespace
+}  // namespace hbtree::sim
