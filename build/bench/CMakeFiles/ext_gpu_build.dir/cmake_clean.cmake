@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_gpu_build.dir/ext_gpu_build.cc.o"
+  "CMakeFiles/ext_gpu_build.dir/ext_gpu_build.cc.o.d"
+  "ext_gpu_build"
+  "ext_gpu_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_gpu_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_hb_fast.cc" "bench/CMakeFiles/ext_hb_fast.dir/ext_hb_fast.cc.o" "gcc" "bench/CMakeFiles/ext_hb_fast.dir/ext_hb_fast.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_support/CMakeFiles/hbtree_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/hbtree_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/hbtree_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hbtree_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hbtree_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hbtree_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

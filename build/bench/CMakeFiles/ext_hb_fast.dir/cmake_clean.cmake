@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hb_fast.dir/ext_hb_fast.cc.o"
+  "CMakeFiles/ext_hb_fast.dir/ext_hb_fast.cc.o.d"
+  "ext_hb_fast"
+  "ext_hb_fast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hb_fast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_page_config.dir/fig07_page_config.cc.o"
+  "CMakeFiles/fig07_page_config.dir/fig07_page_config.cc.o.d"
+  "fig07_page_config"
+  "fig07_page_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_page_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

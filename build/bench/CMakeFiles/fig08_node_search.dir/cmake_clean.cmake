@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_node_search.dir/fig08_node_search.cc.o"
+  "CMakeFiles/fig08_node_search.dir/fig08_node_search.cc.o.d"
+  "fig08_node_search"
+  "fig08_node_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_node_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

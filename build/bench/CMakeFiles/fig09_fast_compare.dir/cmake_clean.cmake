@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_fast_compare.dir/fig09_fast_compare.cc.o"
+  "CMakeFiles/fig09_fast_compare.dir/fig09_fast_compare.cc.o.d"
+  "fig09_fast_compare"
+  "fig09_fast_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_fast_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_bucket_strategies.dir/fig10_bucket_strategies.cc.o"
+  "CMakeFiles/fig10_bucket_strategies.dir/fig10_bucket_strategies.cc.o.d"
+  "fig10_bucket_strategies"
+  "fig10_bucket_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_bucket_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

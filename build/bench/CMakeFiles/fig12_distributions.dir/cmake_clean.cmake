@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_distributions.dir/fig12_distributions.cc.o"
+  "CMakeFiles/fig12_distributions.dir/fig12_distributions.cc.o.d"
+  "fig12_distributions"
+  "fig12_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_update_methods.dir/fig13_update_methods.cc.o"
+  "CMakeFiles/fig13_update_methods.dir/fig13_update_methods.cc.o.d"
+  "fig13_update_methods"
+  "fig13_update_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_update_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

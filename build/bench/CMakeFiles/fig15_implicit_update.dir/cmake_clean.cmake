@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_implicit_update.dir/fig15_implicit_update.cc.o"
+  "CMakeFiles/fig15_implicit_update.dir/fig15_implicit_update.cc.o.d"
+  "fig15_implicit_update"
+  "fig15_implicit_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_implicit_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

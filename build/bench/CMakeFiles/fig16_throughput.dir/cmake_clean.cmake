@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_throughput.dir/fig16_throughput.cc.o"
+  "CMakeFiles/fig16_throughput.dir/fig16_throughput.cc.o.d"
+  "fig16_throughput"
+  "fig16_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

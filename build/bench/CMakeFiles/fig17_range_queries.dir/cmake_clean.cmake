@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_range_queries.dir/fig17_range_queries.cc.o"
+  "CMakeFiles/fig17_range_queries.dir/fig17_range_queries.cc.o.d"
+  "fig17_range_queries"
+  "fig17_range_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_range_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

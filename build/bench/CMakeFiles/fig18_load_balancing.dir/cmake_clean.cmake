@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_load_balancing.dir/fig18_load_balancing.cc.o"
+  "CMakeFiles/fig18_load_balancing.dir/fig18_load_balancing.cc.o.d"
+  "fig18_load_balancing"
+  "fig18_load_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_load_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_cpu_lookup.dir/fig19_cpu_lookup.cc.o"
+  "CMakeFiles/fig19_cpu_lookup.dir/fig19_cpu_lookup.cc.o.d"
+  "fig19_cpu_lookup"
+  "fig19_cpu_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_cpu_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

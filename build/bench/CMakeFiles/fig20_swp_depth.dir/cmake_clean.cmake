@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_swp_depth.dir/fig20_swp_depth.cc.o"
+  "CMakeFiles/fig20_swp_depth.dir/fig20_swp_depth.cc.o.d"
+  "fig20_swp_depth"
+  "fig20_swp_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_swp_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

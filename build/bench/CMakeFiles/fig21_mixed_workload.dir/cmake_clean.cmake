@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_mixed_workload.dir/fig21_mixed_workload.cc.o"
+  "CMakeFiles/fig21_mixed_workload.dir/fig21_mixed_workload.cc.o.d"
+  "fig21_mixed_workload"
+  "fig21_mixed_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_mixed_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

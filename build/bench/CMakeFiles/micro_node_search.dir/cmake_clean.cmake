@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_node_search.dir/micro_node_search.cc.o"
+  "CMakeFiles/micro_node_search.dir/micro_node_search.cc.o.d"
+  "micro_node_search"
+  "micro_node_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_node_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

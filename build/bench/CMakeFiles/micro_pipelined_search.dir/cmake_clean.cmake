@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pipelined_search.dir/micro_pipelined_search.cc.o"
+  "CMakeFiles/micro_pipelined_search.dir/micro_pipelined_search.cc.o.d"
+  "micro_pipelined_search"
+  "micro_pipelined_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pipelined_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tree_build.dir/micro_tree_build.cc.o"
+  "CMakeFiles/micro_tree_build.dir/micro_tree_build.cc.o.d"
+  "micro_tree_build"
+  "micro_tree_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tree_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distribution_study.dir/distribution_study.cpp.o"
+  "CMakeFiles/distribution_study.dir/distribution_study.cpp.o.d"
+  "distribution_study"
+  "distribution_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distribution_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

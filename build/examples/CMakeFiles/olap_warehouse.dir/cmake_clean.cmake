@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_warehouse.dir/olap_warehouse.cpp.o"
+  "CMakeFiles/olap_warehouse.dir/olap_warehouse.cpp.o.d"
+  "olap_warehouse"
+  "olap_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

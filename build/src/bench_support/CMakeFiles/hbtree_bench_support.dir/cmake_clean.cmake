@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbtree_bench_support.dir/args.cc.o"
+  "CMakeFiles/hbtree_bench_support.dir/args.cc.o.d"
+  "CMakeFiles/hbtree_bench_support.dir/table.cc.o"
+  "CMakeFiles/hbtree_bench_support.dir/table.cc.o.d"
+  "libhbtree_bench_support.a"
+  "libhbtree_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbtree_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/distributions.cc" "src/core/CMakeFiles/hbtree_core.dir/distributions.cc.o" "gcc" "src/core/CMakeFiles/hbtree_core.dir/distributions.cc.o.d"
+  "/root/repo/src/core/simd.cc" "src/core/CMakeFiles/hbtree_core.dir/simd.cc.o" "gcc" "src/core/CMakeFiles/hbtree_core.dir/simd.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/core/CMakeFiles/hbtree_core.dir/workload.cc.o" "gcc" "src/core/CMakeFiles/hbtree_core.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

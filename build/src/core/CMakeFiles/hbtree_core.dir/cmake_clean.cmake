@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbtree_core.dir/distributions.cc.o"
+  "CMakeFiles/hbtree_core.dir/distributions.cc.o.d"
+  "CMakeFiles/hbtree_core.dir/simd.cc.o"
+  "CMakeFiles/hbtree_core.dir/simd.cc.o.d"
+  "CMakeFiles/hbtree_core.dir/workload.cc.o"
+  "CMakeFiles/hbtree_core.dir/workload.cc.o.d"
+  "libhbtree_core.a"
+  "libhbtree_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbtree_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

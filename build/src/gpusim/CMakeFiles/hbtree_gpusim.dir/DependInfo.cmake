@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/cost_model.cc" "src/gpusim/CMakeFiles/hbtree_gpusim.dir/cost_model.cc.o" "gcc" "src/gpusim/CMakeFiles/hbtree_gpusim.dir/cost_model.cc.o.d"
+  "/root/repo/src/gpusim/device.cc" "src/gpusim/CMakeFiles/hbtree_gpusim.dir/device.cc.o" "gcc" "src/gpusim/CMakeFiles/hbtree_gpusim.dir/device.cc.o.d"
+  "/root/repo/src/gpusim/warp.cc" "src/gpusim/CMakeFiles/hbtree_gpusim.dir/warp.cc.o" "gcc" "src/gpusim/CMakeFiles/hbtree_gpusim.dir/warp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hbtree_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hbtree_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hbtree_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbtree_gpusim.dir/cost_model.cc.o"
+  "CMakeFiles/hbtree_gpusim.dir/cost_model.cc.o.d"
+  "CMakeFiles/hbtree_gpusim.dir/device.cc.o"
+  "CMakeFiles/hbtree_gpusim.dir/device.cc.o.d"
+  "CMakeFiles/hbtree_gpusim.dir/warp.cc.o"
+  "CMakeFiles/hbtree_gpusim.dir/warp.cc.o.d"
+  "libhbtree_gpusim.a"
+  "libhbtree_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbtree_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbtree_hybrid.dir/batch_update.cc.o"
+  "CMakeFiles/hbtree_hybrid.dir/batch_update.cc.o.d"
+  "CMakeFiles/hbtree_hybrid.dir/bucket_pipeline.cc.o"
+  "CMakeFiles/hbtree_hybrid.dir/bucket_pipeline.cc.o.d"
+  "libhbtree_hybrid.a"
+  "libhbtree_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbtree_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

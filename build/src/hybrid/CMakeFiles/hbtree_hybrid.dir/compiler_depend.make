@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hbtree_hybrid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbtree_io.dir/tree_io.cc.o"
+  "CMakeFiles/hbtree_io.dir/tree_io.cc.o.d"
+  "libhbtree_io.a"
+  "libhbtree_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbtree_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

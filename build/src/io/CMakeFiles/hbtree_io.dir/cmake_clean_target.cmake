@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhbtree_io.a"
+)

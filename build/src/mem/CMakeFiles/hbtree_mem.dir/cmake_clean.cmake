@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbtree_mem.dir/page_allocator.cc.o"
+  "CMakeFiles/hbtree_mem.dir/page_allocator.cc.o.d"
+  "libhbtree_mem.a"
+  "libhbtree_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbtree_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

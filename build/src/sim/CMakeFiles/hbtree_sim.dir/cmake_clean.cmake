@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbtree_sim.dir/cache_sim.cc.o"
+  "CMakeFiles/hbtree_sim.dir/cache_sim.cc.o.d"
+  "CMakeFiles/hbtree_sim.dir/cpu_cost_model.cc.o"
+  "CMakeFiles/hbtree_sim.dir/cpu_cost_model.cc.o.d"
+  "CMakeFiles/hbtree_sim.dir/platform.cc.o"
+  "CMakeFiles/hbtree_sim.dir/platform.cc.o.d"
+  "CMakeFiles/hbtree_sim.dir/tlb_sim.cc.o"
+  "CMakeFiles/hbtree_sim.dir/tlb_sim.cc.o.d"
+  "libhbtree_sim.a"
+  "libhbtree_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbtree_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_update_test.dir/batch_update_test.cc.o"
+  "CMakeFiles/batch_update_test.dir/batch_update_test.cc.o.d"
+  "batch_update_test"
+  "batch_update_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_tree_test.dir/fast_tree_test.cc.o"
+  "CMakeFiles/fast_tree_test.dir/fast_tree_test.cc.o.d"
+  "fast_tree_test"
+  "fast_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

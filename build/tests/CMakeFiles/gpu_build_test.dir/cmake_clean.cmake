@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_build_test.dir/gpu_build_test.cc.o"
+  "CMakeFiles/gpu_build_test.dir/gpu_build_test.cc.o.d"
+  "gpu_build_test"
+  "gpu_build_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_build_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hb_fast_test.dir/hb_fast_test.cc.o"
+  "CMakeFiles/hb_fast_test.dir/hb_fast_test.cc.o.d"
+  "hb_fast_test"
+  "hb_fast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hb_fast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implicit_btree_test.dir/implicit_btree_test.cc.o"
+  "CMakeFiles/implicit_btree_test.dir/implicit_btree_test.cc.o.d"
+  "implicit_btree_test"
+  "implicit_btree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implicit_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipelined_search_test.dir/pipelined_search_test.cc.o"
+  "CMakeFiles/pipelined_search_test.dir/pipelined_search_test.cc.o.d"
+  "pipelined_search_test"
+  "pipelined_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipelined_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

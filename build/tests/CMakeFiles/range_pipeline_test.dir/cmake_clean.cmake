@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_pipeline_test.dir/range_pipeline_test.cc.o"
+  "CMakeFiles/range_pipeline_test.dir/range_pipeline_test.cc.o.d"
+  "range_pipeline_test"
+  "range_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

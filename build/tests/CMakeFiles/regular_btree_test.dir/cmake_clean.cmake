@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regular_btree_test.dir/regular_btree_test.cc.o"
+  "CMakeFiles/regular_btree_test.dir/regular_btree_test.cc.o.d"
+  "regular_btree_test"
+  "regular_btree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regular_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tree_stats_test.cc" "tests/CMakeFiles/tree_stats_test.dir/tree_stats_test.cc.o" "gcc" "tests/CMakeFiles/tree_stats_test.dir/tree_stats_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hbtree_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hbtree_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hbtree_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/hbtree_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/hbtree_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/hbtree_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_support/CMakeFiles/hbtree_bench_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
