@@ -1,0 +1,67 @@
+// Serving front-end demo: a live index service over the regular
+// HB+-tree. A handful of client threads issue point lookups and range
+// queries while another applies a rolling stream of updates; the
+// epoch-swapped snapshot pair (src/serve/snapshot.h) keeps reads
+// consistent and non-blocking throughout. Prints the server's stats
+// report at the end.
+
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_support/serve_runner.h"
+#include "core/workload.h"
+#include "serve/server.h"
+
+using namespace hbtree;
+
+int main() {
+  const std::size_t n = 1 << 18;
+  const std::uint64_t seed = 42;
+  sim::PlatformSpec platform = sim::PlatformSpec::Parse("m1");
+
+  std::printf("building a %zu-key index service...\n", n);
+  auto data = GenerateDataset<Key64>(n, seed);
+  serve::ServerOptions options =
+      bench::CalibratedServerOptions(platform, data, seed + 1,
+                                     /*bucket_size=*/4096);
+  serve::Server<Key64> server(options, data);
+
+  // One blocking lookup and one range query, served end to end.
+  serve::ReadResult<Key64> one = server.SubmitLookup(data[7].key).get();
+  std::printf("lookup key %llu -> found=%d value=%llu\n",
+              static_cast<unsigned long long>(data[7].key), one.lookup.found,
+              static_cast<unsigned long long>(one.lookup.value));
+  auto range = server.Range(data[100].key, 8);
+  std::printf("range from key %llu -> %zu pairs\n",
+              static_cast<unsigned long long>(data[100].key), range.size());
+
+  // Concurrent phase: three lookup clients + one update client.
+  auto queries = MakeLookupQueries(data, seed + 2);
+  auto updates = MakeUpdateBatch(data, 16 * 1024, 0.8, seed + 3);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::future<serve::ReadResult<Key64>>> window;
+      for (std::size_t i = 0; i < 32 * 1024; ++i) {
+        window.push_back(
+            server.SubmitLookup(queries[(c + 3 * i) % queries.size()]));
+        if (window.size() == 512) {
+          for (auto& f : window) f.get();
+          window.clear();
+        }
+      }
+      for (auto& f : window) f.get();
+    });
+  }
+  clients.emplace_back([&] {
+    std::vector<std::future<std::uint64_t>> pending;
+    for (const auto& u : updates) pending.push_back(server.SubmitUpdate(u));
+    for (auto& f : pending) f.get();
+  });
+  for (auto& t : clients) t.join();
+
+  std::printf("%s\n", server.Stats().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus sanitizer passes.
+#
+#   scripts/check.sh            # release build + full ctest (tier-1 gate)
+#   scripts/check.sh asan       # + AddressSanitizer/UBSan build and ctest
+#   scripts/check.sh tsan       # + ThreadSanitizer build, concurrency tests
+#   scripts/check.sh all        # all of the above
+#
+# The release pass is the acceptance gate every change must keep green;
+# the sanitizer passes are the hardening net for memory and threading
+# bugs (see README, "Sanitizers").
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+mode="${1:-release}"
+
+run_release() {
+  echo "==> release build + tests"
+  cmake --preset release >/dev/null
+  cmake --build --preset release -j "$jobs"
+  ctest --preset release -j "$jobs"
+}
+
+run_asan() {
+  echo "==> asan/ubsan build + tests"
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$jobs"
+  ctest --preset asan -j "$jobs"
+}
+
+run_tsan() {
+  echo "==> tsan build + concurrency tests"
+  cmake --preset tsan >/dev/null
+  # Only the concurrent suites matter under TSan; building just those
+  # targets keeps the pass affordable on small machines.
+  cmake --build --preset tsan -j "$jobs" --target serve_stress_test
+  (cd build-tsan && ctest -R serve_stress_test --output-on-failure)
+}
+
+case "$mode" in
+  release) run_release ;;
+  asan)    run_release; run_asan ;;
+  tsan)    run_release; run_tsan ;;
+  all)     run_release; run_asan; run_tsan ;;
+  *) echo "usage: scripts/check.sh [release|asan|tsan|all]" >&2; exit 2 ;;
+esac
+
+echo "==> all requested checks passed"

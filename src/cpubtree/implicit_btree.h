@@ -257,6 +257,19 @@ template <typename K>
 void ImplicitBTree<K>::ComputeLayout() {
   leaf_lines_ = (size_ + kPairsPerLine - 1) / kPairsPerLine;
 
+  // An empty tree keeps one all-sentinel leaf line and no inner nodes:
+  // every lookup lands on the padding line and misses, range scans stop
+  // at the sentinel, and serialization round-trips through the same
+  // geometry.
+  if (size_ == 0) {
+    height_ = 0;
+    leaf_alloc_lines_ = 1;
+    level_alloc_.assign(1, 0);
+    level_offset_.assign(1, 0);
+    inner_alloc_nodes_ = 0;
+    return;
+  }
+
   // Determine the level sizes bottom-up: m[0] = leaf lines, m[i] nodes at
   // inner level i, up to a single root.
   std::vector<std::uint64_t> m = {leaf_lines_};
@@ -291,7 +304,6 @@ Status ImplicitBTree<K>::Restore(std::uint64_t pair_count,
                                  const void* l_segment,
                                  std::size_t l_bytes, const void* i_segment,
                                  std::size_t i_bytes) {
-  if (pair_count == 0) return Status::Error("empty tree image");
   size_ = pair_count;
   ComputeLayout();
   if (l_bytes != leaf_alloc_lines_ * sizeof(LeafLine) ||
@@ -299,15 +311,14 @@ Status ImplicitBTree<K>::Restore(std::uint64_t pair_count,
     return Status::Error("segment sizes do not match the tree geometry");
   }
   l_segment_.Reset(l_bytes, config_.leaf_page, registry_);
-  std::memcpy(l_segment_.data(), l_segment, l_bytes);
+  if (l_bytes != 0) std::memcpy(l_segment_.data(), l_segment, l_bytes);
   i_segment_.Reset(i_bytes, config_.inner_page, registry_);
-  std::memcpy(i_segment_.data(), i_segment, i_bytes);
+  if (i_bytes != 0) std::memcpy(i_segment_.data(), i_segment, i_bytes);
   return Status::Ok();
 }
 
 template <typename K>
 void ImplicitBTree<K>::Build(const std::vector<KeyValue<K>>& sorted_pairs) {
-  HBTREE_CHECK(!sorted_pairs.empty());
   size_ = sorted_pairs.size();
   ComputeLayout();
 

@@ -145,13 +145,13 @@ BatchUpdateStats RunBatchUpdate(HBRegularTree<K>& tree,
             const bool is_insert =
                 update.kind == UpdateQuery<K>::Kind::kInsert;
             NodeRef ln = host.FindLastInner(update.pair.key);
-            if (host.WouldBeStructural(ln, is_insert, update.pair.key)) {
-              deferred[w].push_back(&update);
-              continue;
-            }
+            // The structural check reads the same leaf state a
+            // concurrent ApplyNonStructural writes, so it must run
+            // under the node's stripe lock too (an unlocked
+            // "optimistic" pre-check would be a data race; structural
+            // queries are <1% of the batch, so there is nothing to
+            // save by dodging the lock).
             std::lock_guard<std::mutex> lock(stripes[ln % kStripes]);
-            // Re-check under the lock: a concurrent worker may have
-            // filled the leaf meanwhile.
             if (host.WouldBeStructural(ln, is_insert, update.pair.key)) {
               deferred[w].push_back(&update);
               continue;

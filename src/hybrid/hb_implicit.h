@@ -1,6 +1,7 @@
 #ifndef HBTREE_HYBRID_HB_IMPLICIT_H_
 #define HBTREE_HYBRID_HB_IMPLICIT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -64,9 +65,18 @@ class HBImplicitTree {
   /// modelled transfer time in µs (Figure 15's third phase).
   double SyncISegment() {
     HBTREE_CHECK(!device_nodes_.is_null());
+    sync_epoch_.fetch_add(1, std::memory_order_relaxed);
     return transfer_->CopyToDevice(
         device_nodes_, host_tree_.i_segment_nodes(),
         host_tree_.i_segment_node_count() * kCacheLineSize);
+  }
+
+  /// Snapshot hook: monotonically increasing count of device-mirror
+  /// uploads (initial Build and every SyncISegment). Lets a snapshot
+  /// manager tell whether the mirror changed since a reader pinned it;
+  /// readable from any thread.
+  std::uint64_t sync_epoch() const {
+    return sync_epoch_.load(std::memory_order_relaxed);
   }
 
   /// Kernel launch parameters for a bucket of `count` queries already in
@@ -118,6 +128,7 @@ class HBImplicitTree {
     device_nodes_ = device_->TryMalloc(bytes);
     if (device_nodes_.is_null()) return false;
     device_bytes_ = bytes;
+    sync_epoch_.fetch_add(1, std::memory_order_relaxed);
     transfer_->CopyToDevice(device_nodes_, host_tree_.i_segment_nodes(),
                             bytes);
     return true;
@@ -129,6 +140,7 @@ class HBImplicitTree {
   gpu::TransferEngine* transfer_;
   gpu::DevicePtr device_nodes_;
   std::size_t device_bytes_ = 0;
+  std::atomic<std::uint64_t> sync_epoch_{0};
 };
 
 }  // namespace hbtree

@@ -1,6 +1,7 @@
 #ifndef HBTREE_HYBRID_HB_REGULAR_H_
 #define HBTREE_HYBRID_HB_REGULAR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <vector>
@@ -72,6 +73,7 @@ class HBRegularTree {
     gpu::DevicePtr dst =
         (node.last_level ? device_last_ : device_inner_) +
         static_cast<std::uint64_t>(node.ref) * sizeof(Hot);
+    sync_epoch_.fetch_add(1, std::memory_order_relaxed);
     return transfer_->StreamedCopyToDevice(dst, &hot, sizeof(Hot));
   }
 
@@ -104,6 +106,15 @@ class HBRegularTree {
   RegularBTree<K>& host_tree() { return host_tree_; }
   gpu::Device& device() { return *device_; }
   gpu::TransferEngine& transfer() { return *transfer_; }
+
+  /// Snapshot hook: monotonically increasing count of device-mirror
+  /// synchronizations (node-granular or whole-I-segment). A snapshot
+  /// manager serving reads from this tree can compare epochs to tell
+  /// whether the mirror changed since a reader pinned it; readable from
+  /// any thread.
+  std::uint64_t sync_epoch() const {
+    return sync_epoch_.load(std::memory_order_relaxed);
+  }
 
   std::size_t device_bytes() const {
     return (inner_capacity_ + last_capacity_) * sizeof(Hot);
@@ -142,6 +153,7 @@ class HBRegularTree {
       last_capacity_ = cap_last;
     }
     CopyPools();
+    sync_epoch_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
 
@@ -178,6 +190,7 @@ class HBRegularTree {
   gpu::DevicePtr device_last_;
   std::size_t inner_capacity_ = 0;
   std::size_t last_capacity_ = 0;
+  std::atomic<std::uint64_t> sync_epoch_{0};
 };
 
 }  // namespace hbtree

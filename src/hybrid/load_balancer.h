@@ -30,8 +30,18 @@ LoadBalanceSetting DiscoverLoadBalance(HB& tree, const K* sample_queries,
                                        std::size_t count,
                                        PipelineConfig base) {
   base.buckets_in_flight = 3;
-  const int max_d =
-      std::max(0, tree.host_tree().height() - 2);
+  const int height = tree.host_tree().height();
+  const int max_d = std::max(0, height - 2);
+
+  // Degenerate cases: with no sample there is nothing to measure, and a
+  // tree of height < 2 has no inner level the CPU could take over while
+  // leaving the GPU at least one (the pipeline disables balancing for
+  // such trees too). Return the all-GPU default instead of running the
+  // binary search on meaningless (zero) samples, which would drift R
+  // away from 1 and prescribe partial descents no component executes.
+  if (count == 0 || height < 2) {
+    return LoadBalanceSetting{};
+  }
 
   auto get_sample = [&](int d, double r) {
     PipelineConfig config = base;
@@ -63,6 +73,13 @@ LoadBalanceSetting DiscoverLoadBalance(HB& tree, const K* sample_queries,
       setting.r += 1.0 / (1 << step);
     }
   }
+  // The ±1/2^step walk keeps R in (0, 1) for any sample sequence, and the
+  // raise-D loop stops at max_d = height - 2; clamp anyway so a future
+  // change to either loop cannot hand the pipeline an out-of-range
+  // setting (it clamps too, but a silently-clamped discovery result
+  // would misreport what was discovered).
+  setting.d = std::clamp(setting.d, 0, max_d);
+  setting.r = std::clamp(setting.r, 0.0, 1.0);
   setting.sample_gpu_us = sample.sample_gpu_us;
   setting.sample_cpu_us = sample.sample_cpu_us;
   return setting;

@@ -54,8 +54,6 @@ std::uint32_t Crc32c(const void* data, std::size_t size, std::uint32_t seed) {
 
 template <typename K>
 Status SaveTreeFile(const ImplicitBTree<K>& tree, const std::string& path) {
-  if (tree.size() == 0) return Status::Error("cannot save an empty tree");
-
   FileHeader header{};
   std::memcpy(header.magic, kMagic, sizeof(kMagic));
   header.version = kFormatVersion;
@@ -73,10 +71,14 @@ Status SaveTreeFile(const ImplicitBTree<K>& tree, const std::string& path) {
   crc = Crc32c(tree.i_segment_nodes(), header.i_bytes, crc);
 
   out.write(reinterpret_cast<const char*>(&header), sizeof(header));
-  out.write(reinterpret_cast<const char*>(tree.l_segment_lines()),
-            static_cast<std::streamsize>(header.l_bytes));
-  out.write(reinterpret_cast<const char*>(tree.i_segment_nodes()),
-            static_cast<std::streamsize>(header.i_bytes));
+  if (header.l_bytes != 0) {
+    out.write(reinterpret_cast<const char*>(tree.l_segment_lines()),
+              static_cast<std::streamsize>(header.l_bytes));
+  }
+  if (header.i_bytes != 0) {
+    out.write(reinterpret_cast<const char*>(tree.i_segment_nodes()),
+              static_cast<std::streamsize>(header.i_bytes));
+  }
   out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
   if (!out) return Status::Error("short write to '" + path + "'");
   return Status::Ok();
@@ -107,10 +109,28 @@ Status LoadTreeFile(ImplicitBTree<K>* tree, const std::string& path) {
                          "hybrid fanout");
   }
 
+  // Validate the declared segment sizes against the actual file size
+  // before allocating: a corrupted length field must produce a clean
+  // error, not a multi-gigabyte allocation attempt.
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(static_cast<std::streamoff>(sizeof(FileHeader)), std::ios::beg);
+  const std::uint64_t expected =
+      sizeof(FileHeader) + header.l_bytes + header.i_bytes + sizeof(std::uint32_t);
+  if (header.l_bytes > file_size || header.i_bytes > file_size ||
+      expected != file_size) {
+    return Status::Error("segment sizes in '" + path +
+                         "' do not match the file size (corrupted file)");
+  }
+
   std::vector<char> l_segment(header.l_bytes);
   std::vector<char> i_segment(header.i_bytes);
-  in.read(l_segment.data(), static_cast<std::streamsize>(header.l_bytes));
-  in.read(i_segment.data(), static_cast<std::streamsize>(header.i_bytes));
+  if (!l_segment.empty()) {
+    in.read(l_segment.data(), static_cast<std::streamsize>(header.l_bytes));
+  }
+  if (!i_segment.empty()) {
+    in.read(i_segment.data(), static_cast<std::streamsize>(header.i_bytes));
+  }
   std::uint32_t stored_crc = 0;
   in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
   if (!in) return Status::Error("truncated body in '" + path + "'");

@@ -1,0 +1,108 @@
+#ifndef HBTREE_SERVE_ADMISSION_QUEUE_H_
+#define HBTREE_SERVE_ADMISSION_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace hbtree::serve {
+
+/// Bounded multi-producer admission queue with batch-oriented consumption.
+///
+/// Producers (client threads) block in Push() while the queue is full —
+/// this is the serving layer's backpressure: admission slows to the rate
+/// the pipeline drains buckets instead of queueing unboundedly. The
+/// single consumer (a batcher thread) pops up to a bucket's worth of
+/// operations at once, waiting briefly for a partial bucket to fill so
+/// light load still ships with bounded added latency.
+template <typename T>
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (and drops `item`) if
+  /// the queue was closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Pops up to `max` items into `out` (appended). Waits up to
+  /// `idle_wait` for the first item; once one arrives, keeps collecting
+  /// until `max` items are gathered or `fill_wait` has elapsed since the
+  /// first item — the bucket-fill window. Returns the number popped
+  /// (0 on timeout or when closed and drained).
+  std::size_t PopBatch(std::vector<T>* out, std::size_t max,
+                       std::chrono::microseconds idle_wait,
+                       std::chrono::microseconds fill_wait) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!not_empty_.wait_for(lock, idle_wait,
+                             [this] { return closed_ || !items_.empty(); })) {
+      return 0;
+    }
+    if (items_.empty()) return 0;  // closed and drained
+    std::size_t popped = 0;
+    const auto deadline = std::chrono::steady_clock::now() + fill_wait;
+    for (;;) {
+      while (popped < max && !items_.empty()) {
+        out->push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++popped;
+      }
+      if (popped >= max || closed_) break;
+      if (!not_empty_.wait_until(lock, deadline,
+                                 [this] { return closed_ || !items_.empty(); })) {
+        break;  // fill window expired: ship the partial bucket
+      }
+    }
+    lock.unlock();
+    not_full_.notify_all();
+    return popped;
+  }
+
+  /// Closes the queue: pending Push() calls fail, items already admitted
+  /// remain poppable so the consumer can drain before exiting.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace hbtree::serve
+
+#endif  // HBTREE_SERVE_ADMISSION_QUEUE_H_

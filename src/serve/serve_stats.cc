@@ -1,0 +1,70 @@
+#include "serve/serve_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace hbtree::serve {
+
+LatencySummary LatencyHistogram::Summarize() const {
+  std::vector<std::uint64_t> counts(kBuckets);
+  std::uint64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    counts[b] = counts_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  LatencySummary summary;
+  summary.count = total;
+  if (total == 0) return summary;
+  summary.max_us = max_ns_.load(std::memory_order_relaxed) / 1e3;
+  summary.mean_us =
+      sum_ns_.load(std::memory_order_relaxed) / 1e3 / total;
+
+  auto percentile = [&](double q) {
+    const std::uint64_t rank = static_cast<std::uint64_t>(q * (total - 1));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += counts[b];
+      if (seen > rank) return BucketMidpointNs(b) / 1e3;
+    }
+    return BucketMidpointNs(kBuckets - 1) / 1e3;
+  };
+  summary.p50_us = percentile(0.50);
+  summary.p90_us = percentile(0.90);
+  summary.p99_us = percentile(0.99);
+  // The histogram midpoint can overshoot the true maximum; clamp so the
+  // reported percentiles never exceed the observed max.
+  summary.p50_us = std::min(summary.p50_us, summary.max_us);
+  summary.p90_us = std::min(summary.p90_us, summary.max_us);
+  summary.p99_us = std::min(summary.p99_us, summary.max_us);
+  return summary;
+}
+
+std::string ServeStats::ToString() const {
+  char buffer[1024];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "serve: %llu lookups, %llu ranges, %llu updates in %.2fs\n"
+      "  throughput: %.0f reads/s, %.0f updates/s\n"
+      "  batching:   %llu read buckets (avg fill %.1f), %llu update "
+      "batches, epoch %llu\n"
+      "  read  latency us: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n"
+      "  update latency us: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n"
+      "  simulated platform: pipeline %.0f us, updates %.0f us "
+      "(%llu applied, %llu structural)",
+      static_cast<unsigned long long>(lookups),
+      static_cast<unsigned long long>(ranges),
+      static_cast<unsigned long long>(updates), wall_seconds,
+      reads_per_second, updates_per_second,
+      static_cast<unsigned long long>(read_buckets), avg_bucket_fill,
+      static_cast<unsigned long long>(update_batches),
+      static_cast<unsigned long long>(epoch), read_latency.p50_us,
+      read_latency.p90_us, read_latency.p99_us, read_latency.max_us,
+      update_latency.p50_us, update_latency.p90_us, update_latency.p99_us,
+      update_latency.max_us, sim_pipeline_us, sim_update_us,
+      static_cast<unsigned long long>(applied),
+      static_cast<unsigned long long>(structural));
+  return buffer;
+}
+
+}  // namespace hbtree::serve

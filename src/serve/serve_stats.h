@@ -1,0 +1,55 @@
+#ifndef HBTREE_SERVE_SERVE_STATS_H_
+#define HBTREE_SERVE_SERVE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "serve/latency_histogram.h"
+
+namespace hbtree::serve {
+
+/// Aggregate serving-layer statistics, exposed by Server::Stats().
+///
+/// Latencies are wall-clock (admission to completion, so they include
+/// queueing and batching delay); the sim_* fields aggregate the simulated
+/// platform timing the pipeline and batch updater report, letting a bench
+/// compare real serving overhead against the modelled hardware time.
+struct ServeStats {
+  // Completed operation counts.
+  std::uint64_t lookups = 0;
+  std::uint64_t ranges = 0;
+  std::uint64_t updates = 0;
+
+  // Batching behaviour.
+  std::uint64_t read_buckets = 0;    // dispatched pipeline buckets
+  std::uint64_t update_batches = 0;  // committed update batches
+  double avg_bucket_fill = 0;        // lookups per dispatched bucket
+
+  // Wall-clock latency percentiles.
+  LatencySummary read_latency;
+  LatencySummary update_latency;
+
+  // Throughput over the server's lifetime so far.
+  double wall_seconds = 0;
+  double reads_per_second = 0;
+  double updates_per_second = 0;
+
+  // Simulated-platform aggregates (µs on the modelled hardware clock).
+  double sim_pipeline_us = 0;
+  double sim_update_us = 0;
+
+  // Update outcome counters (from BatchUpdateStats).
+  std::uint64_t applied = 0;
+  std::uint64_t structural = 0;
+
+  // Snapshot epoch at the time of the stats snapshot: each committed
+  // update batch advances it by one swap.
+  std::uint64_t epoch = 0;
+
+  /// Human-readable multi-line report (used by bench/ and examples/).
+  std::string ToString() const;
+};
+
+}  // namespace hbtree::serve
+
+#endif  // HBTREE_SERVE_SERVE_STATS_H_

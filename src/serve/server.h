@@ -1,0 +1,396 @@
+#ifndef HBTREE_SERVE_SERVER_H_
+#define HBTREE_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/macros.h"
+#include "core/types.h"
+#include "core/workload.h"
+#include "hybrid/batch_update.h"
+#include "hybrid/bucket_pipeline.h"
+#include "hybrid/hb_regular.h"
+#include "serve/admission_queue.h"
+#include "serve/latency_histogram.h"
+#include "serve/serve_stats.h"
+#include "serve/snapshot.h"
+#include "sim/platform.h"
+
+namespace hbtree::serve {
+
+/// Serving-layer tuning knobs.
+struct ServerOptions {
+  /// Simulated platform each tree instance runs against (every snapshot
+  /// slot gets its own device + transfer engine, so the reader's kernel
+  /// launches never share mutable simulator state with the writer's
+  /// I-segment syncs).
+  sim::PlatformSpec platform = sim::PlatformSpec::Parse("m1");
+
+  /// Pipeline configuration for read buckets. `bucket_size` is the
+  /// admission bucket M (the paper settles on 16K, Section 6.3); the CPU
+  /// rate fields should come from calibration (see
+  /// bench_support/serve_runner.h).
+  PipelineConfig pipeline;
+
+  /// Batch-update configuration and method (Section 5.6). The default
+  /// asynchronous-parallel method matches the epoch-swap design: the
+  /// whole batch lands in main memory, then one bulk I-segment sync.
+  BatchUpdateConfig update;
+  UpdateMethod update_method = UpdateMethod::kAsyncParallel;
+
+  /// Tree build configuration. Leaf slack keeps most online inserts
+  /// non-structural, as the paper's update analysis assumes.
+  double leaf_fill = 0.9;
+
+  /// Admission-queue capacity per lane (reads / updates); producers block
+  /// when a lane is full (backpressure).
+  std::size_t queue_capacity = 64 * 1024;
+
+  /// Updates per committed batch (flush threshold).
+  int update_batch_size = 16 * 1024;
+
+  /// How long a batcher waits for a partial bucket/batch to fill before
+  /// shipping it — the added latency bound under light load.
+  std::chrono::microseconds max_batch_delay{200};
+};
+
+/// Result of one read operation (point lookup or range query).
+template <typename K>
+struct ReadResult {
+  LookupResult<K> lookup;           // valid for point lookups
+  std::vector<KeyValue<K>> range;   // valid for range queries
+};
+
+/// Multi-threaded serving front-end over the regular HB+-tree.
+///
+/// Client threads submit point lookups, range queries, and updates; the
+/// serving layer batches admitted reads into pipeline-sized buckets and
+/// dispatches them through RunSearchPipeline, while updates accumulate
+/// into groups executed by RunBatchUpdate (Section 5.6). Reads run
+/// against an epoch-swapped snapshot (SnapshotPair), so lookups proceed
+/// concurrently with a batch-update pass — the paper's asynchronous
+/// update model lifted from "searches keep using the stale I-segment"
+/// to "searches keep using a consistent full tree".
+///
+/// Threads: any number of producers; one read batcher; one update
+/// committer. All Submit* methods are thread-safe and return futures.
+template <typename K>
+class Server {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Server(const ServerOptions& options,
+         const std::vector<KeyValue<K>>& sorted_pairs)
+      : options_(options),
+        read_queue_(options.queue_capacity),
+        update_queue_(options.queue_capacity),
+        slot_a_(options),
+        slot_b_(options),
+        snapshots_(&slot_a_, &slot_b_) {
+    HBTREE_CHECK(options.pipeline.bucket_size > 0);
+    HBTREE_CHECK(options.update_batch_size > 0);
+    HBTREE_CHECK_MSG(slot_a_.tree.Build(sorted_pairs) &&
+                         slot_b_.tree.Build(sorted_pairs),
+                     "I-segment does not fit into device memory");
+    started_at_ = Clock::now();
+    read_worker_ = std::thread([this] { ReadLoop(); });
+    update_worker_ = std::thread([this] { UpdateLoop(); });
+  }
+
+  ~Server() { Shutdown(); }
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // -- Client API ---------------------------------------------------------
+
+  /// Admits a point lookup; blocks if the read lane is full.
+  std::future<ReadResult<K>> SubmitLookup(K key) {
+    ReadOp op;
+    op.key = key;
+    op.max_matches = 0;
+    return AdmitRead(std::move(op));
+  }
+
+  /// Admits a range query for up to `max_matches` pairs with key >= key.
+  std::future<ReadResult<K>> SubmitRange(K key, int max_matches) {
+    HBTREE_CHECK(max_matches > 0);
+    ReadOp op;
+    op.key = key;
+    op.max_matches = max_matches;
+    return AdmitRead(std::move(op));
+  }
+
+  /// Admits an update. The future resolves to the sequence number of the
+  /// batch that committed it (after both snapshot instances converged).
+  std::future<std::uint64_t> SubmitUpdate(UpdateQuery<K> update) {
+    UpdateOp op;
+    op.query = update;
+    op.admitted = Clock::now();
+    std::future<std::uint64_t> result = op.done.get_future();
+    HBTREE_CHECK_MSG(update_queue_.Push(std::move(op)),
+                     "update submitted to a stopped server");
+    return result;
+  }
+
+  // Blocking conveniences.
+  LookupResult<K> Lookup(K key) { return SubmitLookup(key).get().lookup; }
+  std::vector<KeyValue<K>> Range(K key, int max_matches) {
+    return SubmitRange(key, max_matches).get().range;
+  }
+  std::uint64_t Update(UpdateQuery<K> update) {
+    return SubmitUpdate(update).get();
+  }
+
+  // -- Introspection ------------------------------------------------------
+
+  /// Number of update batches fully committed (both instances converged).
+  std::uint64_t committed_batches() const {
+    return committed_batches_.load(std::memory_order_acquire);
+  }
+  /// Number of update batches whose first (visible) application has been
+  /// published; lookups admitted after this point see the batch.
+  std::uint64_t epoch() const { return snapshots_.epoch(); }
+
+  ServeStats Stats() const {
+    ServeStats stats;
+    stats.lookups = lookups_done_.load(std::memory_order_relaxed);
+    stats.ranges = ranges_done_.load(std::memory_order_relaxed);
+    stats.updates = updates_done_.load(std::memory_order_relaxed);
+    stats.read_buckets = read_buckets_.load(std::memory_order_relaxed);
+    stats.update_batches = committed_batches();
+    stats.avg_bucket_fill =
+        stats.read_buckets > 0
+            ? static_cast<double>(stats.lookups) / stats.read_buckets
+            : 0;
+    stats.read_latency = read_latency_.Summarize();
+    stats.update_latency = update_latency_.Summarize();
+    stats.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - started_at_).count();
+    if (stats.wall_seconds > 0) {
+      stats.reads_per_second =
+          (stats.lookups + stats.ranges) / stats.wall_seconds;
+      stats.updates_per_second = stats.updates / stats.wall_seconds;
+    }
+    {
+      std::lock_guard<std::mutex> lock(sim_mutex_);
+      stats.sim_pipeline_us = sim_pipeline_us_;
+      stats.sim_update_us = sim_update_us_;
+      stats.applied = applied_;
+      stats.structural = structural_;
+    }
+    stats.epoch = snapshots_.epoch();
+    return stats;
+  }
+
+  /// Stops admission, drains both lanes, and joins the workers. Safe to
+  /// call more than once.
+  void Shutdown() {
+    bool expected = false;
+    if (!stopped_.compare_exchange_strong(expected, true)) return;
+    read_queue_.Close();
+    update_queue_.Close();
+    if (read_worker_.joinable()) read_worker_.join();
+    if (update_worker_.joinable()) update_worker_.join();
+  }
+
+ private:
+  /// One snapshot instance: a full tree with its own registry, device,
+  /// and transfer engine, so the two instances share no mutable state.
+  struct TreeSlot {
+    PageRegistry registry;
+    gpu::Device device;
+    gpu::TransferEngine transfer;
+    HBRegularTree<K> tree;
+
+    explicit TreeSlot(const ServerOptions& options)
+        : device(options.platform.gpu),
+          transfer(&device, options.platform.pcie),
+          tree(MakeTreeConfig(options), &registry, &device, &transfer) {}
+
+    static typename HBRegularTree<K>::Config MakeTreeConfig(
+        const ServerOptions& options) {
+      typename HBRegularTree<K>::Config config;
+      config.tree.leaf_fill = options.leaf_fill;
+      return config;
+    }
+  };
+
+  struct ReadOp {
+    K key;
+    int max_matches = 0;  // 0 = point lookup
+    Clock::time_point admitted;
+    std::promise<ReadResult<K>> done;
+  };
+
+  struct UpdateOp {
+    UpdateQuery<K> query;
+    Clock::time_point admitted;
+    std::promise<std::uint64_t> done;
+  };
+
+  std::future<ReadResult<K>> AdmitRead(ReadOp op) {
+    op.admitted = Clock::now();
+    std::future<ReadResult<K>> result = op.done.get_future();
+    HBTREE_CHECK_MSG(read_queue_.Push(std::move(op)),
+                     "read submitted to a stopped server");
+    return result;
+  }
+
+  void RecordLatency(LatencyHistogram* histogram, Clock::time_point start) {
+    histogram->Record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count()));
+  }
+
+  void ReadLoop() {
+    const std::size_t bucket_size =
+        static_cast<std::size_t>(options_.pipeline.bucket_size);
+    std::vector<ReadOp> batch;
+    std::vector<K> keys;
+    std::vector<std::size_t> key_op;  // bucket position of keys[i]
+    std::vector<LookupResult<K>> results;
+    for (;;) {
+      batch.clear();
+      const std::size_t n = read_queue_.PopBatch(
+          &batch, bucket_size, std::chrono::microseconds(10'000),
+          options_.max_batch_delay);
+      if (n == 0) {
+        if (read_queue_.closed() && read_queue_.size() == 0) return;
+        continue;
+      }
+
+      auto guard = snapshots_.Acquire();
+      TreeSlot& slot = guard.slot();
+
+      keys.clear();
+      key_op.clear();
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (batch[i].max_matches == 0) {
+          keys.push_back(batch[i].key);
+          key_op.push_back(i);
+        }
+      }
+
+      std::vector<ReadResult<K>> out(batch.size());
+      if (!keys.empty()) {
+        results.assign(keys.size(), LookupResult<K>{});
+        PipelineStats pipeline_stats = RunSearchPipeline(
+            slot.tree, keys.data(), keys.size(), options_.pipeline,
+            &results);
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+          out[key_op[i]].lookup = results[i];
+        }
+        std::lock_guard<std::mutex> lock(sim_mutex_);
+        sim_pipeline_us_ += pipeline_stats.total_us;
+      }
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (batch[i].max_matches > 0) {
+          // Range queries resolve against the same pinned snapshot; the
+          // leaf-sequential scan is the CPU's share regardless (Section
+          // 5.4), so it runs host-side here.
+          out[i].range.resize(batch[i].max_matches);
+          const int matched = slot.tree.host_tree().RangeScan(
+              batch[i].key, batch[i].max_matches, out[i].range.data());
+          out[i].range.resize(matched);
+        }
+      }
+
+      read_buckets_.fetch_add(1, std::memory_order_relaxed);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const bool is_range = batch[i].max_matches > 0;
+        batch[i].done.set_value(std::move(out[i]));
+        RecordLatency(&read_latency_, batch[i].admitted);
+        if (is_range) {
+          ranges_done_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          lookups_done_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  void UpdateLoop() {
+    std::vector<UpdateOp> ops;
+    std::vector<UpdateQuery<K>> batch;
+    for (;;) {
+      ops.clear();
+      const std::size_t n = update_queue_.PopBatch(
+          &ops, static_cast<std::size_t>(options_.update_batch_size),
+          std::chrono::microseconds(10'000), options_.max_batch_delay);
+      if (n == 0) {
+        if (update_queue_.closed() && update_queue_.size() == 0) return;
+        continue;
+      }
+
+      batch.clear();
+      batch.reserve(ops.size());
+      for (const UpdateOp& op : ops) batch.push_back(op.query);
+
+      // Left-right commit: apply to the standby instance, swap the
+      // epoch so new read buckets see the batch, drain readers still on
+      // the old instance, then converge it with the same batch.
+      BatchUpdateStats first_pass{};
+      bool recorded = false;
+      snapshots_.Publish([&](TreeSlot& slot) {
+        BatchUpdateStats pass = RunBatchUpdate(
+            slot.tree, batch, options_.update_method, options_.update);
+        if (!recorded) {
+          first_pass = pass;
+          recorded = true;
+        }
+      });
+
+      const std::uint64_t seq =
+          committed_batches_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      {
+        std::lock_guard<std::mutex> lock(sim_mutex_);
+        sim_update_us_ += first_pass.total_us;
+        applied_ += first_pass.applied;
+        structural_ += first_pass.structural;
+      }
+      for (UpdateOp& op : ops) {
+        op.done.set_value(seq);
+        RecordLatency(&update_latency_, op.admitted);
+        updates_done_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  ServerOptions options_;
+  AdmissionQueue<ReadOp> read_queue_;
+  AdmissionQueue<UpdateOp> update_queue_;
+  TreeSlot slot_a_;
+  TreeSlot slot_b_;
+  SnapshotPair<TreeSlot> snapshots_;
+
+  std::thread read_worker_;
+  std::thread update_worker_;
+  std::atomic<bool> stopped_{false};
+  Clock::time_point started_at_;
+
+  std::atomic<std::uint64_t> lookups_done_{0};
+  std::atomic<std::uint64_t> ranges_done_{0};
+  std::atomic<std::uint64_t> updates_done_{0};
+  std::atomic<std::uint64_t> read_buckets_{0};
+  std::atomic<std::uint64_t> committed_batches_{0};
+  LatencyHistogram read_latency_;
+  LatencyHistogram update_latency_;
+
+  mutable std::mutex sim_mutex_;
+  double sim_pipeline_us_ = 0;
+  double sim_update_us_ = 0;
+  std::uint64_t applied_ = 0;
+  std::uint64_t structural_ = 0;
+};
+
+}  // namespace hbtree::serve
+
+#endif  // HBTREE_SERVE_SERVER_H_

@@ -1,0 +1,137 @@
+#ifndef HBTREE_SERVE_SNAPSHOT_H_
+#define HBTREE_SERVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "core/macros.h"
+
+namespace hbtree::serve {
+
+/// Epoch-swapped snapshot pair (the "left-right" scheme).
+///
+/// The paper's asynchronous update method (Section 5.6) lets lookups keep
+/// running against the current I-segment while a batch of updates is
+/// applied and a fresh mirror is prepared; the swap to the new state is a
+/// single pointer-sized publication. This class generalizes that idea to
+/// the whole serving layer: two complete tree instances alternate between
+/// the *active* role (read by search buckets) and the *standby* role
+/// (mutated by the batch updater). Readers pin the active instance by
+/// epoch; a writer applies its batch to the standby, swaps the roles by
+/// bumping the epoch, waits for the readers still pinned to the old
+/// instance to drain, and re-applies the same batch so both instances
+/// converge. Readers never block and never observe a half-applied batch.
+///
+/// Memory ordering: a writer's mutations of instance S happen-before the
+/// release epoch bump, which the reader's acquire load of the epoch
+/// synchronizes with; a reader's accesses happen-before its release
+/// decrement of the pin count, which the writer's acquire drain loop
+/// synchronizes with. Both directions are thus data-race-free without any
+/// lock on the read path.
+template <typename Slot>
+class SnapshotPair {
+ public:
+  SnapshotPair(Slot* a, Slot* b) : slots_{a, b} {
+    HBTREE_CHECK(a != nullptr && b != nullptr);
+  }
+
+  SnapshotPair(const SnapshotPair&) = delete;
+  SnapshotPair& operator=(const SnapshotPair&) = delete;
+
+  /// Pins the active slot for the guard's lifetime. Cheap enough to take
+  /// per read bucket; never blocks (the retry loop runs at most once per
+  /// concurrent swap).
+  class ReadGuard {
+   public:
+    ReadGuard(ReadGuard&& other) noexcept
+        : owner_(other.owner_), index_(other.index_), epoch_(other.epoch_) {
+      other.owner_ = nullptr;
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ReadGuard& operator=(ReadGuard&&) = delete;
+
+    ~ReadGuard() {
+      if (owner_ != nullptr) {
+        owner_->readers_[index_].fetch_sub(1, std::memory_order_acq_rel);
+      }
+    }
+
+    Slot& slot() const { return *owner_->slots_[index_]; }
+    std::uint64_t epoch() const { return epoch_; }
+
+   private:
+    friend class SnapshotPair;
+    ReadGuard(SnapshotPair* owner, int index, std::uint64_t epoch)
+        : owner_(owner), index_(index), epoch_(epoch) {}
+
+    SnapshotPair* owner_;
+    int index_;
+    std::uint64_t epoch_;
+  };
+
+  ReadGuard Acquire() {
+    for (;;) {
+      const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+      const int index = static_cast<int>(epoch & 1);
+      readers_[index].fetch_add(1, std::memory_order_acq_rel);
+      // Revalidate: if a swap happened between the epoch load and the pin,
+      // the writer may already have seen a zero count and begun mutating
+      // this slot — back out and pin the new active instead.
+      if (epoch_.load(std::memory_order_acquire) == epoch) {
+        return ReadGuard(this, index, epoch);
+      }
+      readers_[index].fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  /// Applies `mutate` to both instances with an epoch swap in between.
+  /// Single-writer: callers must serialize Publish() externally (the
+  /// serving layer has exactly one update thread).
+  template <typename Fn>
+  void Publish(Fn&& mutate) {
+    const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+    const int standby = static_cast<int>((epoch + 1) & 1);
+    mutate(*slots_[standby]);
+    // Swap roles: new readers land on the freshly updated instance.
+    epoch_.store(epoch + 1, std::memory_order_release);
+    WaitForDrain(static_cast<int>(epoch & 1));
+    // Catch up the old active (now standby) so the next Publish starts
+    // from a converged pair.
+    mutate(*slots_[static_cast<int>(epoch & 1)]);
+  }
+
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// The instance the next Publish() would mutate first. Only safe to
+  /// touch from the (single) writer while no Publish is in flight.
+  Slot& standby() {
+    return *slots_[(epoch_.load(std::memory_order_relaxed) + 1) & 1];
+  }
+
+ private:
+  void WaitForDrain(int index) {
+    int spins = 0;
+    while (readers_[index].load(std::memory_order_acquire) != 0) {
+      if (++spins < 128) {
+        std::this_thread::yield();
+      } else {
+        // A pinned reader is mid-bucket; back off instead of burning a
+        // core for the bucket's whole service time.
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  }
+
+  Slot* slots_[2];
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> readers_[2] = {0, 0};
+};
+
+}  // namespace hbtree::serve
+
+#endif  // HBTREE_SERVE_SNAPSHOT_H_

@@ -13,8 +13,12 @@
 #include "core/workload.h"
 #include "cpubtree/implicit_btree.h"
 #include "cpubtree/regular_btree.h"
+#include "hybrid/batch_update.h"
 #include "hybrid/bucket_pipeline.h"
+#include "hybrid/hb_implicit.h"
+#include "hybrid/hb_regular.h"
 #include "sim/cache_sim.h"
+#include "sim/platform.h"
 
 namespace hbtree {
 namespace {
@@ -229,6 +233,298 @@ TYPED_TEST(ExhaustiveDomainTest, RangeScansAgreeWithReference) {
     ASSERT_EQ(ia, expect) << start;
     ASSERT_EQ(ib, expect) << start;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Differential harness: long interleaved insert/erase sequences mirrored
+// into a std::map, with the trees checked against the reference at
+// boundary keys (global min/max, domain edges), absent probes adjacent
+// to present keys on both sides, and range queries. Covers the regular
+// tree (in-place updates), the implicit tree (rebuild-based), and both
+// hybrid trees (batch updates / pipeline lookups).
+// ---------------------------------------------------------------------------
+
+template <typename K, typename Tree>
+void CheckAgainstReference(const Tree& tree, const std::map<K, K>& reference,
+                           Rng* rng) {
+  // Global boundary keys and their absent neighbours.
+  if (!reference.empty()) {
+    const auto& [min_key, min_value] = *reference.begin();
+    const auto& [max_key, max_value] = *reference.rbegin();
+    auto lo = tree.Search(min_key);
+    ASSERT_TRUE(lo.found);
+    ASSERT_EQ(lo.value, min_value);
+    auto hi = tree.Search(max_key);
+    ASSERT_TRUE(hi.found);
+    ASSERT_EQ(hi.value, max_value);
+    if (min_key > 0 && reference.count(static_cast<K>(min_key - 1)) == 0) {
+      ASSERT_FALSE(tree.Search(static_cast<K>(min_key - 1)).found);
+    }
+    if (reference.count(static_cast<K>(max_key + 1)) == 0) {
+      ASSERT_FALSE(tree.Search(static_cast<K>(max_key + 1)).found);
+    }
+  }
+  // Domain edges: key 0 and the largest non-sentinel key.
+  auto edge = reference.find(K{0});
+  ASSERT_EQ(tree.Search(K{0}).found, edge != reference.end());
+  ASSERT_FALSE(tree.Search(static_cast<K>(KeyTraits<K>::kMax - 1)).found);
+  // Probes adjacent to present keys, on both sides.
+  std::size_t checked = 0;
+  for (const auto& [key, value] : reference) {
+    if (rng->NextBounded(reference.size()) > 40) continue;
+    auto result = tree.Search(key);
+    ASSERT_TRUE(result.found) << key;
+    ASSERT_EQ(result.value, value);
+    for (K probe : {static_cast<K>(key - 1), static_cast<K>(key + 1)}) {
+      if (key == 0 && probe > key) continue;  // wrapped below zero
+      auto it = reference.find(probe);
+      auto got = tree.Search(probe);
+      ASSERT_EQ(got.found, it != reference.end()) << probe;
+      if (it != reference.end()) {
+        ASSERT_EQ(got.value, it->second);
+      }
+    }
+    if (++checked >= 64) break;
+  }
+}
+
+template <typename K, typename Tree>
+void CheckRangesAgainstReference(const Tree& tree,
+                                 const std::map<K, K>& reference, K domain,
+                                 Rng* rng) {
+  KeyValue<K> out[24];
+  for (int round = 0; round < 32; ++round) {
+    const K start = static_cast<K>(rng->NextBounded(domain + 10));
+    const int want = 1 + static_cast<int>(rng->NextBounded(24));
+    const int got = tree.RangeScan(start, want, out);
+    auto it = reference.lower_bound(start);
+    int expect = 0;
+    for (; it != reference.end() && expect < want; ++it, ++expect) {
+      ASSERT_EQ(out[expect].key, it->first) << "start " << start;
+      ASSERT_EQ(out[expect].value, it->second);
+    }
+    ASSERT_EQ(got, expect) << "start " << start;
+  }
+}
+
+template <typename K>
+class DifferentialTest : public ::testing::Test {};
+
+TYPED_TEST_SUITE(DifferentialTest, KeyTypes);
+
+TYPED_TEST(DifferentialTest, InterleavedInsertEraseMatchesReference) {
+  using K = TypeParam;
+  Rng rng(43);
+  const K domain = 6000;
+  std::map<K, K> reference;
+  std::vector<KeyValue<K>> data;
+  while (reference.size() < 800) {
+    K key = static_cast<K>(rng.NextBounded(domain));
+    K value = static_cast<K>(key * 3 + 1);
+    if (reference.emplace(key, value).second) data.push_back({key, value});
+  }
+  std::sort(data.begin(), data.end(),
+            [](const KeyValue<K>& a, const KeyValue<K>& b) {
+              return a.key < b.key;
+            });
+
+  PageRegistry r1, r2;
+  typename RegularBTree<K>::Config reg_config;
+  reg_config.leaf_fill = 0.7;
+  RegularBTree<K> regular(reg_config, &r1);
+  regular.Build(data);
+  typename ImplicitBTree<K>::Config imp_config;
+  ImplicitBTree<K> implicit(imp_config, &r2);
+  implicit.Build(data);
+
+  for (int step = 1; step <= 3000; ++step) {
+    const bool insert =
+        reference.size() < 50 || rng.NextBounded(100) < 60;
+    if (insert) {
+      const K key = static_cast<K>(rng.NextBounded(domain));
+      const K value = static_cast<K>(key * 3 + 1);
+      const bool tree_did = regular.Insert({key, value});
+      const bool map_did = reference.emplace(key, value).second;
+      ASSERT_EQ(tree_did, map_did) << "insert " << key;
+    } else {
+      // Half the erases target a key known to be present, half are
+      // random probes that usually miss.
+      K key;
+      if (rng.NextBounded(2) == 0 && !reference.empty()) {
+        auto it = reference.lower_bound(
+            static_cast<K>(rng.NextBounded(domain)));
+        if (it == reference.end()) it = reference.begin();
+        key = it->first;
+      } else {
+        key = static_cast<K>(rng.NextBounded(domain));
+      }
+      const bool tree_did = regular.Erase(key);
+      const bool map_did = reference.erase(key) > 0;
+      ASSERT_EQ(tree_did, map_did) << "erase " << key;
+    }
+    ASSERT_EQ(regular.size(), reference.size());
+
+    if (step % 500 == 0) {
+      regular.Validate();
+      CheckAgainstReference(regular, reference, &rng);
+      CheckRangesAgainstReference(regular, reference, domain, &rng);
+      // The implicit tree is rebuild-based (Section 5.6): rebuild from
+      // the reference state and hold it to the same checks.
+      std::vector<KeyValue<K>> snapshot;
+      snapshot.reserve(reference.size());
+      for (const auto& [key, value] : reference) {
+        snapshot.push_back({key, value});
+      }
+      implicit.Build(snapshot);
+      implicit.Validate();
+      CheckAgainstReference(implicit, reference, &rng);
+      CheckRangesAgainstReference(implicit, reference, domain, &rng);
+    }
+  }
+}
+
+struct HybridDifferentialFixture {
+  sim::PlatformSpec platform = sim::PlatformSpec::M1();
+  PageRegistry registry;
+  gpu::Device device{platform.gpu};
+  gpu::TransferEngine transfer{&device, platform.pcie};
+};
+
+TYPED_TEST(DifferentialTest, HybridRegularMatchesReferenceAcrossBatches) {
+  using K = TypeParam;
+  Rng rng(47);
+  const K domain = 200000;
+  HybridDifferentialFixture fx;
+  typename HBRegularTree<K>::Config config;
+  config.tree.leaf_fill = 0.8;
+  HBRegularTree<K> tree(config, &fx.registry, &fx.device, &fx.transfer);
+
+  std::map<K, K> reference;
+  std::vector<KeyValue<K>> data;
+  // Even keys only, so the odd neighbours of every present key are
+  // guaranteed-absent probes until a batch inserts them.
+  while (reference.size() < 20000) {
+    K key = static_cast<K>(rng.NextBounded(domain) * 2);
+    K value = static_cast<K>(key + 5);
+    if (reference.emplace(key, value).second) data.push_back({key, value});
+  }
+  std::sort(data.begin(), data.end(),
+            [](const KeyValue<K>& a, const KeyValue<K>& b) {
+              return a.key < b.key;
+            });
+  ASSERT_TRUE(tree.Build(data));
+
+  PipelineConfig pconfig;
+  pconfig.bucket_size = 1024;
+  pconfig.cpu_queries_per_us = 10;
+  BatchUpdateConfig uconfig;
+  uconfig.real_threads = 3;
+
+  for (int round = 0; round < 4; ++round) {
+    // Mixed batch: inserts of fresh odd keys, deletes of present keys.
+    std::vector<UpdateQuery<K>> batch;
+    for (int i = 0; i < 1500; ++i) {
+      if (rng.NextBounded(2) == 0) {
+        K key = static_cast<K>(rng.NextBounded(domain) * 2 + 1);
+        batch.push_back(UpdateQuery<K>{UpdateQuery<K>::Kind::kInsert,
+                                       {key, static_cast<K>(key + 5)}});
+      } else {
+        auto it = reference.lower_bound(
+            static_cast<K>(rng.NextBounded(domain) * 2));
+        if (it == reference.end()) it = reference.begin();
+        batch.push_back(UpdateQuery<K>{UpdateQuery<K>::Kind::kDelete,
+                                       {it->first, 0}});
+      }
+    }
+    for (const auto& update : batch) {
+      if (update.kind == UpdateQuery<K>::Kind::kInsert) {
+        reference.emplace(update.pair.key, update.pair.value);
+      } else {
+        reference.erase(update.pair.key);
+      }
+    }
+    const UpdateMethod method = round % 2 == 0
+                                    ? UpdateMethod::kAsyncParallel
+                                    : UpdateMethod::kSynchronized;
+    RunBatchUpdate(tree, batch, method, uconfig);
+    tree.host_tree().Validate();
+    ASSERT_EQ(tree.host_tree().size(), reference.size());
+
+    // Device-path lookups: every batch key plus its absent-side
+    // neighbours and the global boundary keys, through the pipeline.
+    std::vector<K> probes;
+    for (const auto& update : batch) {
+      probes.push_back(update.pair.key);
+      probes.push_back(static_cast<K>(update.pair.key + 1));
+      if (update.pair.key > 0) {
+        probes.push_back(static_cast<K>(update.pair.key - 1));
+      }
+    }
+    probes.push_back(reference.begin()->first);
+    probes.push_back(reference.rbegin()->first);
+    probes.push_back(static_cast<K>(KeyTraits<K>::kMax - 1));
+    std::vector<LookupResult<K>> results;
+    RunSearchPipeline(tree, probes.data(), probes.size(), pconfig, &results);
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      auto it = reference.find(probes[i]);
+      ASSERT_EQ(results[i].found, it != reference.end())
+          << "round " << round << " probe " << probes[i];
+      if (it != reference.end()) {
+        ASSERT_EQ(results[i].value, it->second);
+      }
+    }
+    CheckAgainstReference(tree.host_tree(), reference, &rng);
+  }
+}
+
+TYPED_TEST(DifferentialTest, HybridImplicitPipelineMatchesReference) {
+  using K = TypeParam;
+  Rng rng(53);
+  const K domain = 100000;
+  HybridDifferentialFixture fx;
+  typename HBImplicitTree<K>::Config config;
+  HBImplicitTree<K> tree(config, &fx.registry, &fx.device, &fx.transfer);
+
+  std::map<K, K> reference;
+  std::vector<KeyValue<K>> data;
+  while (reference.size() < 30000) {
+    K key = static_cast<K>(rng.NextBounded(domain) * 2);
+    K value = static_cast<K>(key + 9);
+    if (reference.emplace(key, value).second) data.push_back({key, value});
+  }
+  std::sort(data.begin(), data.end(),
+            [](const KeyValue<K>& a, const KeyValue<K>& b) {
+              return a.key < b.key;
+            });
+  ASSERT_TRUE(tree.Build(data));
+
+  // Pipeline lookups over hits, both absent neighbours of each hit, the
+  // boundary keys, and the above-maximum edge.
+  std::vector<K> probes;
+  for (const auto& kv : data) {
+    if (rng.NextBounded(8) != 0) continue;
+    probes.push_back(kv.key);
+    probes.push_back(static_cast<K>(kv.key + 1));
+    if (kv.key > 0) probes.push_back(static_cast<K>(kv.key - 1));
+  }
+  probes.push_back(data.front().key);
+  probes.push_back(data.back().key);
+  probes.push_back(static_cast<K>(data.back().key + 2));
+  probes.push_back(static_cast<K>(KeyTraits<K>::kMax - 1));
+
+  PipelineConfig pconfig;
+  pconfig.bucket_size = 2048;
+  pconfig.cpu_queries_per_us = 10;
+  std::vector<LookupResult<K>> results;
+  RunSearchPipeline(tree, probes.data(), probes.size(), pconfig, &results);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    auto it = reference.find(probes[i]);
+    ASSERT_EQ(results[i].found, it != reference.end()) << probes[i];
+    if (it != reference.end()) {
+      ASSERT_EQ(results[i].value, it->second);
+    }
+  }
+  CheckAgainstReference(tree.host_tree(), reference, &rng);
 }
 
 }  // namespace

@@ -1,0 +1,258 @@
+// Concurrency stress tests for the serving layer (src/serve/). Several
+// client threads hammer a Server with point lookups and range queries
+// while an update stream commits batches through the epoch-swapped
+// snapshot pair; the assertions check that every observed read is
+// consistent with *some* linearization of the committed batches. The
+// test is written to run cleanly under ThreadSanitizer (see the tsan
+// CMake preset): all cross-thread bookkeeping goes through atomics and
+// futures, never plain shared variables.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/workload.h"
+#include "serve/server.h"
+
+namespace hbtree {
+namespace {
+
+// Stable region: keys 1..kStable, never touched by updates, with a
+// deterministic value tag. Dynamic region: far above, so stable-region
+// range scans can never pick up in-flight keys.
+constexpr std::uint64_t kStable = 16 * 1024;
+constexpr std::uint64_t kDynBase = 1ull << 40;
+
+Key64 StableValue(std::uint64_t key) { return key * 3 + 1; }
+Key64 DynamicValue(std::uint64_t key) { return key + 7; }
+
+std::vector<KeyValue<Key64>> StableDataset() {
+  std::vector<KeyValue<Key64>> data;
+  data.reserve(kStable);
+  for (std::uint64_t k = 1; k <= kStable; ++k) {
+    data.push_back(KeyValue<Key64>{k, StableValue(k)});
+  }
+  return data;
+}
+
+serve::ServerOptions StressOptions() {
+  serve::ServerOptions options;
+  // Small buckets/batches so many epochs swap during the test; the CPU
+  // rate fields only drive the simulated cost model, so fixed values
+  // keep the test fast and deterministic across hosts.
+  options.pipeline.bucket_size = 1024;
+  options.pipeline.cpu_queries_per_us = 20.0;
+  options.pipeline.cpu_descend_us_per_level = 0.01;
+  options.update_batch_size = 1024;
+  return options;
+}
+
+UpdateQuery<Key64> Insert(std::uint64_t key) {
+  return UpdateQuery<Key64>{UpdateQuery<Key64>::Kind::kInsert,
+                            KeyValue<Key64>{key, DynamicValue(key)}};
+}
+
+UpdateQuery<Key64> Delete(std::uint64_t key) {
+  return UpdateQuery<Key64>{UpdateQuery<Key64>::Kind::kDelete,
+                            KeyValue<Key64>{key, 0}};
+}
+
+// An updater inserts consecutive key blocks; lookup threads race it and
+// check each observation against the block's known lifecycle state:
+//   * block fully committed before the lookup was submitted -> must hit,
+//   * block not yet submitted when the result arrived      -> must miss,
+//   * otherwise the insert is in flight and either outcome is legal,
+//     but a hit must carry the inserted value.
+TEST(ServeStress, InsertOnlyLinearization) {
+  constexpr std::uint64_t kBlock = 1024;
+  constexpr int kBlocks = 8;
+  constexpr int kClients = 4;
+  constexpr int kItersPerClient = 2000;
+
+  auto data = StableDataset();
+  serve::Server<Key64> server(StressOptions(), data);
+
+  std::atomic<int> blocks_submitted{0};
+  std::atomic<int> blocks_committed{0};
+
+  std::thread updater([&] {
+    for (int b = 0; b < kBlocks; ++b) {
+      // Raised *before* the first push: a partial batch may commit (and
+      // become visible to readers) at any point after that, so the
+      // "never submitted" classification below stays sound.
+      blocks_submitted.store(b + 1, std::memory_order_release);
+      std::vector<std::future<std::uint64_t>> pending;
+      pending.reserve(kBlock);
+      for (std::uint64_t j = 0; j < kBlock; ++j) {
+        pending.push_back(
+            server.SubmitUpdate(Insert(kDynBase + b * kBlock + j)));
+      }
+      for (auto& f : pending) f.get();
+      blocks_committed.store(b + 1, std::memory_order_release);
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937_64 rng(1000 + c);
+      for (int i = 0; i < kItersPerClient; ++i) {
+        if (rng() % 2 == 0) {
+          // Stable keys are invariant under the update stream.
+          const std::uint64_t key = 1 + rng() % kStable;
+          auto result = server.SubmitLookup(key).get().lookup;
+          ASSERT_TRUE(result.found) << "stable key " << key;
+          ASSERT_EQ(result.value, StableValue(key));
+        } else {
+          const int block = static_cast<int>(rng() % kBlocks);
+          const std::uint64_t key =
+              kDynBase + static_cast<std::uint64_t>(block) * kBlock +
+              rng() % kBlock;
+          const int committed_before =
+              blocks_committed.load(std::memory_order_acquire);
+          auto result = server.SubmitLookup(key).get().lookup;
+          const int submitted_after =
+              blocks_submitted.load(std::memory_order_acquire);
+          if (block < committed_before) {
+            ASSERT_TRUE(result.found)
+                << "key " << key << " of block " << block
+                << " was committed before the lookup was submitted";
+            ASSERT_EQ(result.value, DynamicValue(key));
+          } else if (block >= submitted_after) {
+            ASSERT_FALSE(result.found)
+                << "key " << key << " of block " << block
+                << " was observed before any of its inserts were submitted";
+          } else if (result.found) {
+            // In flight: visibility is racy, the value is not.
+            ASSERT_EQ(result.value, DynamicValue(key));
+          }
+        }
+      }
+    });
+  }
+
+  updater.join();
+  for (auto& t : clients) t.join();
+
+  // Drain and join the workers so the op counters are final: the worker
+  // loops fulfil promises *before* bumping the counters, so stats read
+  // right after the last .get() could lag by a few operations.
+  server.Shutdown();
+  serve::ServeStats stats = server.Stats();
+  EXPECT_EQ(stats.lookups,
+            static_cast<std::uint64_t>(kClients) * kItersPerClient);
+  EXPECT_EQ(stats.updates, static_cast<std::uint64_t>(kBlocks) * kBlock);
+  EXPECT_GE(stats.update_batches, static_cast<std::uint64_t>(kBlocks));
+  EXPECT_EQ(stats.epoch, stats.update_batches);
+  EXPECT_GT(stats.read_buckets, 0u);
+  EXPECT_EQ(stats.read_latency.count, stats.lookups + stats.ranges);
+  EXPECT_LE(stats.read_latency.p50_us, stats.read_latency.p99_us);
+  EXPECT_LE(stats.read_latency.p99_us, stats.read_latency.max_us);
+  EXPECT_LE(stats.update_latency.p50_us, stats.update_latency.p99_us);
+}
+
+// Inserts and deletes churn the dynamic region while readers verify the
+// stable region stays exact — point lookups, never-present probes, and
+// range scans compared against the reference dataset — and that any
+// dynamic hit carries the inserted value.
+TEST(ServeStress, MixedChurnKeepsStableRegionExact) {
+  constexpr std::uint64_t kChurn = 4 * 1024;
+  constexpr int kRounds = 4;
+  constexpr int kClients = 3;
+  constexpr int kItersPerClient = 1500;
+  constexpr int kRangeLen = 8;
+
+  auto data = StableDataset();
+  serve::Server<Key64> server(StressOptions(), data);
+
+  std::atomic<bool> churn_done{false};
+  std::thread updater([&] {
+    for (int round = 0; round < kRounds; ++round) {
+      std::vector<std::future<std::uint64_t>> pending;
+      for (std::uint64_t j = 0; j < kChurn; ++j) {
+        pending.push_back(server.SubmitUpdate(Insert(kDynBase + j)));
+      }
+      for (auto& f : pending) f.get();
+      pending.clear();
+      for (std::uint64_t j = 0; j < kChurn; ++j) {
+        pending.push_back(server.SubmitUpdate(Delete(kDynBase + j)));
+      }
+      for (auto& f : pending) f.get();
+    }
+    churn_done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937_64 rng(2000 + c);
+      for (int i = 0; i < kItersPerClient; ++i) {
+        switch (rng() % 4) {
+          case 0: {
+            const std::uint64_t key = 1 + rng() % kStable;
+            auto result = server.SubmitLookup(key).get().lookup;
+            ASSERT_TRUE(result.found);
+            ASSERT_EQ(result.value, StableValue(key));
+            break;
+          }
+          case 1: {
+            // The gap between the stable and dynamic regions is never
+            // populated by anyone.
+            const std::uint64_t key = kStable + 1 + rng() % kStable;
+            ASSERT_FALSE(server.SubmitLookup(key).get().lookup.found);
+            break;
+          }
+          case 2: {
+            // A stable-region range scan must match the reference
+            // exactly: the dynamic keys sit far above, so churn cannot
+            // leak into the first kRangeLen matches.
+            const std::uint64_t first =
+                1 + rng() % (kStable - kRangeLen);
+            auto range = server.SubmitRange(first, kRangeLen).get().range;
+            ASSERT_EQ(range.size(), static_cast<std::size_t>(kRangeLen));
+            for (int j = 0; j < kRangeLen; ++j) {
+              ASSERT_EQ(range[j].key, first + j);
+              ASSERT_EQ(range[j].value, StableValue(first + j));
+            }
+            break;
+          }
+          default: {
+            const std::uint64_t key = kDynBase + rng() % kChurn;
+            auto result = server.SubmitLookup(key).get().lookup;
+            if (result.found) {
+              ASSERT_EQ(result.value, DynamicValue(key));
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+
+  updater.join();
+  for (auto& t : clients) t.join();
+  EXPECT_TRUE(churn_done.load(std::memory_order_acquire));
+
+  // After the last round's deletes committed, the dynamic region is
+  // empty again on both snapshot instances.
+  for (std::uint64_t j = 0; j < kChurn; j += 257) {
+    EXPECT_FALSE(server.Lookup(kDynBase + j).found);
+  }
+
+  server.Shutdown();
+  serve::ServeStats stats = server.Stats();
+  EXPECT_EQ(stats.lookups + stats.ranges,
+            static_cast<std::uint64_t>(kClients) * kItersPerClient +
+                (kChurn + 256) / 257);
+  EXPECT_EQ(stats.updates,
+            static_cast<std::uint64_t>(kRounds) * 2 * kChurn);
+  EXPECT_EQ(stats.epoch, stats.update_batches);
+}
+
+}  // namespace
+}  // namespace hbtree
