@@ -2,6 +2,7 @@
 #define HBTREE_GPUSIM_WARP_H_
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "gpusim/device.h"
@@ -75,8 +76,10 @@ class WarpScope {
               T* out) {
     RecordAccess(base, lane_offsets, lanes, sizeof(T));
     for (int i = 0; i < lanes; ++i) {
-      out[i] = *reinterpret_cast<const T*>(
-          device_->HostView(base + lane_offsets[i]));
+      // memcpy, not a typed load: lane offsets need not be aligned to T
+      // (a real GPU gather has no such requirement either).
+      std::memcpy(&out[i], device_->HostView(base + lane_offsets[i]),
+                  sizeof(T));
     }
   }
 
@@ -86,8 +89,8 @@ class WarpScope {
                const T* values) {
     RecordAccess(base, lane_offsets, lanes, sizeof(T));
     for (int i = 0; i < lanes; ++i) {
-      *reinterpret_cast<T*>(device_->HostView(base + lane_offsets[i])) =
-          values[i];
+      std::memcpy(device_->HostView(base + lane_offsets[i]), &values[i],
+                  sizeof(T));
     }
   }
 

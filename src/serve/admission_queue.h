@@ -27,9 +27,10 @@ class AdmissionQueue {
   AdmissionQueue(const AdmissionQueue&) = delete;
   AdmissionQueue& operator=(const AdmissionQueue&) = delete;
 
-  /// Blocks while the queue is full. Returns false (and drops `item`) if
-  /// the queue was closed.
-  bool Push(T item) {
+  /// Blocks while the queue is full. Returns false if the queue was
+  /// closed; `item` is left untouched so the caller can reject it (e.g.
+  /// resolve its promise with an error) instead of losing it.
+  bool Push(T&& item) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock,
                    [this] { return closed_ || items_.size() < capacity_; });

@@ -1,6 +1,7 @@
 #ifndef HBTREE_SERVE_LATENCY_HISTOGRAM_H_
 #define HBTREE_SERVE_LATENCY_HISTOGRAM_H_
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <bit>
@@ -63,7 +64,38 @@ class LatencyHistogram {
 
   /// Consistent-enough snapshot for reporting: concurrent Record() calls
   /// may or may not be included, as with any monitoring counter read.
-  LatencySummary Summarize() const;
+  LatencySummary Summarize() const {
+    std::array<std::uint64_t, kBuckets> counts;
+    std::uint64_t total = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      counts[b] = counts_[b].load(std::memory_order_relaxed);
+      total += counts[b];
+    }
+    LatencySummary summary;
+    summary.count = total;
+    if (total == 0) return summary;
+    summary.max_us = max_ns_.load(std::memory_order_relaxed) / 1e3;
+    summary.mean_us = sum_ns_.load(std::memory_order_relaxed) / 1e3 / total;
+
+    auto percentile = [&](double q) {
+      const std::uint64_t rank = static_cast<std::uint64_t>(q * (total - 1));
+      std::uint64_t seen = 0;
+      for (int b = 0; b < kBuckets; ++b) {
+        seen += counts[b];
+        if (seen > rank) return BucketMidpointNs(b) / 1e3;
+      }
+      return BucketMidpointNs(kBuckets - 1) / 1e3;
+    };
+    summary.p50_us = percentile(0.50);
+    summary.p90_us = percentile(0.90);
+    summary.p99_us = percentile(0.99);
+    // The histogram midpoint can overshoot the true maximum; clamp so the
+    // reported percentiles never exceed the observed max.
+    summary.p50_us = std::min(summary.p50_us, summary.max_us);
+    summary.p90_us = std::min(summary.p90_us, summary.max_us);
+    summary.p99_us = std::min(summary.p99_us, summary.max_us);
+    return summary;
+  }
 
   std::uint64_t count() const {
     std::uint64_t total = 0;

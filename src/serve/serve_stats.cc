@@ -1,44 +1,8 @@
 #include "serve/serve_stats.h"
 
-#include <algorithm>
 #include <cstdio>
-#include <vector>
 
 namespace hbtree::serve {
-
-LatencySummary LatencyHistogram::Summarize() const {
-  std::vector<std::uint64_t> counts(kBuckets);
-  std::uint64_t total = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    counts[b] = counts_[b].load(std::memory_order_relaxed);
-    total += counts[b];
-  }
-  LatencySummary summary;
-  summary.count = total;
-  if (total == 0) return summary;
-  summary.max_us = max_ns_.load(std::memory_order_relaxed) / 1e3;
-  summary.mean_us =
-      sum_ns_.load(std::memory_order_relaxed) / 1e3 / total;
-
-  auto percentile = [&](double q) {
-    const std::uint64_t rank = static_cast<std::uint64_t>(q * (total - 1));
-    std::uint64_t seen = 0;
-    for (int b = 0; b < kBuckets; ++b) {
-      seen += counts[b];
-      if (seen > rank) return BucketMidpointNs(b) / 1e3;
-    }
-    return BucketMidpointNs(kBuckets - 1) / 1e3;
-  };
-  summary.p50_us = percentile(0.50);
-  summary.p90_us = percentile(0.90);
-  summary.p99_us = percentile(0.99);
-  // The histogram midpoint can overshoot the true maximum; clamp so the
-  // reported percentiles never exceed the observed max.
-  summary.p50_us = std::min(summary.p50_us, summary.max_us);
-  summary.p90_us = std::min(summary.p90_us, summary.max_us);
-  summary.p99_us = std::min(summary.p99_us, summary.max_us);
-  return summary;
-}
 
 std::string ServeStats::ToString() const {
   char buffer[1024];

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -134,8 +135,12 @@ class Server {
     op.query = update;
     op.admitted = Clock::now();
     std::future<std::uint64_t> result = op.done.get_future();
-    HBTREE_CHECK_MSG(update_queue_.Push(std::move(op)),
-                     "update submitted to a stopped server");
+    if (!update_queue_.Push(std::move(op))) {
+      // Benign race with Shutdown(): reject via the future instead of
+      // aborting the process.
+      op.done.set_exception(std::make_exception_ptr(
+          std::runtime_error("update submitted to a stopped server")));
+    }
     return result;
   }
 
@@ -238,8 +243,12 @@ class Server {
   std::future<ReadResult<K>> AdmitRead(ReadOp op) {
     op.admitted = Clock::now();
     std::future<ReadResult<K>> result = op.done.get_future();
-    HBTREE_CHECK_MSG(read_queue_.Push(std::move(op)),
-                     "read submitted to a stopped server");
+    if (!read_queue_.Push(std::move(op))) {
+      // Benign race with Shutdown(): reject via the future instead of
+      // aborting the process.
+      op.done.set_exception(std::make_exception_ptr(
+          std::runtime_error("read submitted to a stopped server")));
+    }
     return result;
   }
 

@@ -28,8 +28,17 @@ namespace hbtree::serve {
 /// release epoch bump, which the reader's acquire load of the epoch
 /// synchronizes with; a reader's accesses happen-before its release
 /// decrement of the pin count, which the writer's acquire drain loop
-/// synchronizes with. Both directions are thus data-race-free without any
-/// lock on the read path.
+/// synchronizes with. The pin/revalidate handshake additionally needs
+/// sequential consistency on both sides: the reader's pin increment and
+/// the writer's epoch bump are stores that each side's subsequent load
+/// (the reader's epoch re-check, the writer's drain read of the pin
+/// count) must not pass — without a single total order the
+/// store-buffering outcome lets the writer see zero readers while the
+/// reader still sees the old epoch, and both miss each other. All four
+/// accesses are therefore seq_cst (preferred over seq_cst fences, which
+/// ThreadSanitizer cannot model), so at least one side observes the
+/// other and a reader holding a ReadGuard is never on a slot the writer
+/// mutates.
 template <typename Slot>
 class SnapshotPair {
  public:
@@ -76,11 +85,16 @@ class SnapshotPair {
     for (;;) {
       const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
       const int index = static_cast<int>(epoch & 1);
-      readers_[index].fetch_add(1, std::memory_order_acq_rel);
+      // seq_cst: the pin increment must order before the revalidation
+      // load in the global total order shared with Publish()'s epoch
+      // store and drain loads; this forbids the store-buffering outcome
+      // where the writer reads a zero pin count while this thread still
+      // reads the old epoch.
+      readers_[index].fetch_add(1, std::memory_order_seq_cst);
       // Revalidate: if a swap happened between the epoch load and the pin,
       // the writer may already have seen a zero count and begun mutating
       // this slot — back out and pin the new active instead.
-      if (epoch_.load(std::memory_order_acquire) == epoch) {
+      if (epoch_.load(std::memory_order_seq_cst) == epoch) {
         return ReadGuard(this, index, epoch);
       }
       readers_[index].fetch_sub(1, std::memory_order_acq_rel);
@@ -96,7 +110,12 @@ class SnapshotPair {
     const int standby = static_cast<int>((epoch + 1) & 1);
     mutate(*slots_[standby]);
     // Swap roles: new readers land on the freshly updated instance.
-    epoch_.store(epoch + 1, std::memory_order_release);
+    // seq_cst (which includes release): the epoch store must order
+    // before the drain loop's pin-count loads in the global total order
+    // shared with Acquire(), so any reader the drain misses is
+    // guaranteed to see the new epoch in its revalidation and back off
+    // this slot.
+    epoch_.store(epoch + 1, std::memory_order_seq_cst);
     WaitForDrain(static_cast<int>(epoch & 1));
     // Catch up the old active (now standby) so the next Publish starts
     // from a converged pair.
@@ -116,7 +135,7 @@ class SnapshotPair {
  private:
   void WaitForDrain(int index) {
     int spins = 0;
-    while (readers_[index].load(std::memory_order_acquire) != 0) {
+    while (readers_[index].load(std::memory_order_seq_cst) != 0) {
       if (++spins < 128) {
         std::this_thread::yield();
       } else {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <future>
 #include <random>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -252,6 +253,21 @@ TEST(ServeStress, MixedChurnKeepsStableRegionExact) {
   EXPECT_EQ(stats.updates,
             static_cast<std::uint64_t>(kRounds) * 2 * kChurn);
   EXPECT_EQ(stats.epoch, stats.update_batches);
+}
+
+// A submission racing Shutdown() must be rejected through its future,
+// not crash the process (regression test for the CHECK-on-closed-queue
+// behavior the serving layer used to have).
+TEST(ServeStress, SubmitAfterShutdownRejectsViaFuture) {
+  auto data = StableDataset();
+  serve::Server<Key64> server(StressOptions(), data);
+  ASSERT_TRUE(server.Lookup(1).found);
+
+  server.Shutdown();
+  auto read = server.SubmitLookup(1);
+  EXPECT_THROW(read.get(), std::runtime_error);
+  auto update = server.SubmitUpdate(Insert(kDynBase));
+  EXPECT_THROW(update.get(), std::runtime_error);
 }
 
 }  // namespace
