@@ -1,0 +1,154 @@
+// Fault-tolerance bench: serving throughput and tail latency as the
+// injected device fault rate sweeps {0, 1%, 10%}. For each rate a fresh
+// server runs the same concurrent lookup+update workload while transfer
+// and kernel faults fire; the table reports sustained reads/s, wall-
+// clock p50/p99, how many faults the retry layer absorbed, and the
+// circuit-breaker activity (opens/closes, CPU-fallback buckets) behind
+// the degraded-mode throughput.
+//
+// Flags: --n_log2 (tree size), --clients (lookup threads), --lookups
+// (per client), --updates (total update stream), --bucket_log2,
+// --retries (device retry budget), --deadline_us (per-request deadline,
+// 0 = none), --platform, --seed.
+
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_support/args.h"
+#include "bench_support/serve_runner.h"
+#include "bench_support/table.h"
+#include "core/workload.h"
+#include "serve/server.h"
+
+namespace hbtree::bench {
+namespace {
+
+struct RateResult {
+  double fault_rate = 0;
+  serve::ServeStats stats;
+};
+
+int Main(int argc, char** argv) {
+  Args args(argc, argv);
+  args.PrintActive();
+  const sim::PlatformSpec platform = PlatformFromArgs(args, "m1");
+  const std::size_t n = std::size_t{1} << args.GetInt("n_log2", 20);
+  const int clients = static_cast<int>(args.GetInt("clients", 4));
+  const std::size_t lookups_per_client =
+      static_cast<std::size_t>(args.GetInt("lookups", 48 * 1024));
+  const std::size_t total_updates =
+      static_cast<std::size_t>(args.GetInt("updates", 24 * 1024));
+  const int bucket = 1 << args.GetInt("bucket_log2", 12);
+  const int retries = static_cast<int>(args.GetInt("retries", 3));
+  const auto deadline =
+      std::chrono::microseconds(args.GetInt("deadline_us", 0));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.GetInt("seed", 1));
+
+  std::printf("building %zu-key tree and calibrating on %s...\n", n,
+              platform.name.c_str());
+  auto data = GenerateDataset<Key64>(n, seed);
+  serve::ServerOptions base_options =
+      CalibratedServerOptions(platform, data, seed + 1, bucket);
+  base_options.pipeline.max_device_retries = retries;
+  base_options.default_deadline = deadline;
+  auto queries = MakeLookupQueries(data, seed + 2);
+  auto updates = MakeUpdateBatch(data, total_updates,
+                                 /*insert_fraction=*/0.7, seed + 3);
+
+  const double rates[] = {0.0, 0.01, 0.10};
+  std::vector<RateResult> results;
+
+  for (const double rate : rates) {
+    serve::ServerOptions options = base_options;
+    if (rate > 0) {
+      options.fault = fault::FaultConfig::Transfers(rate, seed + 17);
+      options.fault.site(fault::Site::kKernel).probability = rate / 2;
+    }
+    Status status;
+    auto server_ptr = serve::Server<Key64>::Create(options, data, &status);
+    if (server_ptr == nullptr) {
+      std::fprintf(stderr, "server creation failed: %s\n",
+                   status.message().c_str());
+      return 1;
+    }
+    serve::Server<Key64>& server = *server_ptr;
+
+    std::thread update_client([&] {
+      std::vector<std::future<serve::UpdateResult>> pending;
+      pending.reserve(updates.size());
+      for (const auto& update : updates) {
+        pending.push_back(server.SubmitUpdate(update));
+      }
+      for (auto& f : pending) f.get();
+    });
+
+    std::vector<std::thread> lookup_clients;
+    std::atomic<std::uint64_t> served{0};
+    for (int c = 0; c < clients; ++c) {
+      lookup_clients.emplace_back([&, c] {
+        std::vector<std::future<serve::ReadResult<Key64>>> window;
+        window.reserve(1024);
+        std::uint64_t local_served = 0;
+        for (std::size_t i = 0; i < lookups_per_client; ++i) {
+          window.push_back(server.SubmitLookup(
+              queries[(c * lookups_per_client + i) % queries.size()]));
+          if (window.size() == 1024) {
+            for (auto& f : window) local_served += f.get().status.ok();
+            window.clear();
+          }
+        }
+        for (auto& f : window) local_served += f.get().status.ok();
+        served.fetch_add(local_served);
+      });
+    }
+
+    for (auto& t : lookup_clients) t.join();
+    update_client.join();
+    server.Shutdown();
+
+    RateResult result;
+    result.fault_rate = rate;
+    result.stats = server.Stats();
+    results.push_back(result);
+    std::printf("fault rate %.2f: %llu/%zu lookups served ok\n", rate,
+                static_cast<unsigned long long>(served.load()),
+                static_cast<std::size_t>(clients) * lookups_per_client);
+  }
+
+  Table table({"fault", "reads/s", "p50 us", "p99 us", "retries", "dev",
+               "open", "close", "cpu-bkt", "shed"},
+              10);
+  table.PrintTitle("serving under injected device faults");
+  table.PrintHeader();
+  for (const RateResult& r : results) {
+    const serve::ServeStats& s = r.stats;
+    table.PrintRow({Table::Num(r.fault_rate, 2), Table::Num(s.reads_per_second, 0),
+                    Table::Num(s.read_latency.p50_us, 1),
+                    Table::Num(s.read_latency.p99_us, 1),
+                    Table::Num(static_cast<double>(s.transfer_retries +
+                                            s.kernel_retries + s.sync_retries),
+                        0),
+                    Table::Num(static_cast<double>(s.device_faults), 0),
+                    Table::Num(static_cast<double>(s.breaker_opens), 0),
+                    Table::Num(static_cast<double>(s.breaker_closes), 0),
+                    Table::Num(static_cast<double>(s.cpu_fallback_buckets), 0),
+                    Table::Num(static_cast<double>(s.shed_reads + s.shed_updates),
+                        0)});
+  }
+  std::printf(
+      "\nretry budget %d per device op; breaker threshold %d, probe "
+      "interval %d; deadline %lld us (0 = none)\n",
+      retries, base_options.breaker_failure_threshold,
+      base_options.breaker_probe_interval,
+      static_cast<long long>(deadline.count()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace hbtree::bench
+
+int main(int argc, char** argv) { return hbtree::bench::Main(argc, argv); }

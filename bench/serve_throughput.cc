@@ -48,7 +48,14 @@ int Main(int argc, char** argv) {
   auto data = GenerateDataset<Key64>(n, seed);
   serve::ServerOptions options =
       CalibratedServerOptions(platform, data, seed + 1, bucket);
-  serve::Server<Key64> server(options, data);
+  Status create_status;
+  auto server_ptr = serve::Server<Key64>::Create(options, data, &create_status);
+  if (server_ptr == nullptr) {
+    std::fprintf(stderr, "server creation failed: %s\n",
+                 create_status.message().c_str());
+    return 1;
+  }
+  serve::Server<Key64>& server = *server_ptr;
 
   auto queries = MakeLookupQueries(data, seed + 2);
   auto updates = MakeUpdateBatch(data, total_updates,
@@ -60,7 +67,7 @@ int Main(int argc, char** argv) {
   // Update client: streams the whole update workload through the server
   // in submission windows, recording the commit span.
   std::thread update_client([&] {
-    std::vector<std::future<std::uint64_t>> pending;
+    std::vector<std::future<serve::UpdateResult>> pending;
     pending.reserve(updates.size());
     buckets_before_first_commit.store(server.Stats().read_buckets);
     for (const auto& update : updates) {

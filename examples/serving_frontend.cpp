@@ -26,7 +26,14 @@ int main() {
   serve::ServerOptions options =
       bench::CalibratedServerOptions(platform, data, seed + 1,
                                      /*bucket_size=*/4096);
-  serve::Server<Key64> server(options, data);
+  Status create_status;
+  auto server_ptr = serve::Server<Key64>::Create(options, data, &create_status);
+  if (server_ptr == nullptr) {
+    std::fprintf(stderr, "server creation failed: %s\n",
+                 create_status.message().c_str());
+    return 1;
+  }
+  serve::Server<Key64>& server = *server_ptr;
 
   // One blocking lookup and one range query, served end to end.
   serve::ReadResult<Key64> one = server.SubmitLookup(data[7].key).get();
@@ -56,7 +63,7 @@ int main() {
     });
   }
   clients.emplace_back([&] {
-    std::vector<std::future<std::uint64_t>> pending;
+    std::vector<std::future<serve::UpdateResult>> pending;
     for (const auto& u : updates) pending.push_back(server.SubmitUpdate(u));
     for (auto& f : pending) f.get();
   });

@@ -4,6 +4,7 @@
 #   scripts/check.sh            # release build + full ctest (tier-1 gate)
 #   scripts/check.sh asan       # + AddressSanitizer/UBSan build and ctest
 #   scripts/check.sh tsan       # + ThreadSanitizer build, concurrency tests
+#   scripts/check.sh fault      # + fault-injection smoke under asan and tsan
 #   scripts/check.sh all        # all of the above
 #
 # The release pass is the acceptance gate every change must keep green;
@@ -35,16 +36,29 @@ run_tsan() {
   cmake --preset tsan >/dev/null
   # Only the concurrent suites matter under TSan; building just those
   # targets keeps the pass affordable on small machines.
-  cmake --build --preset tsan -j "$jobs" --target serve_stress_test
-  (cd build-tsan && ctest -R serve_stress_test --output-on-failure)
+  cmake --build --preset tsan -j "$jobs" --target serve_stress_test serve_fault_test
+  (cd build-tsan && ctest -R 'serve_(stress|fault)_test' --output-on-failure)
+}
+
+run_fault() {
+  echo "==> fault-injection smoke (asan + tsan)"
+  # The fault suites run fixed seeds, so a pass here is reproducible: the
+  # same injected transfer/kernel faults, the same breaker transitions.
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$jobs" --target fault_injector_test serve_fault_test
+  (cd build-asan && ctest -R '(fault_injector|serve_fault)_test' --output-on-failure)
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$jobs" --target serve_fault_test
+  (cd build-tsan && ctest -R serve_fault_test --output-on-failure)
 }
 
 case "$mode" in
   release) run_release ;;
   asan)    run_release; run_asan ;;
   tsan)    run_release; run_tsan ;;
-  all)     run_release; run_asan; run_tsan ;;
-  *) echo "usage: scripts/check.sh [release|asan|tsan|all]" >&2; exit 2 ;;
+  fault)   run_release; run_fault ;;
+  all)     run_release; run_asan; run_tsan; run_fault ;;
+  *) echo "usage: scripts/check.sh [release|asan|tsan|fault|all]" >&2; exit 2 ;;
 esac
 
 echo "==> all requested checks passed"

@@ -6,26 +6,80 @@
 
 namespace hbtree {
 
-/// Minimal error-reporting type for recoverable failures (I/O, format
-/// errors). Programming errors still abort via HBTREE_CHECK; Status is for
-/// conditions a caller can reasonably handle.
+/// Failure classes a caller can dispatch on. Programming errors still
+/// abort via HBTREE_CHECK; these codes cover conditions the system is
+/// expected to survive (device faults, overload, bad client input).
+enum class StatusCode {
+  kOk = 0,
+  /// Unclassified recoverable failure (I/O, format errors).
+  kInternal,
+  /// Malformed request parameters; the request is rejected, the server
+  /// keeps running.
+  kInvalidArgument,
+  /// Device allocation failed (the cudaMalloc out-of-memory analogue).
+  kDeviceOom,
+  /// A host<->device transfer faulted. Transient: retry may succeed.
+  kTransferFailure,
+  /// A kernel launch/execution faulted. Transient: retry may succeed.
+  kKernelFailure,
+  /// The request's deadline expired before it was served (load shedding).
+  kDeadlineExceeded,
+  /// The serving path is unavailable (e.g. submitted to a stopped server).
+  kUnavailable,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+/// Minimal error-reporting type for recoverable failures. Carries a code
+/// so callers can distinguish transient device faults (worth retrying)
+/// from terminal conditions (OOM, bad arguments).
 class Status {
  public:
+  /// Default-constructs as OK (convenient for out-parameters).
+  Status() = default;
+
   static Status Ok() { return Status(); }
   static Status Error(std::string message) {
-    Status status;
-    status.ok_ = false;
-    status.message_ = std::move(message);
-    return status;
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status DeviceOom(std::string message) {
+    return Status(StatusCode::kDeviceOom, std::move(message));
+  }
+  static Status TransferFailure(std::string message) {
+    return Status(StatusCode::kTransferFailure, std::move(message));
+  }
+  static Status KernelFailure(std::string message) {
+    return Status(StatusCode::kKernelFailure, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
-  bool ok() const { return ok_; }
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  explicit operator bool() const { return ok_; }
+  /// Whether a bounded retry of the failed operation may succeed.
+  /// Transfer and kernel faults model transient bus/ECC glitches; OOM and
+  /// argument errors do not go away on their own.
+  bool IsTransient() const {
+    return code_ == StatusCode::kTransferFailure ||
+           code_ == StatusCode::kKernelFailure;
+  }
+
+  explicit operator bool() const { return ok(); }
 
  private:
-  bool ok_ = true;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
 

@@ -1,0 +1,44 @@
+#ifndef HBTREE_FAULT_RETRY_H_
+#define HBTREE_FAULT_RETRY_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "core/status.h"
+
+namespace hbtree::fault {
+
+/// Bounded retry with exponential backoff for transient device faults.
+///
+/// The backoff is *modelled* time, not a real sleep: the simulated
+/// platform charges the µs to the operation's timeline exactly like a
+/// transfer cost, so benches see the latency a real driver-level retry
+/// loop would add without slowing the harness down.
+struct RetryPolicy {
+  int max_retries = 3;       // retries after the first attempt
+  double backoff_us = 25.0;  // modelled delay before the first retry
+  double multiplier = 2.0;   // backoff growth per retry
+};
+
+/// Runs `attempt` (a callable returning Status) until it succeeds, fails
+/// terminally, or the retry budget is exhausted. Only transient statuses
+/// (transfer/kernel faults) are retried. `retries` and `backoff_us`
+/// accumulate (never reset) so one counter can span many operations.
+template <typename Fn>
+Status RetryTransient(const RetryPolicy& policy, Fn&& attempt,
+                      std::uint64_t* retries = nullptr,
+                      double* backoff_us = nullptr) {
+  double delay = policy.backoff_us;
+  Status status = attempt();
+  for (int r = 0; r < policy.max_retries && status.IsTransient(); ++r) {
+    if (retries != nullptr) ++*retries;
+    if (backoff_us != nullptr) *backoff_us += delay;
+    delay *= policy.multiplier;
+    status = attempt();
+  }
+  return status;
+}
+
+}  // namespace hbtree::fault
+
+#endif  // HBTREE_FAULT_RETRY_H_

@@ -21,6 +21,10 @@ bool Device::AccessL2(DevicePtr ptr) {
 
 DevicePtr Device::TryMalloc(std::size_t bytes) {
   if (bytes == 0 || used_ + bytes > spec_.memory_bytes) return DevicePtr{};
+  if (injector_ != nullptr &&
+      injector_->ShouldFail(fault::Site::kDeviceAlloc)) {
+    return DevicePtr{};
+  }
   Allocation alloc;
   alloc.data = std::make_unique<std::byte[]>(bytes);
   alloc.size = bytes;
@@ -99,6 +103,28 @@ double TransferEngine::CopyToHost(void* dst, DevicePtr src,
   bytes_d2h_ += bytes;
   ++transfers_;
   return DeviceToHostUs(bytes);
+}
+
+Status TransferEngine::TryCopyToDevice(DevicePtr dst, const void* src,
+                                       std::size_t bytes, double* us) {
+  fault::FaultInjector* injector = device_->fault_injector();
+  if (injector != nullptr) {
+    HBTREE_RETURN_IF_ERROR(injector->Check(fault::Site::kTransferH2D));
+  }
+  const double t = CopyToDevice(dst, src, bytes);
+  if (us != nullptr) *us = t;
+  return Status::Ok();
+}
+
+Status TransferEngine::TryCopyToHost(void* dst, DevicePtr src,
+                                     std::size_t bytes, double* us) {
+  fault::FaultInjector* injector = device_->fault_injector();
+  if (injector != nullptr) {
+    HBTREE_RETURN_IF_ERROR(injector->Check(fault::Site::kTransferD2H));
+  }
+  const double t = CopyToHost(dst, src, bytes);
+  if (us != nullptr) *us = t;
+  return Status::Ok();
 }
 
 double TransferEngine::CopyOnDevice(DevicePtr dst, DevicePtr src,

@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "core/status.h"
+#include "fault/fault_injector.h"
 #include "sim/cache_sim.h"
 #include "sim/platform.h"
 
@@ -41,11 +43,23 @@ class Device {
   explicit Device(const sim::GpuSpec& spec);
 
   /// Allocates device memory; returns a null pointer if `bytes` does not
-  /// fit into the remaining capacity (the CUDA out-of-memory analogue).
+  /// fit into the remaining capacity (the CUDA out-of-memory analogue) or
+  /// if the armed fault injector fails the allocation.
   DevicePtr TryMalloc(std::size_t bytes);
-  /// Allocates device memory; aborts on out-of-memory (programming error).
+  /// Allocates device memory; aborts on out-of-memory. Reserved for call
+  /// sites that sized the allocation beforehand and genuinely cannot
+  /// recover — recoverable paths use TryMalloc and propagate a Status.
   DevicePtr Malloc(std::size_t bytes);
   void Free(DevicePtr ptr);
+
+  /// Arms (or disarms, with nullptr) a fault source consulted by
+  /// TryMalloc and by the transfer/kernel layers via fault_injector().
+  /// The injector must outlive the device; ownership stays with the
+  /// caller (the serving layer owns one per snapshot slot).
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+  fault::FaultInjector* fault_injector() const { return injector_; }
 
   /// Host-visible backing storage of an allocation (+offset). Used by the
   /// functional kernel executor and the transfer engine — the moral
@@ -87,6 +101,29 @@ class Device {
   std::vector<Allocation> allocations_;
   std::size_t used_ = 0;
   sim::CacheLevel l2_;
+  fault::FaultInjector* injector_ = nullptr;
+};
+
+/// RAII device allocation: TryMalloc on construction (null on OOM or
+/// injected allocation fault — check ok()), Free on destruction, so
+/// error paths that return early cannot leak device memory.
+class ScopedDeviceAlloc {
+ public:
+  ScopedDeviceAlloc(Device* device, std::size_t bytes)
+      : device_(device),
+        ptr_(bytes > 0 ? device->TryMalloc(bytes) : DevicePtr{}) {}
+  ~ScopedDeviceAlloc() {
+    if (!ptr_.is_null()) device_->Free(ptr_);
+  }
+  ScopedDeviceAlloc(const ScopedDeviceAlloc&) = delete;
+  ScopedDeviceAlloc& operator=(const ScopedDeviceAlloc&) = delete;
+
+  bool ok() const { return !ptr_.is_null(); }
+  DevicePtr get() const { return ptr_; }
+
+ private:
+  Device* device_;
+  DevicePtr ptr_;
 };
 
 /// Host<->device transfer engine. Copies are functional (the data really
@@ -100,6 +137,16 @@ class TransferEngine {
   double CopyToDevice(DevicePtr dst, const void* src, std::size_t bytes);
   /// Copies device → host; returns the modelled transfer time in µs.
   double CopyToHost(void* dst, DevicePtr src, std::size_t bytes);
+
+  /// Fault-aware copies: consult the device's armed injector before
+  /// moving data. On an injected fault nothing is copied and a typed
+  /// transient Status is returned; on success `*us` (optional) receives
+  /// the modelled transfer time. With no injector armed these are
+  /// identical to the unconditional copies above.
+  Status TryCopyToDevice(DevicePtr dst, const void* src, std::size_t bytes,
+                         double* us = nullptr);
+  Status TryCopyToHost(void* dst, DevicePtr src, std::size_t bytes,
+                       double* us = nullptr);
   /// Copies device → device (same GPU); charged at device bandwidth.
   double CopyOnDevice(DevicePtr dst, DevicePtr src, std::size_t bytes);
 

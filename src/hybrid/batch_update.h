@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "core/macros.h"
+#include "core/status.h"
 #include "core/workload.h"
+#include "fault/retry.h"
 #include "hybrid/hb_regular.h"
 
 namespace hbtree {
@@ -48,6 +50,10 @@ struct BatchUpdateConfig {
   /// way software pipelining would; the paper measures only ~3x from 16
   /// hardware threads (Section 6.3).
   double parallel_efficiency = 0.2;
+  /// Bounded retries for transient device-sync faults (TryRunBatchUpdate
+  /// only; the aborting path never sees them without an armed injector).
+  int max_sync_retries = 3;
+  double sync_retry_backoff_us = 25.0;
 };
 
 struct BatchUpdateStats {
@@ -55,6 +61,7 @@ struct BatchUpdateStats {
   std::uint64_t applied = 0;     // non-duplicate inserts + present deletes
   std::uint64_t structural = 0;  // handled via the single-threaded path
   std::uint64_t modified_nodes = 0;
+  std::uint64_t sync_retries = 0;  // transient sync faults retried
   double update_us = 0;  // modelled tree-update time
   double sync_us = 0;    // modelled I-segment synchronization time
   double total_us = 0;   // method-dependent combination
@@ -64,18 +71,28 @@ struct BatchUpdateStats {
   }
 };
 
-/// Executes `batch` against the tree with the chosen method. Functional:
-/// the host tree and the device mirror are consistent afterwards. The
-/// returned stats carry the simulated platform timing.
+/// Executes `batch` against the tree with the chosen method. The host
+/// tree ALWAYS reflects the whole batch on return — submitted updates
+/// must not silently vanish — but device-mirror synchronization can fail
+/// (device OOM, injected transfer faults that survive the bounded
+/// retries). In that case the returned Status is the sync error, the
+/// mirror is stale (tree.mirror_valid() == false) and the caller must
+/// route lookups through the CPU until a later TrySyncISegment succeeds.
+/// The returned stats carry the simulated platform timing.
 template <typename K>
-BatchUpdateStats RunBatchUpdate(HBRegularTree<K>& tree,
-                                const std::vector<UpdateQuery<K>>& batch,
-                                UpdateMethod method,
-                                const BatchUpdateConfig& config) {
-  BatchUpdateStats stats;
+Status TryRunBatchUpdate(HBRegularTree<K>& tree,
+                         const std::vector<UpdateQuery<K>>& batch,
+                         UpdateMethod method,
+                         const BatchUpdateConfig& config,
+                         BatchUpdateStats* stats_out) {
+  BatchUpdateStats& stats = *stats_out;
+  stats = BatchUpdateStats{};
   stats.queries = batch.size();
   RegularBTree<K>& host = tree.host_tree();
   std::vector<ModifiedNode> modified;
+  const fault::RetryPolicy retry{config.max_sync_retries,
+                                 config.sync_retry_backoff_us, 2.0};
+  Status sync_status = Status::Ok();
 
   if (method == UpdateMethod::kSynchronized) {
     // Modifying thread: full structural API per query, recording modified
@@ -91,7 +108,19 @@ BatchUpdateStats RunBatchUpdate(HBRegularTree<K>& tree,
                     ? host.Insert(update.pair, &local)
                     : host.Erase(update.pair.key, &local);
       if (ok) ++applied;
-      for (const auto& node : local) sync_us += tree.SyncNode(node);
+      for (const auto& node : local) {
+        // Once a node sync fails terminally the mirror is stale and only
+        // a bulk resync can repair it — skip further per-node transfers
+        // but keep applying the host-side updates.
+        if (!sync_status.ok()) continue;
+        double node_us = 0;
+        double backoff_us = 0;
+        const Status s = fault::RetryTransient(
+            retry, [&] { return tree.TrySyncNode(node, &node_us); },
+            &stats.sync_retries, &backoff_us);
+        sync_us += node_us + backoff_us;
+        if (!s.ok()) sync_status = s;
+      }
       stats.modified_nodes += local.size();
     }
     stats.applied = applied;
@@ -99,7 +128,7 @@ BatchUpdateStats RunBatchUpdate(HBRegularTree<K>& tree,
         batch.size() * (config.cpu_update_us + config.lock_overhead_us);
     stats.sync_us = sync_us;
     stats.total_us = std::max(stats.update_us, stats.sync_us);
-    return stats;
+    return sync_status;
   }
 
   // Asynchronous methods: apply everything in main memory first.
@@ -186,7 +215,12 @@ BatchUpdateStats RunBatchUpdate(HBRegularTree<K>& tree,
   stats.modified_nodes = modified.size();
 
   // One bulk I-segment transfer.
-  stats.sync_us = tree.SyncISegment();
+  double sync_us = 0;
+  double backoff_us = 0;
+  sync_status = fault::RetryTransient(
+      retry, [&] { return tree.TrySyncISegment(&sync_us); },
+      &stats.sync_retries, &backoff_us);
+  stats.sync_us = sync_us + backoff_us;
 
   const double single_us =
       batch.size() * config.cpu_update_us +
@@ -201,6 +235,21 @@ BatchUpdateStats RunBatchUpdate(HBRegularTree<K>& tree,
     stats.update_us = single_us;
   }
   stats.total_us = stats.update_us + stats.sync_us;
+  return sync_status;
+}
+
+/// Aborting convenience wrapper with the original signature.
+template <typename K>
+BatchUpdateStats RunBatchUpdate(HBRegularTree<K>& tree,
+                                const std::vector<UpdateQuery<K>>& batch,
+                                UpdateMethod method,
+                                const BatchUpdateConfig& config) {
+  BatchUpdateStats stats;
+  const Status status =
+      TryRunBatchUpdate(tree, batch, method, config, &stats);
+  // Unreachable without an armed fault injector (see RunPipeline).
+  HBTREE_CHECK_MSG(status.ok(), "batch update device sync failed: %s",
+                   status.message().c_str());
   return stats;
 }
 

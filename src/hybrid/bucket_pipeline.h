@@ -6,7 +6,10 @@
 #include <vector>
 
 #include "core/macros.h"
+#include "core/status.h"
 #include "core/types.h"
+#include "fault/fault_injector.h"
+#include "fault/retry.h"
 #include "gpusim/cost_model.h"
 #include "gpusim/device.h"
 #include "hybrid/hb_fast.h"
@@ -53,6 +56,15 @@ struct PipelineConfig {
   std::vector<double> cpu_descend_us_by_depth;
   /// Buckets in flight: 2 normally, 3 with load balancing (Section 5.5).
   int buckets_in_flight = 2;
+
+  // -- Fault handling (only reachable when the device has an armed
+  // fault injector; see fault/fault_injector.h). --
+  /// Bounded retries per transfer/kernel operation before the bucket
+  /// fails with a typed Status.
+  int max_device_retries = 3;
+  /// Modelled exponential-backoff delay before the first retry, µs
+  /// (doubled per retry); charged to the failing step's timeline.
+  double retry_backoff_us = 25.0;
 };
 
 /// Aggregate result of one pipeline run.
@@ -74,6 +86,9 @@ struct PipelineStats {
   /// getSample() observables (Algorithm 1).
   double sample_gpu_us = 0;
   double sample_cpu_us = 0;
+  // Fault-handling outcome (nonzero only with an armed injector).
+  std::uint64_t transfer_retries = 0;
+  std::uint64_t kernel_retries = 0;
 };
 
 namespace pipeline_internal {
@@ -224,11 +239,15 @@ struct FastAdapter {
 };
 
 template <typename K, typename Adapter>
-PipelineStats RunPipeline(typename Adapter::Tree& tree, const K* queries,
+Status RunPipelineChecked(typename Adapter::Tree& tree, const K* queries,
                           std::size_t count, const PipelineConfig& config,
-                          std::vector<LookupResult<K>>* results) {
+                          std::vector<LookupResult<K>>* results,
+                          PipelineStats* stats_out) {
   gpu::Device& device = tree.device();
   gpu::TransferEngine& transfer = tree.transfer();
+  fault::FaultInjector* injector = device.fault_injector();
+  const fault::RetryPolicy retry{config.max_device_retries,
+                                 config.retry_backoff_us, 2.0};
   const int height = Adapter::Height(tree);
   // D is capped so that even the D+1 part leaves the GPU at least the
   // last inner level to search.
@@ -237,14 +256,20 @@ PipelineStats RunPipeline(typename Adapter::Tree& tree, const K* queries,
   const double split = std::clamp(config.cpu_split_ratio, 0.0, 1.0);
   const bool balanced = (d_levels > 0 || split < 1.0) && height >= 2;
 
+  if (config.bucket_size <= 0) {
+    return Status::InvalidArgument("bucket_size must be positive");
+  }
   const std::uint32_t m = static_cast<std::uint32_t>(config.bucket_size);
-  HBTREE_CHECK(m > 0);
-  gpu::DevicePtr q_dev = device.Malloc(m * sizeof(K));
-  gpu::DevicePtr r_dev = device.Malloc(m * sizeof(std::uint64_t));
-  gpu::DevicePtr s_dev =
-      balanced ? device.Malloc(m * sizeof(std::uint32_t)) : gpu::DevicePtr{};
+  gpu::ScopedDeviceAlloc q_dev(&device, m * sizeof(K));
+  gpu::ScopedDeviceAlloc r_dev(&device, m * sizeof(std::uint64_t));
+  gpu::ScopedDeviceAlloc s_dev(&device,
+                          balanced ? m * sizeof(std::uint32_t) : 0);
+  if (!q_dev.ok() || !r_dev.ok() || (balanced && !s_dev.ok())) {
+    return Status::DeviceOom("bucket buffers do not fit in device memory");
+  }
 
-  PipelineStats stats;
+  PipelineStats& stats = *stats_out;
+  stats = PipelineStats{};
   Scheduler scheduler(config.strategy);
   // Start-node indices travel as 32-bit values: every level a partial
   // descent can reach has fewer than 2^32 nodes.
@@ -281,39 +306,77 @@ PipelineStats RunPipeline(typename Adapter::Tree& tree, const K* queries,
              (n - part1) * descend_cost(d_levels + 1);
     }
 
-    // -- T1: queries (+ start nodes) to device, one combined transfer ----
+    // -- T1: queries (+ start nodes) to device, one combined transfer.
+    // Transient transfer faults retry with exponential backoff; the
+    // modelled backoff is charged to this bucket's T1.
     std::size_t t1_bytes = n * sizeof(K);
-    transfer.CopyToDevice(q_dev, queries + base, n * sizeof(K));
+    double backoff_us = 0;
+    HBTREE_RETURN_IF_ERROR(fault::RetryTransient(
+        retry,
+        [&] {
+          return transfer.TryCopyToDevice(q_dev.get(), queries + base,
+                                          n * sizeof(K));
+        },
+        &stats.transfer_retries, &backoff_us));
     if (balanced) {
-      transfer.CopyToDevice(s_dev, start_nodes.data(),
-                            n * sizeof(std::uint32_t));
+      HBTREE_RETURN_IF_ERROR(fault::RetryTransient(
+          retry,
+          [&] {
+            return transfer.TryCopyToDevice(s_dev.get(), start_nodes.data(),
+                                            n * sizeof(std::uint32_t));
+          },
+          &stats.transfer_retries, &backoff_us));
       t1_bytes += n * sizeof(std::uint32_t);
     }
-    const double t1 = transfer.HostToDeviceUs(t1_bytes);
+    const double t1 = transfer.HostToDeviceUs(t1_bytes) + backoff_us;
 
-    // -- T2: kernel launch(es) --------------------------------------------
+    // -- T2: kernel launch(es). A launch attempt is all-or-nothing, so a
+    // retried attempt overwrites (not accumulates) the kernel stats.
     gpu::KernelStats ks;
-    if (!balanced) {
-      ks = Adapter::Launch(tree, q_dev, r_dev, n, height, gpu::DevicePtr{});
-    } else {
-      if (part1 > 0) {
-        ks += Adapter::Launch(tree, q_dev, r_dev, part1,
-                              height - d_levels, s_dev);
-      }
-      if (part1 < n) {
-        ks += Adapter::Launch(
-            tree, q_dev + part1 * sizeof(K),
-            r_dev + part1 * sizeof(std::uint64_t), n - part1,
-            height - d_levels - 1,
-            s_dev + part1 * sizeof(std::uint32_t));
-      }
-    }
+    backoff_us = 0;
+    HBTREE_RETURN_IF_ERROR(fault::RetryTransient(
+        retry,
+        [&]() -> Status {
+          if (injector != nullptr) {
+            HBTREE_RETURN_IF_ERROR(injector->Check(fault::Site::kKernel));
+          }
+          gpu::KernelStats attempt;
+          if (!balanced) {
+            attempt = Adapter::Launch(tree, q_dev.get(), r_dev.get(), n,
+                                      height, gpu::DevicePtr{});
+          } else {
+            if (part1 > 0) {
+              attempt += Adapter::Launch(tree, q_dev.get(), r_dev.get(),
+                                         part1, height - d_levels,
+                                         s_dev.get());
+            }
+            if (part1 < n) {
+              attempt += Adapter::Launch(
+                  tree, q_dev.get() + part1 * sizeof(K),
+                  r_dev.get() + part1 * sizeof(std::uint64_t), n - part1,
+                  height - d_levels - 1,
+                  s_dev.get() + part1 * sizeof(std::uint32_t));
+            }
+          }
+          ks = attempt;
+          return Status::Ok();
+        },
+        &stats.kernel_retries, &backoff_us));
     stats.kernel += ks;
-    const double t2 = gpu::EstimateKernelTime(device.spec(), ks).total_us;
+    const double t2 =
+        gpu::EstimateKernelTime(device.spec(), ks).total_us + backoff_us;
 
     // -- T3: intermediate results back ------------------------------------
-    const double t3 = transfer.CopyToHost(intermediate.data(), r_dev,
-                                          n * sizeof(std::uint64_t));
+    double t3 = 0;
+    backoff_us = 0;
+    HBTREE_RETURN_IF_ERROR(fault::RetryTransient(
+        retry,
+        [&] {
+          return transfer.TryCopyToHost(intermediate.data(), r_dev.get(),
+                                        n * sizeof(std::uint64_t), &t3);
+        },
+        &stats.transfer_retries, &backoff_us));
+    t3 += backoff_us;
 
     // -- T4: CPU leaf search ----------------------------------------------
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -341,10 +404,6 @@ PipelineStats RunPipeline(typename Adapter::Tree& tree, const K* queries,
     stats.sample_cpu_us += t4 + tpre;
   }
 
-  device.Free(q_dev);
-  device.Free(r_dev);
-  if (!s_dev.is_null()) device.Free(s_dev);
-
   const double buckets = static_cast<double>(bucket_end.size());
   stats.queries = count;
   stats.total_us = bucket_end.empty() ? 0 : bucket_end.back();
@@ -361,6 +420,20 @@ PipelineStats RunPipeline(typename Adapter::Tree& tree, const K* queries,
   stats.gpu_busy_us = scheduler.gpu_busy();
   stats.cpu_busy_us = scheduler.cpu_busy();
   stats.pcie_busy_us = scheduler.pcie_busy();
+  return Status::Ok();
+}
+
+template <typename K, typename Adapter>
+PipelineStats RunPipeline(typename Adapter::Tree& tree, const K* queries,
+                          std::size_t count, const PipelineConfig& config,
+                          std::vector<LookupResult<K>>* results) {
+  PipelineStats stats;
+  const Status status = RunPipelineChecked<K, Adapter>(
+      tree, queries, count, config, results, &stats);
+  // Unreachable without an armed fault injector: callers that inject
+  // faults must use the Try* entry points and handle the Status.
+  HBTREE_CHECK_MSG(status.ok(), "search pipeline failed: %s",
+                   status.message().c_str());
   return stats;
 }
 
@@ -403,6 +476,43 @@ PipelineStats RunSearchPipeline(HBFastTree<K>& tree, const K* queries,
                                     nullptr) {
   return pipeline_internal::RunPipeline<K, pipeline_internal::FastAdapter<K>>(
       tree, queries, count, config, results);
+}
+
+/// Fault-tolerant entry points: identical to RunSearchPipeline, but
+/// device-side failures (allocation, transfer, kernel — injected via
+/// fault::FaultInjector or genuine OOM) surface as a typed Status after
+/// the configured bounded retries instead of aborting. On failure the
+/// device buffers are released and `results` contents are unspecified;
+/// the caller owns the fallback decision (the serving layer degrades to
+/// the CPU-only pipelined search, Section 4.2).
+template <typename K>
+Status TryRunSearchPipeline(HBImplicitTree<K>& tree, const K* queries,
+                            std::size_t count, const PipelineConfig& config,
+                            std::vector<LookupResult<K>>* results,
+                            PipelineStats* stats) {
+  return pipeline_internal::RunPipelineChecked<
+      K, pipeline_internal::ImplicitAdapter<K>>(tree, queries, count, config,
+                                                results, stats);
+}
+
+template <typename K>
+Status TryRunSearchPipeline(HBRegularTree<K>& tree, const K* queries,
+                            std::size_t count, const PipelineConfig& config,
+                            std::vector<LookupResult<K>>* results,
+                            PipelineStats* stats) {
+  return pipeline_internal::RunPipelineChecked<
+      K, pipeline_internal::RegularAdapter<K>>(tree, queries, count, config,
+                                               results, stats);
+}
+
+template <typename K>
+Status TryRunSearchPipeline(HBFastTree<K>& tree, const K* queries,
+                            std::size_t count, const PipelineConfig& config,
+                            std::vector<LookupResult<K>>* results,
+                            PipelineStats* stats) {
+  return pipeline_internal::RunPipelineChecked<
+      K, pipeline_internal::FastAdapter<K>>(tree, queries, count, config,
+                                            results, stats);
 }
 
 }  // namespace hbtree

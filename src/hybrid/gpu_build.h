@@ -5,8 +5,11 @@
 #include <vector>
 
 #include "core/macros.h"
+#include "core/status.h"
 #include "core/types.h"
 #include "cpubtree/implicit_btree.h"
+#include "fault/fault_injector.h"
+#include "fault/retry.h"
 #include "gpusim/cost_model.h"
 #include "gpusim/device.h"
 #include "gpusim/warp.h"
@@ -122,19 +125,24 @@ gpu::KernelStats RunImplicitBuildKernel(gpu::Device& device,
 
 /// Host-side driver: builds the L-segment and host I-segment as usual,
 /// then reconstructs the device I-segment from the uploaded leaf maxima
-/// instead of transferring the whole segment. Returns the modelled time
-/// (maxima upload + build kernel) in µs; compare with
-/// HBImplicitTree::SyncISegment (upload of the full segment).
+/// instead of transferring the whole segment. On success `*us_out`
+/// receives the modelled time (maxima upload + build kernel) in µs;
+/// compare with HBImplicitTree::SyncISegment (upload of the full
+/// segment). Device failures (scratch OOM, injected transfer or kernel
+/// faults) surface as a typed Status after bounded retries of the
+/// transient ones.
 ///
 /// `device_nodes` must be the tree's device mirror allocation.
 template <typename K>
-double BuildISegmentOnDevice(const ImplicitBTree<K>& host,
-                             gpu::Device& device,
-                             gpu::TransferEngine& transfer,
-                             gpu::DevicePtr device_nodes,
-                             gpu::KernelStats* stats_out = nullptr) {
+Status TryBuildISegmentOnDevice(const ImplicitBTree<K>& host,
+                                gpu::Device& device,
+                                gpu::TransferEngine& transfer,
+                                gpu::DevicePtr device_nodes, double* us_out,
+                                gpu::KernelStats* stats_out = nullptr,
+                                const fault::RetryPolicy& retry = {}) {
   HBTREE_CHECK(host.height() >= 1);
   const std::uint64_t leaf_lines = host.level_alloc(0);
+  fault::FaultInjector* injector = device.fault_injector();
 
   // Leaf maxima on the host (a streaming pass the CPU does during the
   // L-segment rebuild anyway).
@@ -145,16 +153,29 @@ double BuildISegmentOnDevice(const ImplicitBTree<K>& host,
     maxima[line] = leaves[line].pairs[kPairs - 1].key;
   }
 
-  gpu::DevicePtr maxima_a = device.Malloc(leaf_lines * sizeof(K));
-  gpu::DevicePtr maxima_b =
-      device.Malloc(std::max<std::uint64_t>(leaf_lines, 1) * sizeof(K));
+  gpu::ScopedDeviceAlloc maxima_a(&device, leaf_lines * sizeof(K));
+  gpu::ScopedDeviceAlloc maxima_b(
+      &device, std::max<std::uint64_t>(leaf_lines, 1) * sizeof(K));
+  if (!maxima_a.ok() || !maxima_b.ok()) {
+    return Status::DeviceOom(
+        "build scratch maxima do not fit in device memory");
+  }
+
+  double backoff_us = 0;
+  HBTREE_RETURN_IF_ERROR(fault::RetryTransient(
+      retry,
+      [&] {
+        return transfer.TryCopyToDevice(maxima_a.get(), maxima.data(),
+                                        leaf_lines * sizeof(K));
+      },
+      nullptr, &backoff_us));
   double total_us =
-      transfer.CopyToDevice(maxima_a, maxima.data(), leaf_lines * sizeof(K));
+      transfer.HostToDeviceUs(leaf_lines * sizeof(K)) + backoff_us;
 
   ImplicitBuildParams<K> params;
   params.nodes = device_nodes;
-  params.maxima_a = maxima_a;
-  params.maxima_b = maxima_b;
+  params.maxima_a = maxima_a.get();
+  params.maxima_b = maxima_b.get();
   params.height = host.height();
   params.fanout = host.fanout();
   params.pin_last_key = host.config().hybrid_layout;
@@ -165,13 +186,40 @@ double BuildISegmentOnDevice(const ImplicitBTree<K>& host,
     params.level_offsets[level] = host.level_offset(level);
     params.level_alloc[level] = host.level_alloc(level);
   }
-  gpu::KernelStats stats = RunImplicitBuildKernel<K>(device, params);
+  gpu::KernelStats stats;
+  backoff_us = 0;
+  HBTREE_RETURN_IF_ERROR(fault::RetryTransient(
+      retry,
+      [&]() -> Status {
+        if (injector != nullptr) {
+          HBTREE_RETURN_IF_ERROR(injector->Check(fault::Site::kKernel));
+        }
+        stats = RunImplicitBuildKernel<K>(device, params);
+        return Status::Ok();
+      },
+      nullptr, &backoff_us));
   if (stats_out != nullptr) *stats_out = stats;
   total_us += gpu::EstimateKernelTime(device.spec(), stats).total_us;
+  total_us += backoff_us;
 
-  device.Free(maxima_a);
-  device.Free(maxima_b);
-  return total_us;
+  if (us_out != nullptr) *us_out = total_us;
+  return Status::Ok();
+}
+
+/// Aborting convenience wrapper; returns the modelled time in µs.
+template <typename K>
+double BuildISegmentOnDevice(const ImplicitBTree<K>& host,
+                             gpu::Device& device,
+                             gpu::TransferEngine& transfer,
+                             gpu::DevicePtr device_nodes,
+                             gpu::KernelStats* stats_out = nullptr) {
+  double us = 0;
+  const Status status = TryBuildISegmentOnDevice(
+      host, device, transfer, device_nodes, &us, stats_out);
+  // Unreachable without an armed fault injector (see RunPipeline).
+  HBTREE_CHECK_MSG(status.ok(), "device-side I-segment build failed: %s",
+                   status.message().c_str());
+  return us;
 }
 
 }  // namespace hbtree

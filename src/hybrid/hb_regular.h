@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "core/macros.h"
+#include "core/status.h"
 #include "core/types.h"
 #include "cpubtree/regular_btree.h"
+#include "fault/fault_injector.h"
 #include "gpusim/device.h"
 #include "hybrid/gpu_kernels.h"
 #include "mem/page_allocator.h"
@@ -81,6 +83,53 @@ class HBRegularTree {
   /// transfer time in µs.
   double SyncISegment() { return ReallocAndSyncTimed(); }
 
+  /// Fault-aware node sync. On an injected transfer fault nothing is
+  /// copied, the mirror is marked stale (mirror_valid() == false — the
+  /// host node changed but the device copy did not) and a transient
+  /// Status is returned. On success `*us` (optional) receives the
+  /// modelled transfer time; a node-granular success does NOT restore a
+  /// mirror already marked stale.
+  Status TrySyncNode(const ModifiedNode& node, double* us = nullptr) {
+    if (node.ref >= (node.last_level ? last_capacity_ : inner_capacity_)) {
+      return TrySyncISegment(us);
+    }
+    fault::FaultInjector* injector = device_->fault_injector();
+    if (injector != nullptr) {
+      const Status status = injector->Check(fault::Site::kTransferH2D);
+      if (!status.ok()) {
+        mirror_valid_.store(false, std::memory_order_relaxed);
+        return status;
+      }
+    }
+    const Hot& hot = node.last_level ? host_tree_.last_hot(node.ref)
+                                     : host_tree_.inner_hot(node.ref);
+    gpu::DevicePtr dst =
+        (node.last_level ? device_last_ : device_inner_) +
+        static_cast<std::uint64_t>(node.ref) * sizeof(Hot);
+    sync_epoch_.fetch_add(1, std::memory_order_relaxed);
+    const double t = transfer_->StreamedCopyToDevice(dst, &hot, sizeof(Hot));
+    if (us != nullptr) *us = t;
+    return Status::Ok();
+  }
+
+  /// Fault-aware whole-mirror sync. Failure (device OOM during realloc or
+  /// an injected transfer fault) marks the mirror stale; success restores
+  /// it (mirror_valid() == true) — this is the recovery path a circuit
+  /// breaker probes.
+  Status TrySyncISegment(double* us = nullptr) {
+    HBTREE_RETURN_IF_ERROR(TryReallocAndSync());
+    if (us != nullptr) *us = transfer_->HostToDeviceUs(i_segment_bytes());
+    return Status::Ok();
+  }
+
+  /// True while the device mirror reflects every host-side update that
+  /// was synced. GPU lookups through a stale mirror would silently return
+  /// wrong results, so serving code must check this before taking the
+  /// device path and fall back to CPU-only search while it is false.
+  bool mirror_valid() const {
+    return mirror_valid_.load(std::memory_order_relaxed);
+  }
+
   /// Kernel launch parameters for a bucket of `count` queries in device
   /// memory (see RunRegularInnerSearch).
   RegularKernelParams<K> MakeKernelParams(
@@ -134,11 +183,14 @@ class HBRegularTree {
     inner_capacity_ = last_capacity_ = 0;
   }
 
-  bool ReallocAndSync() {
+  bool ReallocAndSync() { return TryReallocAndSync().ok(); }
+
+  Status TryReallocAndSync() {
     const std::size_t need_inner = host_tree_.inner_pool().high_water();
     const std::size_t need_last = host_tree_.leaf_pool().high_water();
     if (need_inner > inner_capacity_ || need_last > last_capacity_) {
       FreeDeviceArrays();
+      mirror_valid_.store(false, std::memory_order_relaxed);
       std::size_t cap_inner = static_cast<std::size_t>(
           need_inner * config_.device_headroom) + 64;
       std::size_t cap_last = static_cast<std::size_t>(
@@ -147,14 +199,27 @@ class HBRegularTree {
       device_last_ = device_->TryMalloc(cap_last * sizeof(Hot));
       if (device_inner_.is_null() || device_last_.is_null()) {
         FreeDeviceArrays();
-        return false;
+        return Status::DeviceOom(
+            "I-segment mirror does not fit in device memory");
       }
       inner_capacity_ = cap_inner;
       last_capacity_ = cap_last;
     }
+    // The bulk upload counts as one H2D transfer for fault purposes: an
+    // injected fault leaves the (possibly freshly reallocated) arrays
+    // without the new pool contents, so the mirror goes stale.
+    fault::FaultInjector* injector = device_->fault_injector();
+    if (injector != nullptr) {
+      const Status status = injector->Check(fault::Site::kTransferH2D);
+      if (!status.ok()) {
+        mirror_valid_.store(false, std::memory_order_relaxed);
+        return status;
+      }
+    }
     CopyPools();
     sync_epoch_.fetch_add(1, std::memory_order_relaxed);
-    return true;
+    mirror_valid_.store(true, std::memory_order_relaxed);
+    return Status::Ok();
   }
 
   double ReallocAndSyncTimed() {
@@ -191,6 +256,7 @@ class HBRegularTree {
   std::size_t inner_capacity_ = 0;
   std::size_t last_capacity_ = 0;
   std::atomic<std::uint64_t> sync_epoch_{0};
+  std::atomic<bool> mirror_valid_{false};
 };
 
 }  // namespace hbtree

@@ -48,22 +48,32 @@ struct RegularRangeAdapter {
 };
 
 template <typename K, typename Adapter>
-PipelineStats RunRange(typename Adapter::Tree& tree,
+Status RunRangeChecked(typename Adapter::Tree& tree,
                        const RangeQuery<K>* queries, std::size_t count,
                        int max_matches, const PipelineConfig& config,
                        std::vector<KeyValue<K>>* pairs,
-                       std::vector<int>* counts) {
+                       std::vector<int>* counts, PipelineStats* stats_out) {
   using Base = typename Adapter::Base;
   gpu::Device& device = tree.device();
   gpu::TransferEngine& transfer = tree.transfer();
+  fault::FaultInjector* injector = device.fault_injector();
+  const fault::RetryPolicy retry{config.max_device_retries,
+                                 config.retry_backoff_us, 2.0};
   const int height = Base::Height(tree);
 
+  if (config.bucket_size <= 0 || max_matches <= 0) {
+    return Status::InvalidArgument(
+        "bucket_size and max_matches must be positive");
+  }
   const std::uint32_t m = static_cast<std::uint32_t>(config.bucket_size);
-  HBTREE_CHECK(m > 0 && max_matches > 0);
-  gpu::DevicePtr q_dev = device.Malloc(m * sizeof(K));
-  gpu::DevicePtr r_dev = device.Malloc(m * sizeof(std::uint64_t));
+  gpu::ScopedDeviceAlloc q_dev(&device, m * sizeof(K));
+  gpu::ScopedDeviceAlloc r_dev(&device, m * sizeof(std::uint64_t));
+  if (!q_dev.ok() || !r_dev.ok()) {
+    return Status::DeviceOom("range buffers do not fit in device memory");
+  }
 
-  PipelineStats stats;
+  PipelineStats& stats = *stats_out;
+  stats = PipelineStats{};
   pipeline_internal::Scheduler scheduler(config.strategy);
   std::vector<K> first_keys(m);
   std::vector<std::uint64_t> intermediate(m);
@@ -82,19 +92,47 @@ PipelineStats RunRange(typename Adapter::Tree& tree,
       first_keys[i] = queries[base + i].first_key;
     }
 
-    // T1: start keys to the device.
-    transfer.CopyToDevice(q_dev, first_keys.data(), n * sizeof(K));
-    const double t1 = transfer.HostToDeviceUs(n * sizeof(K));
+    // T1: start keys to the device (transient faults retry with modelled
+    // backoff charged to this bucket's T1, as in the lookup pipeline).
+    double backoff_us = 0;
+    HBTREE_RETURN_IF_ERROR(fault::RetryTransient(
+        retry,
+        [&] {
+          return transfer.TryCopyToDevice(q_dev.get(), first_keys.data(),
+                                          n * sizeof(K));
+        },
+        &stats.transfer_retries, &backoff_us));
+    const double t1 = transfer.HostToDeviceUs(n * sizeof(K)) + backoff_us;
 
     // T2: the same inner-search kernel resolves the start positions.
-    gpu::KernelStats ks =
-        Base::Launch(tree, q_dev, r_dev, n, height, gpu::DevicePtr{});
+    gpu::KernelStats ks;
+    backoff_us = 0;
+    HBTREE_RETURN_IF_ERROR(fault::RetryTransient(
+        retry,
+        [&]() -> Status {
+          if (injector != nullptr) {
+            HBTREE_RETURN_IF_ERROR(injector->Check(fault::Site::kKernel));
+          }
+          ks = Base::Launch(tree, q_dev.get(), r_dev.get(), n, height,
+                            gpu::DevicePtr{});
+          return Status::Ok();
+        },
+        &stats.kernel_retries, &backoff_us));
     stats.kernel += ks;
-    const double t2 = gpu::EstimateKernelTime(device.spec(), ks).total_us;
+    const double t2 =
+        gpu::EstimateKernelTime(device.spec(), ks).total_us + backoff_us;
 
     // T3: positions back to the host.
-    const double t3 = transfer.CopyToHost(intermediate.data(), r_dev,
-                                          n * sizeof(std::uint64_t));
+    double t3 = 0;
+    backoff_us = 0;
+    HBTREE_RETURN_IF_ERROR(fault::RetryTransient(
+        retry,
+        [&] {
+          return transfer.TryCopyToHost(intermediate.data(), r_dev.get(),
+                                        n * sizeof(std::uint64_t), &t3);
+        },
+        &stats.transfer_retries, &backoff_us));
+    t3 += backoff_us;
 
     // T4: CPU leaf-chain scan per query.
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -132,9 +170,6 @@ PipelineStats RunRange(typename Adapter::Tree& tree,
     stats.t4_us += t4;
   }
 
-  device.Free(q_dev);
-  device.Free(r_dev);
-
   const double buckets = static_cast<double>(bucket_end.size());
   stats.queries = count;
   stats.total_us = bucket_end.empty() ? 0 : bucket_end.back();
@@ -149,6 +184,21 @@ PipelineStats RunRange(typename Adapter::Tree& tree,
   stats.gpu_busy_us = scheduler.gpu_busy();
   stats.cpu_busy_us = scheduler.cpu_busy();
   stats.pcie_busy_us = scheduler.pcie_busy();
+  return Status::Ok();
+}
+
+template <typename K, typename Adapter>
+PipelineStats RunRange(typename Adapter::Tree& tree,
+                       const RangeQuery<K>* queries, std::size_t count,
+                       int max_matches, const PipelineConfig& config,
+                       std::vector<KeyValue<K>>* pairs,
+                       std::vector<int>* counts) {
+  PipelineStats stats;
+  const Status status = RunRangeChecked<K, Adapter>(
+      tree, queries, count, max_matches, config, pairs, counts, &stats);
+  // Unreachable without an armed fault injector (see RunPipeline).
+  HBTREE_CHECK_MSG(status.ok(), "range pipeline failed: %s",
+                   status.message().c_str());
   return stats;
 }
 
@@ -179,6 +229,31 @@ PipelineStats RunRangePipeline(HBRegularTree<K>& tree,
                                std::vector<int>* counts = nullptr) {
   return range_internal::RunRange<K, range_internal::RegularRangeAdapter<K>>(
       tree, queries, count, max_matches, config, pairs, counts);
+}
+
+/// Fault-tolerant range entry points: device failures surface as a typed
+/// Status after bounded retries instead of aborting (see
+/// TryRunSearchPipeline for the contract).
+template <typename K>
+Status TryRunRangePipeline(HBImplicitTree<K>& tree,
+                           const RangeQuery<K>* queries, std::size_t count,
+                           int max_matches, const PipelineConfig& config,
+                           std::vector<KeyValue<K>>* pairs,
+                           std::vector<int>* counts, PipelineStats* stats) {
+  return range_internal::RunRangeChecked<
+      K, range_internal::ImplicitRangeAdapter<K>>(
+      tree, queries, count, max_matches, config, pairs, counts, stats);
+}
+
+template <typename K>
+Status TryRunRangePipeline(HBRegularTree<K>& tree,
+                           const RangeQuery<K>* queries, std::size_t count,
+                           int max_matches, const PipelineConfig& config,
+                           std::vector<KeyValue<K>>* pairs,
+                           std::vector<int>* counts, PipelineStats* stats) {
+  return range_internal::RunRangeChecked<
+      K, range_internal::RegularRangeAdapter<K>>(
+      tree, queries, count, max_matches, config, pairs, counts, stats);
 }
 
 }  // namespace hbtree

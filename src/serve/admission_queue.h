@@ -19,6 +19,13 @@ namespace hbtree::serve {
 /// single consumer (a batcher thread) pops up to a bucket's worth of
 /// operations at once, waiting briefly for a partial bucket to fill so
 /// light load still ships with bounded added latency.
+/// Outcome of a deadline-bounded admission attempt.
+enum class PushResult {
+  kOk,       // admitted
+  kClosed,   // queue closed (server shutting down)
+  kTimeout,  // still full at the deadline: the request is shed at the door
+};
+
 template <typename T>
 class AdmissionQueue {
  public:
@@ -39,6 +46,25 @@ class AdmissionQueue {
     lock.unlock();
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Deadline-bounded admission: waits for space only until `deadline`.
+  /// A request that cannot even enter the queue before its deadline has
+  /// no chance of completing in time, so shedding it here (kTimeout) is
+  /// cheaper than shedding it after it aged in the queue. On kClosed and
+  /// kTimeout `item` is left untouched.
+  PushResult PushUntil(T&& item, std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!not_full_.wait_until(lock, deadline, [this] {
+          return closed_ || items_.size() < capacity_;
+        })) {
+      return PushResult::kTimeout;
+    }
+    if (closed_) return PushResult::kClosed;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return PushResult::kOk;
   }
 
   /// Pops up to `max` items into `out` (appended). Waits up to

@@ -5,7 +5,7 @@
 namespace hbtree::serve {
 
 std::string ServeStats::ToString() const {
-  char buffer[1024];
+  char buffer[2048];
   std::snprintf(
       buffer, sizeof(buffer),
       "serve: %llu lookups, %llu ranges, %llu updates in %.2fs\n"
@@ -15,7 +15,12 @@ std::string ServeStats::ToString() const {
       "  read  latency us: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n"
       "  update latency us: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n"
       "  simulated platform: pipeline %.0f us, updates %.0f us "
-      "(%llu applied, %llu structural)",
+      "(%llu applied, %llu structural)\n"
+      "  faults: %llu injected, %llu device faults, %llu sync failures, "
+      "retries %llu/%llu/%llu (transfer/kernel/sync)\n"
+      "  breaker: %llu opens, %llu closes, %llu probes; cpu fallback "
+      "%llu buckets / %llu lookups\n"
+      "  shed: %llu reads, %llu updates",
       static_cast<unsigned long long>(lookups),
       static_cast<unsigned long long>(ranges),
       static_cast<unsigned long long>(updates), wall_seconds,
@@ -27,7 +32,20 @@ std::string ServeStats::ToString() const {
       update_latency.p50_us, update_latency.p90_us, update_latency.p99_us,
       update_latency.max_us, sim_pipeline_us, sim_update_us,
       static_cast<unsigned long long>(applied),
-      static_cast<unsigned long long>(structural));
+      static_cast<unsigned long long>(structural),
+      static_cast<unsigned long long>(faults_injected),
+      static_cast<unsigned long long>(device_faults),
+      static_cast<unsigned long long>(sync_failures),
+      static_cast<unsigned long long>(transfer_retries),
+      static_cast<unsigned long long>(kernel_retries),
+      static_cast<unsigned long long>(sync_retries),
+      static_cast<unsigned long long>(breaker_opens),
+      static_cast<unsigned long long>(breaker_closes),
+      static_cast<unsigned long long>(probe_attempts),
+      static_cast<unsigned long long>(cpu_fallback_buckets),
+      static_cast<unsigned long long>(cpu_fallback_lookups),
+      static_cast<unsigned long long>(shed_reads),
+      static_cast<unsigned long long>(shed_updates));
   return buffer;
 }
 

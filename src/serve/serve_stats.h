@@ -46,6 +46,34 @@ struct ServeStats {
   // update batch advances it by one swap.
   std::uint64_t epoch = 0;
 
+  // -- Fault tolerance ----------------------------------------------------
+
+  // Deadline-based load shedding: requests resolved with
+  // kDeadlineExceeded instead of being served.
+  std::uint64_t shed_reads = 0;
+  std::uint64_t shed_updates = 0;
+
+  // Device-fault handling in the read/update paths.
+  std::uint64_t transfer_retries = 0;  // transient transfer faults retried
+  std::uint64_t kernel_retries = 0;    // transient kernel faults retried
+  std::uint64_t sync_retries = 0;      // update-path sync faults retried
+  std::uint64_t device_faults = 0;     // bucket dispatches that failed on GPU
+  std::uint64_t sync_failures = 0;     // update batches with a failed sync
+
+  // Circuit breaker: per-slot GPU paths flip to CPU-only after repeated
+  // failures and recover via periodic probes.
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_closes = 0;
+  std::uint64_t probe_attempts = 0;
+
+  // Degraded-mode serving: buckets answered by the CPU-only pipelined
+  // search instead of the heterogeneous pipeline.
+  std::uint64_t cpu_fallback_buckets = 0;
+  std::uint64_t cpu_fallback_lookups = 0;
+
+  // Total faults the armed injectors produced (all sites, both slots).
+  std::uint64_t faults_injected = 0;
+
   /// Human-readable multi-line report (used by bench/ and examples/).
   std::string ToString() const;
 };

@@ -5,15 +5,18 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
-#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/macros.h"
+#include "core/status.h"
 #include "core/types.h"
 #include "core/workload.h"
+#include "cpubtree/pipelined_search.h"
+#include "fault/fault_injector.h"
 #include "hybrid/batch_update.h"
 #include "hybrid/bucket_pipeline.h"
 #include "hybrid/hb_regular.h"
@@ -59,25 +62,66 @@ struct ServerOptions {
   /// How long a batcher waits for a partial bucket/batch to fill before
   /// shipping it — the added latency bound under light load.
   std::chrono::microseconds max_batch_delay{200};
+
+  // -- Fault tolerance ----------------------------------------------------
+
+  /// Fault-injection policy armed on each snapshot slot's device after a
+  /// clean bootstrap (slot B gets a decorrelated seed). Disabled by
+  /// default; arm it in fault-tolerance tests and benches.
+  fault::FaultConfig fault;
+
+  /// Circuit breaker: after this many consecutive GPU bucket failures the
+  /// slot's device path opens (buckets serve CPU-only) ...
+  int breaker_failure_threshold = 3;
+  /// ... and every Nth bucket while open probes the device path (resync
+  /// if stale, then one pipelined bucket); a successful probe closes the
+  /// breaker.
+  int breaker_probe_interval = 4;
+
+  /// Software-pipelining depth for the CPU-only degraded path (16 is the
+  /// paper's optimum, Figure 7).
+  int cpu_fallback_depth = 16;
+
+  /// Default per-request deadline budget; zero means no deadline. A
+  /// request whose deadline passes before it is dispatched resolves with
+  /// kDeadlineExceeded instead of occupying the pipeline (load shedding).
+  std::chrono::microseconds default_deadline{0};
 };
 
-/// Result of one read operation (point lookup or range query).
+/// Result of one read operation (point lookup or range query). `status`
+/// is kOk for served requests; shed or rejected requests carry
+/// kDeadlineExceeded / kUnavailable / kInvalidArgument and leave the
+/// payload fields empty.
 template <typename K>
 struct ReadResult {
+  Status status = Status::Ok();
   LookupResult<K> lookup;           // valid for point lookups
   std::vector<KeyValue<K>> range;   // valid for range queries
+};
+
+/// Result of one update. `sequence` is the commit sequence number of the
+/// batch that applied it (valid when status is kOk).
+struct UpdateResult {
+  Status status = Status::Ok();
+  std::uint64_t sequence = 0;
 };
 
 /// Multi-threaded serving front-end over the regular HB+-tree.
 ///
 /// Client threads submit point lookups, range queries, and updates; the
 /// serving layer batches admitted reads into pipeline-sized buckets and
-/// dispatches them through RunSearchPipeline, while updates accumulate
-/// into groups executed by RunBatchUpdate (Section 5.6). Reads run
-/// against an epoch-swapped snapshot (SnapshotPair), so lookups proceed
-/// concurrently with a batch-update pass — the paper's asynchronous
-/// update model lifted from "searches keep using the stale I-segment"
-/// to "searches keep using a consistent full tree".
+/// dispatches them through the heterogeneous search pipeline, while
+/// updates accumulate into groups executed by the batch updater (Section
+/// 5.6). Reads run against an epoch-swapped snapshot (SnapshotPair), so
+/// lookups proceed concurrently with a batch-update pass.
+///
+/// Fault tolerance: device failures surface as typed Statuses from the
+/// Try* pipeline entry points and are absorbed here — a per-slot circuit
+/// breaker flips the bucket path to the CPU-only pipelined search after
+/// repeated failures (the host tree is always complete, so degraded mode
+/// loses throughput, not correctness) and periodic probes restore the GPU
+/// path once the device recovers. Requests never abort the process and
+/// every future resolves.
 ///
 /// Threads: any number of producers; one read batcher; one update
 /// committer. All Submit* methods are thread-safe and return futures.
@@ -86,22 +130,20 @@ class Server {
  public:
   using Clock = std::chrono::steady_clock;
 
-  Server(const ServerOptions& options,
-         const std::vector<KeyValue<K>>& sorted_pairs)
-      : options_(options),
-        read_queue_(options.queue_capacity),
-        update_queue_(options.queue_capacity),
-        slot_a_(options),
-        slot_b_(options),
-        snapshots_(&slot_a_, &slot_b_) {
-    HBTREE_CHECK(options.pipeline.bucket_size > 0);
-    HBTREE_CHECK(options.update_batch_size > 0);
-    HBTREE_CHECK_MSG(slot_a_.tree.Build(sorted_pairs) &&
-                         slot_b_.tree.Build(sorted_pairs),
-                     "I-segment does not fit into device memory");
-    started_at_ = Clock::now();
-    read_worker_ = std::thread([this] { ReadLoop(); });
-    update_worker_ = std::thread([this] { UpdateLoop(); });
+  /// Builds a server or reports why it cannot be built (invalid options,
+  /// I-segment mirror exceeding device memory) via `*status_out` —
+  /// construction failures are expected operating conditions on a
+  /// capacity-limited device, not programming errors, so they do not
+  /// abort. Returns nullptr on failure.
+  static std::unique_ptr<Server> Create(
+      const ServerOptions& options,
+      const std::vector<KeyValue<K>>& sorted_pairs,
+      Status* status_out = nullptr) {
+    std::unique_ptr<Server> server(new Server(options));
+    const Status status = server->Init(sorted_pairs);
+    if (status_out != nullptr) *status_out = status;
+    if (!status.ok()) server.reset();
+    return server;
   }
 
   ~Server() { Shutdown(); }
@@ -111,35 +153,69 @@ class Server {
 
   // -- Client API ---------------------------------------------------------
 
-  /// Admits a point lookup; blocks if the read lane is full.
-  std::future<ReadResult<K>> SubmitLookup(K key) {
+  /// Admits a point lookup; blocks if the read lane is full (until the
+  /// deadline, if one applies). `deadline` overrides
+  /// options.default_deadline for this request; zero keeps the default.
+  std::future<ReadResult<K>> SubmitLookup(
+      K key, std::chrono::microseconds deadline = {}) {
     ReadOp op;
     op.key = key;
     op.max_matches = 0;
-    return AdmitRead(std::move(op));
+    return AdmitRead(std::move(op), deadline);
   }
 
   /// Admits a range query for up to `max_matches` pairs with key >= key.
-  std::future<ReadResult<K>> SubmitRange(K key, int max_matches) {
-    HBTREE_CHECK(max_matches > 0);
+  /// A non-positive `max_matches` resolves the future immediately with
+  /// kInvalidArgument (a malformed request must not crash the server).
+  std::future<ReadResult<K>> SubmitRange(
+      K key, int max_matches, std::chrono::microseconds deadline = {}) {
     ReadOp op;
     op.key = key;
     op.max_matches = max_matches;
-    return AdmitRead(std::move(op));
+    if (max_matches <= 0) {
+      std::future<ReadResult<K>> result = op.done.get_future();
+      ReadResult<K> rejected;
+      rejected.status =
+          Status::InvalidArgument("range max_matches must be positive");
+      op.done.set_value(std::move(rejected));
+      return result;
+    }
+    return AdmitRead(std::move(op), deadline);
   }
 
-  /// Admits an update. The future resolves to the sequence number of the
-  /// batch that committed it (after both snapshot instances converged).
-  std::future<std::uint64_t> SubmitUpdate(UpdateQuery<K> update) {
+  /// Admits an update. On success the future carries the sequence number
+  /// of the batch that committed it (after both snapshot instances
+  /// converged); shed or rejected updates carry a non-ok status and were
+  /// NOT applied.
+  std::future<UpdateResult> SubmitUpdate(
+      UpdateQuery<K> update, std::chrono::microseconds deadline = {}) {
     UpdateOp op;
     op.query = update;
     op.admitted = Clock::now();
-    std::future<std::uint64_t> result = op.done.get_future();
-    if (!update_queue_.Push(std::move(op))) {
+    const std::chrono::microseconds budget =
+        deadline.count() != 0 ? deadline : options_.default_deadline;
+    if (budget.count() != 0) op.deadline = op.admitted + budget;
+    std::future<UpdateResult> result = op.done.get_future();
+    if (op.deadline != Clock::time_point::max()) {
+      switch (update_queue_.PushUntil(std::move(op), op.deadline)) {
+        case PushResult::kOk:
+          break;
+        case PushResult::kTimeout:
+          shed_updates_.fetch_add(1, std::memory_order_relaxed);
+          op.done.set_value(UpdateResult{
+              Status::DeadlineExceeded("update shed at admission"), 0});
+          break;
+        case PushResult::kClosed:
+          op.done.set_value(UpdateResult{
+              Status::Unavailable("update submitted to a stopped server"),
+              0});
+          break;
+      }
+    } else if (!update_queue_.Push(std::move(op))) {
       // Benign race with Shutdown(): reject via the future instead of
       // aborting the process.
-      op.done.set_exception(std::make_exception_ptr(
-          std::runtime_error("update submitted to a stopped server")));
+      op.done.set_value(UpdateResult{
+          Status::Unavailable("update submitted to a stopped server"), 0});
     }
     return result;
   }
@@ -149,7 +225,7 @@ class Server {
   std::vector<KeyValue<K>> Range(K key, int max_matches) {
     return SubmitRange(key, max_matches).get().range;
   }
-  std::uint64_t Update(UpdateQuery<K> update) {
+  UpdateResult Update(UpdateQuery<K> update) {
     return SubmitUpdate(update).get();
   }
 
@@ -191,6 +267,24 @@ class Server {
       stats.structural = structural_;
     }
     stats.epoch = snapshots_.epoch();
+
+    stats.shed_reads = shed_reads_.load(std::memory_order_relaxed);
+    stats.shed_updates = shed_updates_.load(std::memory_order_relaxed);
+    stats.transfer_retries =
+        transfer_retries_.load(std::memory_order_relaxed);
+    stats.kernel_retries = kernel_retries_.load(std::memory_order_relaxed);
+    stats.sync_retries = sync_retries_.load(std::memory_order_relaxed);
+    stats.device_faults = device_faults_.load(std::memory_order_relaxed);
+    stats.sync_failures = sync_failures_.load(std::memory_order_relaxed);
+    stats.breaker_opens = breaker_opens_.load(std::memory_order_relaxed);
+    stats.breaker_closes = breaker_closes_.load(std::memory_order_relaxed);
+    stats.probe_attempts = probe_attempts_.load(std::memory_order_relaxed);
+    stats.cpu_fallback_buckets =
+        cpu_fallback_buckets_.load(std::memory_order_relaxed);
+    stats.cpu_fallback_lookups =
+        cpu_fallback_lookups_.load(std::memory_order_relaxed);
+    stats.faults_injected =
+        slot_a_.injector.total_injected() + slot_b_.injector.total_injected();
     return stats;
   }
 
@@ -207,22 +301,39 @@ class Server {
 
  private:
   /// One snapshot instance: a full tree with its own registry, device,
-  /// and transfer engine, so the two instances share no mutable state.
+  /// transfer engine, and fault injector, so the two instances share no
+  /// mutable state. The breaker fields are touched only by the read
+  /// worker (the snapshot handshake keeps the writer off a pinned slot).
   struct TreeSlot {
     PageRegistry registry;
     gpu::Device device;
     gpu::TransferEngine transfer;
     HBRegularTree<K> tree;
+    fault::FaultInjector injector;
 
-    explicit TreeSlot(const ServerOptions& options)
+    // Circuit-breaker state (read worker only).
+    int consecutive_failures = 0;
+    bool breaker_open = false;
+    int buckets_since_probe = 0;
+
+    TreeSlot(const ServerOptions& options, std::uint64_t slot_index)
         : device(options.platform.gpu),
           transfer(&device, options.platform.pcie),
-          tree(MakeTreeConfig(options), &registry, &device, &transfer) {}
+          tree(MakeTreeConfig(options), &registry, &device, &transfer),
+          injector(SlotFaultConfig(options.fault, slot_index)) {}
 
     static typename HBRegularTree<K>::Config MakeTreeConfig(
         const ServerOptions& options) {
       typename HBRegularTree<K>::Config config;
       config.tree.leaf_fill = options.leaf_fill;
+      return config;
+    }
+
+    /// Decorrelates the two slots' fault streams without asking callers
+    /// for two seeds.
+    static fault::FaultConfig SlotFaultConfig(fault::FaultConfig config,
+                                              std::uint64_t slot_index) {
+      config.seed += slot_index * 7919;
       return config;
     }
   };
@@ -231,23 +342,86 @@ class Server {
     K key;
     int max_matches = 0;  // 0 = point lookup
     Clock::time_point admitted;
+    Clock::time_point deadline = Clock::time_point::max();
     std::promise<ReadResult<K>> done;
   };
 
   struct UpdateOp {
     UpdateQuery<K> query;
     Clock::time_point admitted;
-    std::promise<std::uint64_t> done;
+    Clock::time_point deadline = Clock::time_point::max();
+    std::promise<UpdateResult> done;
   };
 
-  std::future<ReadResult<K>> AdmitRead(ReadOp op) {
+  explicit Server(const ServerOptions& options)
+      : options_(options),
+        read_queue_(options.queue_capacity),
+        update_queue_(options.queue_capacity),
+        slot_a_(options, 0),
+        slot_b_(options, 1),
+        snapshots_(&slot_a_, &slot_b_) {}
+
+  Status Init(const std::vector<KeyValue<K>>& sorted_pairs) {
+    if (options_.pipeline.bucket_size <= 0) {
+      return Status::InvalidArgument("pipeline.bucket_size must be positive");
+    }
+    if (options_.update_batch_size <= 0) {
+      return Status::InvalidArgument("update_batch_size must be positive");
+    }
+    if (options_.breaker_failure_threshold <= 0 ||
+        options_.breaker_probe_interval <= 0) {
+      return Status::InvalidArgument("breaker thresholds must be positive");
+    }
+    // Bootstrap is fault-free: the injectors arm only after both mirrors
+    // built, so an injected fault can never masquerade as "tree does not
+    // fit" at startup.
+    if (!slot_a_.tree.Build(sorted_pairs) ||
+        !slot_b_.tree.Build(sorted_pairs)) {
+      return Status::DeviceOom("I-segment does not fit into device memory");
+    }
+    if (options_.fault.enabled()) {
+      slot_a_.device.set_fault_injector(&slot_a_.injector);
+      slot_b_.device.set_fault_injector(&slot_b_.injector);
+    }
+    started_at_ = Clock::now();
+    read_worker_ = std::thread([this] { ReadLoop(); });
+    update_worker_ = std::thread([this] { UpdateLoop(); });
+    return Status::Ok();
+  }
+
+  std::future<ReadResult<K>> AdmitRead(ReadOp op,
+                                       std::chrono::microseconds deadline) {
     op.admitted = Clock::now();
+    const std::chrono::microseconds budget =
+        deadline.count() != 0 ? deadline : options_.default_deadline;
+    if (budget.count() != 0) op.deadline = op.admitted + budget;
     std::future<ReadResult<K>> result = op.done.get_future();
-    if (!read_queue_.Push(std::move(op))) {
+    if (op.deadline != Clock::time_point::max()) {
+      switch (read_queue_.PushUntil(std::move(op), op.deadline)) {
+        case PushResult::kOk:
+          break;
+        case PushResult::kTimeout: {
+          shed_reads_.fetch_add(1, std::memory_order_relaxed);
+          ReadResult<K> shed;
+          shed.status = Status::DeadlineExceeded("read shed at admission");
+          op.done.set_value(std::move(shed));
+          break;
+        }
+        case PushResult::kClosed: {
+          ReadResult<K> rejected;
+          rejected.status =
+              Status::Unavailable("read submitted to a stopped server");
+          op.done.set_value(std::move(rejected));
+          break;
+        }
+      }
+    } else if (!read_queue_.Push(std::move(op))) {
       // Benign race with Shutdown(): reject via the future instead of
       // aborting the process.
-      op.done.set_exception(std::make_exception_ptr(
-          std::runtime_error("read submitted to a stopped server")));
+      ReadResult<K> rejected;
+      rejected.status =
+          Status::Unavailable("read submitted to a stopped server");
+      op.done.set_value(std::move(rejected));
     }
     return result;
   }
@@ -257,6 +431,89 @@ class Server {
         std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                              start)
             .count()));
+  }
+
+  // -- Circuit breaker (read worker only) ---------------------------------
+
+  void OpenBreaker(TreeSlot& slot) {
+    if (slot.breaker_open) return;
+    slot.breaker_open = true;
+    slot.buckets_since_probe = 0;
+    breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void CloseBreaker(TreeSlot& slot) {
+    slot.breaker_open = false;
+    slot.consecutive_failures = 0;
+    breaker_closes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// One GPU bucket through the fault-tolerant pipeline; false on a
+  /// terminal device failure (results are then unreliable and the caller
+  /// must re-serve the bucket on the CPU).
+  bool TryGpuBucket(TreeSlot& slot, const std::vector<K>& keys,
+                    std::vector<LookupResult<K>>* results) {
+    PipelineStats ps;
+    const Status status =
+        TryRunSearchPipeline(slot.tree, keys.data(), keys.size(),
+                             options_.pipeline, results, &ps);
+    transfer_retries_.fetch_add(ps.transfer_retries,
+                                std::memory_order_relaxed);
+    kernel_retries_.fetch_add(ps.kernel_retries, std::memory_order_relaxed);
+    if (!status.ok()) return false;
+    std::lock_guard<std::mutex> lock(sim_mutex_);
+    sim_pipeline_us_ += ps.total_us;
+    return true;
+  }
+
+  /// Recovery probe: resync the mirror if stale, then run this bucket
+  /// through the GPU path. The probe is not wasted work — on success its
+  /// results serve the bucket.
+  bool ProbeSlot(TreeSlot& slot, const std::vector<K>& keys,
+                 std::vector<LookupResult<K>>* results) {
+    probe_attempts_.fetch_add(1, std::memory_order_relaxed);
+    if (!slot.tree.mirror_valid() &&
+        !slot.tree.TrySyncISegment().ok()) {
+      return false;
+    }
+    return TryGpuBucket(slot, keys, results);
+  }
+
+  /// Serves one bucket of point lookups, always filling `results`: the
+  /// GPU pipeline when the slot's breaker is closed and its mirror is
+  /// fresh, the CPU-only pipelined search otherwise. Correctness rule: a
+  /// stale mirror (failed sync) must never serve GPU lookups — it would
+  /// silently return pre-update results.
+  void DispatchBucket(TreeSlot& slot, const std::vector<K>& keys,
+                      std::vector<LookupResult<K>>* results) {
+    if (!slot.breaker_open && !slot.tree.mirror_valid()) OpenBreaker(slot);
+
+    if (!slot.breaker_open) {
+      if (TryGpuBucket(slot, keys, results)) {
+        slot.consecutive_failures = 0;
+        return;
+      }
+      device_faults_.fetch_add(1, std::memory_order_relaxed);
+      if (++slot.consecutive_failures >=
+          options_.breaker_failure_threshold) {
+        OpenBreaker(slot);
+      }
+    } else if (++slot.buckets_since_probe >=
+               options_.breaker_probe_interval) {
+      slot.buckets_since_probe = 0;
+      if (ProbeSlot(slot, keys, results)) {
+        CloseBreaker(slot);
+        return;
+      }
+    }
+
+    // Degraded mode: the host tree is complete, so the software-pipelined
+    // CPU search answers the bucket exactly — reduced throughput, same
+    // results.
+    PipelinedSearch(slot.tree.host_tree(), keys.data(), keys.size(),
+                    options_.cpu_fallback_depth, results->data());
+    cpu_fallback_buckets_.fetch_add(1, std::memory_order_relaxed);
+    cpu_fallback_lookups_.fetch_add(keys.size(), std::memory_order_relaxed);
   }
 
   void ReadLoop() {
@@ -276,6 +533,25 @@ class Server {
         continue;
       }
 
+      // Load shedding: an op whose deadline passed while it queued gets a
+      // typed timeout now instead of a stale-but-late answer.
+      const Clock::time_point now = Clock::now();
+      std::size_t live = 0;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (now > batch[i].deadline) {
+          shed_reads_.fetch_add(1, std::memory_order_relaxed);
+          ReadResult<K> shed;
+          shed.status =
+              Status::DeadlineExceeded("read deadline passed in queue");
+          batch[i].done.set_value(std::move(shed));
+          continue;
+        }
+        if (live != i) batch[live] = std::move(batch[i]);
+        ++live;
+      }
+      batch.resize(live);
+      if (batch.empty()) continue;
+
       auto guard = snapshots_.Acquire();
       TreeSlot& slot = guard.slot();
 
@@ -291,14 +567,10 @@ class Server {
       std::vector<ReadResult<K>> out(batch.size());
       if (!keys.empty()) {
         results.assign(keys.size(), LookupResult<K>{});
-        PipelineStats pipeline_stats = RunSearchPipeline(
-            slot.tree, keys.data(), keys.size(), options_.pipeline,
-            &results);
+        DispatchBucket(slot, keys, &results);
         for (std::size_t i = 0; i < keys.size(); ++i) {
           out[key_op[i]].lookup = results[i];
         }
-        std::lock_guard<std::mutex> lock(sim_mutex_);
-        sim_pipeline_us_ += pipeline_stats.total_us;
       }
       for (std::size_t i = 0; i < batch.size(); ++i) {
         if (batch[i].max_matches > 0) {
@@ -329,6 +601,7 @@ class Server {
   void UpdateLoop() {
     std::vector<UpdateOp> ops;
     std::vector<UpdateQuery<K>> batch;
+    std::vector<std::size_t> live;
     for (;;) {
       ops.clear();
       const std::size_t n = update_queue_.PopBatch(
@@ -339,23 +612,52 @@ class Server {
         continue;
       }
 
+      // Shed expired updates before committing anything: a shed update is
+      // promised to NOT have been applied.
+      const Clock::time_point now = Clock::now();
       batch.clear();
+      live.clear();
       batch.reserve(ops.size());
-      for (const UpdateOp& op : ops) batch.push_back(op.query);
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (now > ops[i].deadline) {
+          shed_updates_.fetch_add(1, std::memory_order_relaxed);
+          ops[i].done.set_value(UpdateResult{
+              Status::DeadlineExceeded("update deadline passed in queue"),
+              0});
+          continue;
+        }
+        live.push_back(i);
+        batch.push_back(ops[i].query);
+      }
+      if (batch.empty()) continue;
 
       // Left-right commit: apply to the standby instance, swap the
       // epoch so new read buckets see the batch, drain readers still on
-      // the old instance, then converge it with the same batch.
+      // the old instance, then converge it with the same batch. Host
+      // application always completes; a failed device sync only leaves
+      // that slot's mirror stale (the read worker's breaker reroutes it
+      // to the CPU until a probe resyncs), so the updates commit and
+      // their futures succeed either way.
       BatchUpdateStats first_pass{};
       bool recorded = false;
+      Status sync_status = Status::Ok();
+      std::uint64_t sync_retries = 0;
       snapshots_.Publish([&](TreeSlot& slot) {
-        BatchUpdateStats pass = RunBatchUpdate(
-            slot.tree, batch, options_.update_method, options_.update);
+        BatchUpdateStats pass;
+        const Status status =
+            TryRunBatchUpdate(slot.tree, batch, options_.update_method,
+                              options_.update, &pass);
+        sync_retries += pass.sync_retries;
+        if (!status.ok() && sync_status.ok()) sync_status = status;
         if (!recorded) {
           first_pass = pass;
           recorded = true;
         }
       });
+      sync_retries_.fetch_add(sync_retries, std::memory_order_relaxed);
+      if (!sync_status.ok()) {
+        sync_failures_.fetch_add(1, std::memory_order_relaxed);
+      }
 
       const std::uint64_t seq =
           committed_batches_.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -365,8 +667,9 @@ class Server {
         applied_ += first_pass.applied;
         structural_ += first_pass.structural;
       }
-      for (UpdateOp& op : ops) {
-        op.done.set_value(seq);
+      for (std::size_t idx : live) {
+        UpdateOp& op = ops[idx];
+        op.done.set_value(UpdateResult{Status::Ok(), seq});
         RecordLatency(&update_latency_, op.admitted);
         updates_done_.fetch_add(1, std::memory_order_relaxed);
       }
@@ -392,6 +695,19 @@ class Server {
   std::atomic<std::uint64_t> committed_batches_{0};
   LatencyHistogram read_latency_;
   LatencyHistogram update_latency_;
+
+  std::atomic<std::uint64_t> shed_reads_{0};
+  std::atomic<std::uint64_t> shed_updates_{0};
+  std::atomic<std::uint64_t> transfer_retries_{0};
+  std::atomic<std::uint64_t> kernel_retries_{0};
+  std::atomic<std::uint64_t> sync_retries_{0};
+  std::atomic<std::uint64_t> device_faults_{0};
+  std::atomic<std::uint64_t> sync_failures_{0};
+  std::atomic<std::uint64_t> breaker_opens_{0};
+  std::atomic<std::uint64_t> breaker_closes_{0};
+  std::atomic<std::uint64_t> probe_attempts_{0};
+  std::atomic<std::uint64_t> cpu_fallback_buckets_{0};
+  std::atomic<std::uint64_t> cpu_fallback_lookups_{0};
 
   mutable std::mutex sim_mutex_;
   double sim_pipeline_us_ = 0;

@@ -76,7 +76,9 @@ TEST(ServeStress, InsertOnlyLinearization) {
   constexpr int kItersPerClient = 2000;
 
   auto data = StableDataset();
-  serve::Server<Key64> server(StressOptions(), data);
+  auto server_ptr = serve::Server<Key64>::Create(StressOptions(), data);
+  ASSERT_NE(server_ptr, nullptr);
+  serve::Server<Key64>& server = *server_ptr;
 
   std::atomic<int> blocks_submitted{0};
   std::atomic<int> blocks_committed{0};
@@ -87,13 +89,13 @@ TEST(ServeStress, InsertOnlyLinearization) {
       // become visible to readers) at any point after that, so the
       // "never submitted" classification below stays sound.
       blocks_submitted.store(b + 1, std::memory_order_release);
-      std::vector<std::future<std::uint64_t>> pending;
+      std::vector<std::future<serve::UpdateResult>> pending;
       pending.reserve(kBlock);
       for (std::uint64_t j = 0; j < kBlock; ++j) {
         pending.push_back(
             server.SubmitUpdate(Insert(kDynBase + b * kBlock + j)));
       }
-      for (auto& f : pending) f.get();
+      for (auto& f : pending) ASSERT_TRUE(f.get().status.ok());
       blocks_committed.store(b + 1, std::memory_order_release);
     }
   });
@@ -169,21 +171,23 @@ TEST(ServeStress, MixedChurnKeepsStableRegionExact) {
   constexpr int kRangeLen = 8;
 
   auto data = StableDataset();
-  serve::Server<Key64> server(StressOptions(), data);
+  auto server_ptr = serve::Server<Key64>::Create(StressOptions(), data);
+  ASSERT_NE(server_ptr, nullptr);
+  serve::Server<Key64>& server = *server_ptr;
 
   std::atomic<bool> churn_done{false};
   std::thread updater([&] {
     for (int round = 0; round < kRounds; ++round) {
-      std::vector<std::future<std::uint64_t>> pending;
+      std::vector<std::future<serve::UpdateResult>> pending;
       for (std::uint64_t j = 0; j < kChurn; ++j) {
         pending.push_back(server.SubmitUpdate(Insert(kDynBase + j)));
       }
-      for (auto& f : pending) f.get();
+      for (auto& f : pending) ASSERT_TRUE(f.get().status.ok());
       pending.clear();
       for (std::uint64_t j = 0; j < kChurn; ++j) {
         pending.push_back(server.SubmitUpdate(Delete(kDynBase + j)));
       }
-      for (auto& f : pending) f.get();
+      for (auto& f : pending) ASSERT_TRUE(f.get().status.ok());
     }
     churn_done.store(true, std::memory_order_release);
   });
@@ -255,19 +259,87 @@ TEST(ServeStress, MixedChurnKeepsStableRegionExact) {
   EXPECT_EQ(stats.epoch, stats.update_batches);
 }
 
-// A submission racing Shutdown() must be rejected through its future,
-// not crash the process (regression test for the CHECK-on-closed-queue
-// behavior the serving layer used to have).
+// A submission racing Shutdown() must be rejected through its future
+// with a typed status, not crash the process (regression test for the
+// CHECK-on-closed-queue behavior the serving layer used to have).
 TEST(ServeStress, SubmitAfterShutdownRejectsViaFuture) {
   auto data = StableDataset();
-  serve::Server<Key64> server(StressOptions(), data);
+  auto server_ptr = serve::Server<Key64>::Create(StressOptions(), data);
+  ASSERT_NE(server_ptr, nullptr);
+  serve::Server<Key64>& server = *server_ptr;
   ASSERT_TRUE(server.Lookup(1).found);
 
   server.Shutdown();
-  auto read = server.SubmitLookup(1);
-  EXPECT_THROW(read.get(), std::runtime_error);
-  auto update = server.SubmitUpdate(Insert(kDynBase));
-  EXPECT_THROW(update.get(), std::runtime_error);
+  auto read = server.SubmitLookup(1).get();
+  EXPECT_EQ(read.status.code(), StatusCode::kUnavailable);
+  auto update = server.SubmitUpdate(Insert(kDynBase)).get();
+  EXPECT_EQ(update.status.code(), StatusCode::kUnavailable);
+}
+
+// A malformed range request resolves through its future instead of
+// crashing the serving process.
+TEST(ServeStress, InvalidRangeRejectsViaFuture) {
+  auto data = StableDataset();
+  auto server_ptr = serve::Server<Key64>::Create(StressOptions(), data);
+  ASSERT_NE(server_ptr, nullptr);
+  auto result = server_ptr->SubmitRange(1, 0).get();
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(result.range.empty());
+}
+
+// Invalid options surface through the factory, not an abort.
+TEST(ServeStress, CreateRejectsInvalidOptions) {
+  auto data = StableDataset();
+  serve::ServerOptions options = StressOptions();
+  options.pipeline.bucket_size = 0;
+  Status status;
+  auto server = serve::Server<Key64>::Create(options, data, &status);
+  EXPECT_EQ(server, nullptr);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+// Read-your-writes: once an update's future resolved, a subsequently
+// submitted lookup must observe it — the epoch swap publishes the batch
+// to new read buckets before the update futures fire. Several writer
+// threads each own a disjoint key lane and verify their own writes while
+// the others churn.
+TEST(ServeStress, ReadYourWrites) {
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 300;
+
+  auto data = StableDataset();
+  auto server_ptr = serve::Server<Key64>::Create(StressOptions(), data);
+  ASSERT_NE(server_ptr, nullptr);
+  serve::Server<Key64>& server = *server_ptr;
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      const std::uint64_t lane = kDynBase + (1ull << 20) * w;
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        const std::uint64_t key = lane + i;
+        auto committed = server.SubmitUpdate(Insert(key)).get();
+        ASSERT_TRUE(committed.status.ok());
+        auto after_insert = server.SubmitLookup(key).get().lookup;
+        ASSERT_TRUE(after_insert.found)
+            << "own insert of " << key << " not visible after commit";
+        ASSERT_EQ(after_insert.value, DynamicValue(key));
+        if (i % 2 == 0) {
+          auto deleted = server.SubmitUpdate(Delete(key)).get();
+          ASSERT_TRUE(deleted.status.ok());
+          ASSERT_FALSE(server.SubmitLookup(key).get().lookup.found)
+              << "own delete of " << key << " not visible after commit";
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  server.Shutdown();
+  serve::ServeStats stats = server.Stats();
+  EXPECT_EQ(stats.shed_reads, 0u);
+  EXPECT_EQ(stats.shed_updates, 0u);
+  EXPECT_EQ(stats.faults_injected, 0u);
 }
 
 }  // namespace
