@@ -9,9 +9,18 @@
 // higher per-query latency (Section 6.4 explains the ratio via the
 // number of in-flight queries each platform needs).
 
+//
+// Flags: --sizes, --queries_log2, --platform, --seed, plus the shared
+// observability pair: --metrics_json=<path> (hbtree.bench.v1 rows with
+// the default metrics registry — device transfer/kernel counters —
+// embedded) and --trace_out=<path> (Chrome trace JSON of the modelled
+// pipeline stages; load in Perfetto to see H2D/kernel/D2H overlap).
+
+#include <cmath>
 #include <cstdio>
 
 #include "bench_support/hb_runner.h"
+#include "bench_support/report.h"
 #include "cpubtree/implicit_btree.h"
 #include "cpubtree/regular_btree.h"
 
@@ -54,6 +63,7 @@ Row<K> MeasureSize(const sim::PlatformSpec& platform, std::size_t n,
   }
   {
     SimPlatform sim(platform);
+    sim.device.set_metrics_registry(&obs::MetricsRegistry::Default());
     HbImplicitBench<K> bench(&sim, data, queries);
     PipelineStats stats = bench.Run(queries, bench.MakeConfig());
     row.hb_implicit_mqps = stats.mqps;
@@ -61,6 +71,7 @@ Row<K> MeasureSize(const sim::PlatformSpec& platform, std::size_t n,
   }
   {
     SimPlatform sim(platform);
+    sim.device.set_metrics_registry(&obs::MetricsRegistry::Default());
     HbRegularBench<K> bench(&sim, data, queries);
     PipelineStats stats = bench.Run(queries, bench.MakeConfig());
     row.hb_regular_mqps = stats.mqps;
@@ -71,7 +82,7 @@ Row<K> MeasureSize(const sim::PlatformSpec& platform, std::size_t n,
 template <typename K>
 void RunWidth(const char* width, const sim::PlatformSpec& platform,
               const std::vector<std::size_t>& sizes, std::size_t q,
-              std::uint64_t seed, bool print_latency) {
+              std::uint64_t seed, bool print_latency, BenchReport* report) {
   Table table({"tuples", "cpu-impl", "cpu-reg", "hb-impl", "hb-reg",
                "best ratio"});
   table.PrintTitle(std::string("search throughput MQPS, ") + width +
@@ -87,6 +98,18 @@ void RunWidth(const char* width, const sim::PlatformSpec& platform,
     const double best_hb =
         std::max(row.hb_implicit_mqps, row.hb_regular_mqps);
     ratio_sum += best_hb / best_cpu;
+    BenchReport::Row& out = report->AddRow();
+    out.Text("width", width)
+        .Num("tuples_log2", std::log2(static_cast<double>(n)), 0)
+        .Num("cpu_impl_mqps", row.cpu_implicit_mqps, 1)
+        .Num("cpu_reg_mqps", row.cpu_regular_mqps, 1)
+        .Num("hb_impl_mqps", row.hb_implicit_mqps, 1)
+        .Num("hb_reg_mqps", row.hb_regular_mqps, 1)
+        .Num("best_ratio", best_hb / best_cpu, 2);
+    if (print_latency) {
+      out.Num("cpu_latency_us", row.cpu_latency_us, 2)
+          .Num("hb_latency_us", row.hb_latency_us, 1);
+    }
     table.PrintRow({Table::Log2Size(n), Table::Num(row.cpu_implicit_mqps, 1),
                     Table::Num(row.cpu_regular_mqps, 1),
                     Table::Num(row.hb_implicit_mqps, 1),
@@ -118,14 +141,27 @@ void Run(const Args& args) {
 
   std::printf("Platform: %s (%s + %s)\n", platform.name.c_str(),
               platform.cpu.name.c_str(), platform.gpu.name.c_str());
+  MaybeStartTrace(args);
+  BenchReport report("fig16_throughput");
+  report.Meta("platform", platform.name);
+  report.MetaNum("queries", static_cast<double>(q));
+  report.MetaNum("seed", static_cast<double>(seed));
   RunWidth<Key64>("64-bit", platform, sizes, q, seed,
-                  /*print_latency=*/true);
+                  /*print_latency=*/true, &report);
   RunWidth<Key32>("32-bit", platform, sizes, q, seed,
-                  /*print_latency=*/false);
+                  /*print_latency=*/false, &report);
+  MaybeWriteTrace(args);
   std::printf(
       "\nPaper expectation: implicit HB+-tree flat at ~240 MQPS "
       "(CPU-bound); regular HB+-tree declines with size; hybrid beats the "
       "CPU tree ~2.4x (64-bit) / ~2.1x (32-bit); HB latency ~67x CPU.\n");
+  if (args.Has("metrics_json")) {
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::Default().Collect();
+    if (!report.WriteJson(args.GetString("metrics_json", ""), &snapshot)) {
+      std::exit(1);
+    }
+  }
 }
 
 }  // namespace

@@ -8,9 +8,17 @@
 // 100%-search point runs below the pure lookup methods because of the
 // mutex/synchronization overhead in the query-processing threads.
 
+//
+// Flags: --n_log2, --ops_log2, --platform, --seed, plus the shared
+// observability pair: --metrics_json=<path> (hbtree.bench.v1 rows with
+// the default metrics registry embedded) and --trace_out=<path> (Chrome
+// trace JSON — update.batch/update.sync spans show the maintenance
+// work; load in Perfetto).
+
 #include <cstdio>
 
 #include "bench_support/hb_runner.h"
+#include "bench_support/report.h"
 #include "hybrid/batch_update.h"
 
 namespace hbtree::bench {
@@ -25,15 +33,19 @@ void Run(const Args& args) {
   std::printf("Platform: %s, n=%zu\n", platform.name.c_str(), n);
   auto data = GenerateDataset<Key64>(n, seed);
 
-  Table table({"update %", "sync Mops", "async Mops", "sync/async"});
-  table.PrintTitle("concurrent search/update (paper Fig. 21)");
-  table.PrintHeader();
+  MaybeStartTrace(args);
+  BenchReport report("fig21_mixed_workload");
+  report.Meta("platform", platform.name);
+  report.MetaNum("n", static_cast<double>(n));
+  report.MetaNum("ops", static_cast<double>(ops));
+  report.MetaNum("seed", static_cast<double>(seed));
   for (double ratio : {0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
     double mops[2];
     int i = 0;
     for (UpdateMethod method :
          {UpdateMethod::kSynchronized, UpdateMethod::kAsyncParallel}) {
       SimPlatform sim(platform);
+      sim.device.set_metrics_registry(&obs::MetricsRegistry::Default());
       PageRegistry registry;
       HBRegularTree<Key64>::Config config;
       // Near-full leaf lines: the steady state of a long-running index,
@@ -60,13 +72,24 @@ void Run(const Args& args) {
                            cpu_search_us);
       mops[i++] = stats.mops();
     }
-    table.PrintRow({Table::Num(ratio * 100, 0), Table::Num(mops[0], 2),
-                    Table::Num(mops[1], 2),
-                    Table::Num(mops[0] / mops[1], 2)});
+    report.AddRow()
+        .Num("update_pct", ratio * 100, 0)
+        .Num("sync_mops", mops[0], 2)
+        .Num("async_mops", mops[1], 2)
+        .Num("sync_over_async", mops[0] / mops[1], 2);
   }
+  report.PrintTable("concurrent search/update (paper Fig. 21)");
+  MaybeWriteTrace(args);
   std::printf(
       "\nPaper expectation: synchronous throughput decays faster as the "
       "update share grows; asynchronous holds up better.\n");
+  if (args.Has("metrics_json")) {
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::Default().Collect();
+    if (!report.WriteJson(args.GetString("metrics_json", ""), &snapshot)) {
+      std::exit(1);
+    }
+  }
 }
 
 }  // namespace

@@ -9,7 +9,10 @@
 // Flags: --n_log2 (tree size), --clients (lookup threads), --lookups
 // (per client), --updates (total update stream), --bucket_log2,
 // --retries (device retry budget), --deadline_us (per-request deadline,
-// 0 = none), --platform, --seed.
+// 0 = none), --platform, --seed, --metrics_json (hbtree.bench.v1 JSON
+// with the last run's metrics embedded), --trace_out (Chrome trace JSON
+// covering all three fault-rate runs — breaker open/close show up as
+// instants, bucket stages on the modelled resource tracks).
 
 #include <atomic>
 #include <cstdio>
@@ -18,6 +21,7 @@
 #include <vector>
 
 #include "bench_support/args.h"
+#include "bench_support/report.h"
 #include "bench_support/serve_runner.h"
 #include "bench_support/table.h"
 #include "core/workload.h"
@@ -54,6 +58,8 @@ int Main(int argc, char** argv) {
   serve::ServerOptions base_options =
       CalibratedServerOptions(platform, data, seed + 1, bucket);
   base_options.pipeline.max_device_retries = retries;
+  base_options.pipeline_depth =
+      static_cast<int>(args.GetInt("pipeline_depth", 4));
   base_options.default_deadline = deadline;
   auto queries = MakeLookupQueries(data, seed + 2);
   auto updates = MakeUpdateBatch(data, total_updates,
@@ -61,7 +67,9 @@ int Main(int argc, char** argv) {
 
   const double rates[] = {0.0, 0.01, 0.10};
   std::vector<RateResult> results;
+  obs::MetricsSnapshot last_metrics;
 
+  MaybeStartTrace(args);
   for (const double rate : rates) {
     serve::ServerOptions options = base_options;
     if (rate > 0) {
@@ -114,30 +122,31 @@ int Main(int argc, char** argv) {
     result.fault_rate = rate;
     result.stats = server.Stats();
     results.push_back(result);
+    last_metrics = server.metrics().Collect();
     std::printf("fault rate %.2f: %llu/%zu lookups served ok\n", rate,
                 static_cast<unsigned long long>(served.load()),
                 static_cast<std::size_t>(clients) * lookups_per_client);
   }
+  MaybeWriteTrace(args);
 
-  Table table({"fault", "reads/s", "p50 us", "p99 us", "retries", "dev",
-               "open", "close", "cpu-bkt", "shed"},
-              10);
-  table.PrintTitle("serving under injected device faults");
-  table.PrintHeader();
+  BenchReport report("serve_fault_tolerance");
+  report.Meta("platform", platform.name);
+  report.MetaNum("n", static_cast<double>(n));
+  report.MetaNum("clients", clients);
+  report.MetaNum("retries", retries);
+  report.MetaNum("deadline_us", static_cast<double>(deadline.count()));
+  report.MetaNum("seed", static_cast<double>(seed));
   for (const RateResult& r : results) {
-    const serve::ServeStats& s = r.stats;
-    table.PrintRow({Table::Num(r.fault_rate, 2), Table::Num(s.reads_per_second, 0),
-                    Table::Num(s.read_latency.p50_us, 1),
-                    Table::Num(s.read_latency.p99_us, 1),
-                    Table::Num(static_cast<double>(s.transfer_retries +
-                                            s.kernel_retries + s.sync_retries),
-                        0),
-                    Table::Num(static_cast<double>(s.device_faults), 0),
-                    Table::Num(static_cast<double>(s.breaker_opens), 0),
-                    Table::Num(static_cast<double>(s.breaker_closes), 0),
-                    Table::Num(static_cast<double>(s.cpu_fallback_buckets), 0),
-                    Table::Num(static_cast<double>(s.shed_reads + s.shed_updates),
-                        0)});
+    BenchReport::Row& row = report.AddRow();
+    row.Num("fault_rate", r.fault_rate, 2);
+    report.AddServeStatsRow(row, r.stats);
+  }
+  report.PrintTable("serving under injected device faults");
+  if (args.Has("metrics_json")) {
+    if (!report.WriteJson(args.GetString("metrics_json", ""),
+                          &last_metrics)) {
+      return 1;
+    }
   }
   std::printf(
       "\nretry budget %d per device op; breaker threshold %d, probe "

@@ -6,11 +6,14 @@
 //
 // Prints per-op wall-clock p50/p99 latency, sustained throughput, and
 // the overlap evidence: how many read buckets completed strictly between
-// the first and last update commit.
+// the first and last update commit. Also writes the canonical serving
+// baseline BENCH_serve.json (schema hbtree.bench.v1 with the server's
+// metrics registry embedded) — override the path with --metrics_json.
 //
 // Flags: --n_log2 (tree size), --clients (lookup threads), --lookups
 // (per client), --updates (total update stream), --bucket_log2,
-// --pipeline_async (ops in flight per client), --platform, --seed.
+// --pipeline_async (ops in flight per client), --platform, --seed,
+// --metrics_json (output path), --trace_out (Chrome trace JSON).
 
 #include <cstdio>
 #include <future>
@@ -18,6 +21,7 @@
 #include <vector>
 
 #include "bench_support/args.h"
+#include "bench_support/report.h"
 #include "bench_support/serve_runner.h"
 #include "bench_support/table.h"
 #include "core/workload.h"
@@ -48,6 +52,8 @@ int Main(int argc, char** argv) {
   auto data = GenerateDataset<Key64>(n, seed);
   serve::ServerOptions options =
       CalibratedServerOptions(platform, data, seed + 1, bucket);
+  options.pipeline_depth =
+      static_cast<int>(args.GetInt("pipeline_depth", 4));
   Status create_status;
   auto server_ptr = serve::Server<Key64>::Create(options, data, &create_status);
   if (server_ptr == nullptr) {
@@ -56,6 +62,7 @@ int Main(int argc, char** argv) {
     return 1;
   }
   serve::Server<Key64>& server = *server_ptr;
+  MaybeStartTrace(args);
 
   auto queries = MakeLookupQueries(data, seed + 2);
   auto updates = MakeUpdateBatch(data, total_updates,
@@ -104,6 +111,7 @@ int Main(int argc, char** argv) {
 
   serve::ServeStats stats = server.Stats();
   server.Shutdown();
+  MaybeWriteTrace(args);
 
   std::printf("%s\n", stats.ToString().c_str());
   const std::uint64_t overlapped =
@@ -113,10 +121,32 @@ int Main(int argc, char** argv) {
       "commit span (%llu batches)\n",
       static_cast<unsigned long long>(overlapped),
       static_cast<unsigned long long>(stats.update_batches));
+  const double hit_rate = static_cast<double>(hits.load()) /
+                          (static_cast<double>(clients) * lookups_per_client);
   std::printf("lookup hit rate: %.3f (starts at 1.0; drops only as the "
               "stream's deletes commit)\n",
-              static_cast<double>(hits.load()) /
-                  (static_cast<double>(clients) * lookups_per_client));
+              hit_rate);
+
+  // Canonical serving baseline: one row through the shared reporter, the
+  // server's whole metrics registry embedded.
+  BenchReport report("serve_throughput");
+  report.Meta("platform", platform.name);
+  report.MetaNum("n", static_cast<double>(n));
+  report.MetaNum("clients", clients);
+  report.MetaNum("lookups_per_client", static_cast<double>(lookups_per_client));
+  report.MetaNum("updates", static_cast<double>(total_updates));
+  report.MetaNum("bucket", bucket);
+  report.MetaNum("seed", static_cast<double>(seed));
+  BenchReport::Row& row = report.AddRow();
+  report.AddServeStatsRow(row, stats);
+  row.Num("overlapped_buckets", static_cast<double>(overlapped), 0)
+      .Num("update_batches", static_cast<double>(stats.update_batches), 0)
+      .Num("hit_rate", hit_rate, 3);
+  report.PrintTable("serving throughput (canonical columns)");
+  const obs::MetricsSnapshot snapshot = server.metrics().Collect();
+  const std::string json_path =
+      args.GetString("metrics_json", "BENCH_serve.json");
+  if (!report.WriteJson(json_path, &snapshot)) return 1;
   return 0;
 }
 

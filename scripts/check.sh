@@ -5,6 +5,8 @@
 #   scripts/check.sh asan       # + AddressSanitizer/UBSan build and ctest
 #   scripts/check.sh tsan       # + ThreadSanitizer build, concurrency tests
 #   scripts/check.sh fault      # + fault-injection smoke under asan and tsan
+#   scripts/check.sh obs        # + observability smoke: fault-injected serve
+#                               #   bench, metrics JSON + trace validation
 #   scripts/check.sh all        # all of the above
 #
 # The release pass is the acceptance gate every change must keep green;
@@ -36,8 +38,9 @@ run_tsan() {
   cmake --preset tsan >/dev/null
   # Only the concurrent suites matter under TSan; building just those
   # targets keeps the pass affordable on small machines.
-  cmake --build --preset tsan -j "$jobs" --target serve_stress_test serve_fault_test
-  (cd build-tsan && ctest -R 'serve_(stress|fault)_test' --output-on-failure)
+  cmake --build --preset tsan -j "$jobs" --target serve_stress_test \
+      serve_fault_test metrics_test trace_export_test
+  (cd build-tsan && ctest -R 'serve_(stress|fault)_test|metrics_test|trace_export_test' --output-on-failure)
 }
 
 run_fault() {
@@ -52,13 +55,41 @@ run_fault() {
   (cd build-tsan && ctest -R serve_fault_test --output-on-failure)
 }
 
+run_obs() {
+  echo "==> observability smoke (fault-injected serve + metrics/trace validation)"
+  cmake --preset release >/dev/null
+  cmake --build --preset release -j "$jobs" --target serve_fault_tolerance obs_overhead
+  # Short fault-injected serving run: retries=0 with small buckets forces
+  # real breaker activity, so the metrics JSON and the trace carry the
+  # fault-tolerance signals, not just zeros.
+  ./build/bench/serve_fault_tolerance --n_log2=16 --lookups=4096 --updates=2048 \
+      --retries=0 --bucket_log2=10 \
+      --metrics_json=build/OBS_fault_metrics.json \
+      --trace_out=build/OBS_fault_trace.json
+  python3 scripts/validate_metrics.py \
+      --require-counter serve.lookups \
+      --require-counter serve.read_buckets \
+      --require-counter gpusim.bytes_h2d \
+      build/OBS_fault_metrics.json
+  python3 -c "
+import json
+d = json.load(open('build/OBS_fault_trace.json'))
+assert d['traceEvents'], 'trace has no events'
+print('build/OBS_fault_trace.json: OK (%d events)' % len(d['traceEvents']))"
+  # Tracing must stay free when compiled out (<2% on the hot loop).
+  ./build/bench/obs_overhead --iters=131072 --reps=9 \
+      --metrics_json=build/OBS_overhead.json
+  python3 scripts/validate_metrics.py build/OBS_overhead.json
+}
+
 case "$mode" in
   release) run_release ;;
-  asan)    run_release; run_asan ;;
-  tsan)    run_release; run_tsan ;;
+  asan)    run_release; run_asan; run_obs ;;
+  tsan)    run_release; run_tsan; run_obs ;;
   fault)   run_release; run_fault ;;
-  all)     run_release; run_asan; run_tsan; run_fault ;;
-  *) echo "usage: scripts/check.sh [release|asan|tsan|fault|all]" >&2; exit 2 ;;
+  obs)     run_release; run_obs ;;
+  all)     run_release; run_asan; run_tsan; run_fault; run_obs ;;
+  *) echo "usage: scripts/check.sh [release|asan|tsan|fault|obs|all]" >&2; exit 2 ;;
 esac
 
 echo "==> all requested checks passed"

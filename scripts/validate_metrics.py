@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Validates hbtree metrics/bench JSON emitted by the observability layer.
+
+Accepts either schema:
+  * hbtree.metrics.v1 — a bare MetricsRegistry snapshot
+    (obs::MetricsRegistry::ToJson)
+  * hbtree.bench.v1   — a BenchReport dump; its rows are checked and an
+    embedded "metrics" object, when present, is validated as metrics.v1
+
+Fails (exit 1) on: unparseable JSON, unknown schema, missing required
+keys, non-finite numbers (the C++ JSON writer turns NaN/inf into null,
+so any null value is a poisoned metric), negative counters, or malformed
+histogram summaries (percentiles above the max, p50 > p99, ...).
+
+Usage: scripts/validate_metrics.py FILE [FILE ...]
+       scripts/validate_metrics.py --require-counter serve.lookups FILE
+"""
+
+import argparse
+import json
+import math
+import sys
+
+# Set when a bench is expected to have exercised the serving layer; lets
+# check.sh assert the fault-injected run actually recorded activity.
+REQUIRED_HISTOGRAM_KEYS = ("count", "p50_us", "p90_us", "p99_us",
+                           "max_us", "mean_us")
+
+
+class ValidationError(Exception):
+    pass
+
+
+def fail(path, message):
+    raise ValidationError(f"{path}: {message}")
+
+
+def check_finite_number(path, name, value):
+    if value is None:
+        fail(path, f"{name} is null (a NaN/inf was serialized)")
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail(path, f"{name} is not a number: {value!r}")
+    if not math.isfinite(value):
+        fail(path, f"{name} is not finite: {value!r}")
+
+
+def validate_histogram(path, name, summary):
+    if not isinstance(summary, dict):
+        fail(path, f"histogram {name} is not an object")
+    for key in REQUIRED_HISTOGRAM_KEYS:
+        if key not in summary:
+            fail(path, f"histogram {name} missing key {key}")
+        check_finite_number(path, f"histogram {name}.{key}", summary[key])
+    if summary["count"] < 0:
+        fail(path, f"histogram {name} has negative count")
+    if summary["count"] > 0:
+        if not (summary["p50_us"] <= summary["p90_us"] <=
+                summary["p99_us"] <= summary["max_us"] + 1e-9):
+            fail(path, f"histogram {name} percentiles are not monotone")
+        for key in REQUIRED_HISTOGRAM_KEYS[1:]:
+            if summary[key] < 0:
+                fail(path, f"histogram {name}.{key} is negative")
+
+
+def validate_metrics_v1(path, doc):
+    for key in ("schema", "windowed", "window_seconds", "counters",
+                "gauges", "histograms"):
+        if key not in doc:
+            fail(path, f"metrics object missing key {key}")
+    check_finite_number(path, "window_seconds", doc["window_seconds"])
+    if doc["window_seconds"] < 0:
+        fail(path, "window_seconds is negative")
+    for name, value in doc["counters"].items():
+        check_finite_number(path, f"counter {name}", value)
+        if value < 0 or value != int(value):
+            fail(path, f"counter {name} is not a non-negative integer")
+    for name, value in doc["gauges"].items():
+        check_finite_number(path, f"gauge {name}", value)
+    for name, summary in doc["histograms"].items():
+        validate_histogram(path, name, summary)
+    return (f"{len(doc['counters'])} counters, {len(doc['gauges'])} gauges, "
+            f"{len(doc['histograms'])} histograms")
+
+
+def validate_bench_v1(path, doc):
+    for key in ("schema", "bench", "meta", "rows"):
+        if key not in doc:
+            fail(path, f"bench object missing key {key}")
+    if not isinstance(doc["rows"], list) or not doc["rows"]:
+        fail(path, "bench rows must be a non-empty array")
+    for i, row in enumerate(doc["rows"]):
+        if not isinstance(row, dict) or not row:
+            fail(path, f"row {i} must be a non-empty object")
+        for column, value in row.items():
+            if isinstance(value, str):
+                continue
+            check_finite_number(path, f"row {i} column {column}", value)
+    detail = f"{len(doc['rows'])} rows"
+    if "metrics" in doc:
+        detail += "; metrics: " + validate_metrics_v1(path, doc["metrics"])
+    return detail
+
+
+def validate_file(path, require_counters):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"cannot parse: {e}")
+    schema = doc.get("schema")
+    if schema == "hbtree.metrics.v1":
+        detail = validate_metrics_v1(path, doc)
+        counters = doc["counters"]
+    elif schema == "hbtree.bench.v1":
+        detail = validate_bench_v1(path, doc)
+        counters = doc.get("metrics", {}).get("counters", {})
+    else:
+        fail(path, f"unknown schema: {schema!r}")
+    for name in require_counters:
+        if name not in counters:
+            fail(path, f"required counter {name} is absent")
+    print(f"{path}: OK ({schema}; {detail})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+")
+    parser.add_argument("--require-counter", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless this counter exists in the "
+                             "(embedded) metrics snapshot")
+    args = parser.parse_args()
+    status = 0
+    for path in args.files:
+        try:
+            validate_file(path, args.require_counter)
+        except ValidationError as e:
+            print(f"FAIL {e}", file=sys.stderr)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,201 @@
+#include "bench_support/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_support/table.h"
+#include "obs/json_writer.h"
+#include "obs/trace.h"
+
+namespace hbtree::bench {
+
+BenchReport::Row& BenchReport::Row::Num(const std::string& column,
+                                        double value, int precision) {
+  Cell cell;
+  cell.numeric = true;
+  cell.number = value;
+  cell.precision = precision;
+  cells_.emplace_back(column, std::move(cell));
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::Text(const std::string& column,
+                                         const std::string& value) {
+  Cell cell;
+  cell.text = value;
+  cells_.emplace_back(column, std::move(cell));
+  return *this;
+}
+
+void BenchReport::Meta(const std::string& key, const std::string& value) {
+  Cell cell;
+  cell.text = value;
+  meta_.emplace_back(key, std::move(cell));
+}
+
+void BenchReport::MetaNum(const std::string& key, double value) {
+  Cell cell;
+  cell.numeric = true;
+  cell.number = value;
+  meta_.emplace_back(key, std::move(cell));
+}
+
+BenchReport::Row& BenchReport::AddRow() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+BenchReport::Row& BenchReport::AddServeStatsRow(
+    Row& row, const serve::ServeStats& stats) {
+  row.Num("reads_per_s", stats.reads_per_second, 0)
+      .Num("updates_per_s", stats.updates_per_second, 0)
+      .Num("read_p50_us", stats.read_latency.p50_us, 1)
+      .Num("read_p99_us", stats.read_latency.p99_us, 1)
+      .Num("retries",
+           static_cast<double>(stats.transfer_retries + stats.kernel_retries +
+                               stats.sync_retries),
+           0)
+      .Num("device_faults", static_cast<double>(stats.device_faults), 0)
+      .Num("breaker_opens", static_cast<double>(stats.breaker_opens), 0)
+      .Num("breaker_closes", static_cast<double>(stats.breaker_closes), 0)
+      .Num("cpu_fallback_buckets",
+           static_cast<double>(stats.cpu_fallback_buckets), 0)
+      .Num("shed", static_cast<double>(stats.shed_reads + stats.shed_updates),
+           0);
+  return row;
+}
+
+void BenchReport::PrintTable(const std::string& title,
+                             int column_width) const {
+  // Column set: union over rows, in first-appearance order.
+  std::vector<std::string> columns;
+  for (const Row& row : rows_) {
+    for (const auto& [column, cell] : row.cells_) {
+      bool known = false;
+      for (const std::string& c : columns) {
+        if (c == column) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) columns.push_back(column);
+    }
+  }
+  // Widen uniformly so long canonical names ("cpu_fallback_buckets") keep
+  // the header aligned with the cells.
+  for (const std::string& c : columns) {
+    column_width = std::max(column_width, static_cast<int>(c.size()) + 2);
+  }
+  Table table(columns, column_width);
+  table.PrintTitle(title);
+  table.PrintHeader();
+  for (const Row& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(columns.size());
+    for (const std::string& column : columns) {
+      const Cell* found = nullptr;
+      for (const auto& [name, cell] : row.cells_) {
+        if (name == column) {
+          found = &cell;
+          break;
+        }
+      }
+      if (found == nullptr) {
+        cells.push_back("-");
+      } else if (found->numeric) {
+        cells.push_back(Table::Num(found->number, found->precision));
+      } else {
+        cells.push_back(found->text);
+      }
+    }
+    table.PrintRow(cells);
+  }
+}
+
+std::string BenchReport::ToJson(const obs::MetricsSnapshot* metrics) const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String("hbtree.bench.v1");
+  w.Key("bench");
+  w.String(name_);
+  w.Key("meta");
+  w.BeginObject();
+  for (const auto& [key, cell] : meta_) {
+    w.Key(key);
+    if (cell.numeric) {
+      w.Number(cell.number);
+    } else {
+      w.String(cell.text);
+    }
+  }
+  w.EndObject();
+  w.Key("rows");
+  w.BeginArray();
+  for (const Row& row : rows_) {
+    w.BeginObject();
+    for (const auto& [column, cell] : row.cells_) {
+      w.Key(column);
+      if (cell.numeric) {
+        w.Number(cell.number);
+      } else {
+        w.String(cell.text);
+      }
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  if (metrics != nullptr) {
+    w.Key("metrics");
+    obs::MetricsRegistry::AppendJson(*metrics, &w);
+  }
+  w.EndObject();
+  return w.str();
+}
+
+bool BenchReport::WriteJson(const std::string& path,
+                            const obs::MetricsSnapshot* metrics) const {
+  const std::string json = ToJson(metrics);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool ok = written == json.size() && std::fclose(file) == 0;
+  if (ok) {
+    std::printf("wrote %s (%zu bytes, schema hbtree.bench.v1)\n",
+                path.c_str(), json.size());
+  } else {
+    std::fprintf(stderr, "short write to %s\n", path.c_str());
+  }
+  return ok;
+}
+
+void MaybeStartTrace(const Args& args) {
+  if (!args.Has("trace_out")) return;
+  obs::TraceSession::Start();
+}
+
+void MaybeWriteTrace(const Args& args) {
+  if (!args.Has("trace_out")) return;
+  const std::string path = args.GetString("trace_out", "");
+  obs::TraceSession::Stop();
+  if (obs::TraceSession::event_count() == 0) {
+    // This TU cannot see the bench's own HBTREE_OBS_TRACING setting, but
+    // an empty session after a real workload means the spans were
+    // compiled out of the binary.
+    std::printf(
+        "note: 0 trace events recorded — was this bench built with "
+        "HBTREE_OBS_TRACING=1?\n");
+  }
+  if (obs::TraceSession::WriteChromeJson(path)) {
+    std::printf("wrote %s (%zu trace events; load in Perfetto or "
+                "chrome://tracing)\n",
+                path.c_str(), obs::TraceSession::event_count());
+  } else {
+    std::fprintf(stderr, "failed to write trace to %s\n", path.c_str());
+  }
+}
+
+}  // namespace hbtree::bench

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/status.h"
+#include "obs/trace.h"
 
 namespace hbtree::fault {
 
@@ -34,6 +35,7 @@ Status RetryTransient(const RetryPolicy& policy, Fn&& attempt,
     if (retries != nullptr) ++*retries;
     if (backoff_us != nullptr) *backoff_us += delay;
     delay *= policy.multiplier;
+    HBTREE_TRACE_INSTANT("device.retry", "fault");
     status = attempt();
   }
   return status;

@@ -37,6 +37,9 @@ KernelTime EstimateKernelTime(const sim::GpuSpec& spec,
       std::min<std::uint64_t>(stats.warps_executed,
                               static_cast<std::uint64_t>(
                                   spec.max_resident_warps)));
+  t.occupancy = spec.max_resident_warps > 0
+                    ? resident / static_cast<double>(spec.max_resident_warps)
+                    : 0.0;
   // Gathers served by the L2 observe roughly a third of DRAM latency.
   const double total_bytes =
       static_cast<double>(stats.dram_bytes + stats.l2_bytes);

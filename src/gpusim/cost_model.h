@@ -13,6 +13,9 @@ struct KernelTime {
   double memory_us = 0;    // bandwidth-bound component
   double compute_us = 0;   // instruction-issue-bound component
   double latency_us = 0;   // latency-bound component (low occupancy)
+  /// Achieved occupancy: resident warps / max resident warps, in [0, 1].
+  /// Small bucket launches under-fill the machine and score low here.
+  double occupancy = 0;
   /// Which component dominated (for utilization reporting).
   const char* bound = "memory";
 };

@@ -11,6 +11,20 @@ Device::Device(const sim::GpuSpec& spec)
       l2_(sim::CacheLevel::Config{"gpu-l2", spec.l2_bytes,
                                   spec.l2_associativity, 64}) {}
 
+void Device::set_metrics_registry(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = DeviceMetrics{};
+    return;
+  }
+  metrics_.bytes_h2d = &registry->counter("gpusim.bytes_h2d");
+  metrics_.bytes_d2h = &registry->counter("gpusim.bytes_d2h");
+  metrics_.transfers = &registry->counter("gpusim.transfers");
+  metrics_.kernel_launches = &registry->counter("gpusim.kernel_launches");
+  metrics_.occupancy = &registry->gauge("gpusim.occupancy");
+  metrics_.used_bytes = &registry->gauge("gpusim.device_used_bytes");
+  metrics_.used_bytes->Set(static_cast<double>(used_));
+}
+
 bool Device::AccessL2(DevicePtr ptr) {
   // Segment id: allocation id in the high bits, 64-byte segment in the low
   // bits — distinct allocations can never alias.
@@ -30,6 +44,9 @@ DevicePtr Device::TryMalloc(std::size_t bytes) {
   alloc.size = bytes;
   alloc.live = true;
   used_ += bytes;
+  if (metrics_.used_bytes != nullptr) {
+    metrics_.used_bytes->Set(static_cast<double>(used_));
+  }
   // Reuse a dead slot if available to keep ids bounded.
   for (std::size_t i = 0; i < allocations_.size(); ++i) {
     if (!allocations_[i].live) {
@@ -59,6 +76,9 @@ void Device::Free(DevicePtr ptr) {
   alloc.data.reset();
   alloc.size = 0;
   alloc.live = false;
+  if (metrics_.used_bytes != nullptr) {
+    metrics_.used_bytes->Set(static_cast<double>(used_));
+  }
 }
 
 const Device::Allocation& Device::Resolve(DevicePtr ptr) const {
@@ -94,6 +114,10 @@ double TransferEngine::CopyToDevice(DevicePtr dst, const void* src,
   std::memcpy(device_->HostView(dst), src, bytes);
   bytes_h2d_ += bytes;
   ++transfers_;
+  if (const Device::DeviceMetrics* m = device_->metrics()) {
+    m->bytes_h2d->Add(bytes);
+    m->transfers->Increment();
+  }
   return HostToDeviceUs(bytes);
 }
 
@@ -102,6 +126,10 @@ double TransferEngine::CopyToHost(void* dst, DevicePtr src,
   std::memcpy(dst, device_->HostView(src), bytes);
   bytes_d2h_ += bytes;
   ++transfers_;
+  if (const Device::DeviceMetrics* m = device_->metrics()) {
+    m->bytes_d2h->Add(bytes);
+    m->transfers->Increment();
+  }
   return DeviceToHostUs(bytes);
 }
 
@@ -139,6 +167,10 @@ double TransferEngine::StreamedCopyToDevice(DevicePtr dst, const void* src,
   std::memcpy(device_->HostView(dst), src, bytes);
   bytes_h2d_ += bytes;
   ++transfers_;
+  if (const Device::DeviceMetrics* m = device_->metrics()) {
+    m->bytes_h2d->Add(bytes);
+    m->transfers->Increment();
+  }
   return pcie_.streamed_init_us +
          static_cast<double>(bytes) / (pcie_.bandwidth_h2d_gbps * 1e3);
 }

@@ -8,6 +8,7 @@
 
 #include "core/status.h"
 #include "fault/fault_injector.h"
+#include "obs/metrics.h"
 #include "sim/cache_sim.h"
 #include "sim/platform.h"
 
@@ -61,6 +62,28 @@ class Device {
   }
   fault::FaultInjector* fault_injector() const { return injector_; }
 
+  /// Cached metric handles for the device layers. Looked up once when a
+  /// registry is attached so the per-transfer/per-launch hot paths pay a
+  /// null check plus a relaxed fetch_add, never a name lookup.
+  struct DeviceMetrics {
+    obs::Counter* bytes_h2d = nullptr;
+    obs::Counter* bytes_d2h = nullptr;
+    obs::Counter* transfers = nullptr;
+    obs::Counter* kernel_launches = nullptr;
+    obs::Gauge* occupancy = nullptr;
+    obs::Gauge* used_bytes = nullptr;
+  };
+
+  /// Attaches (or with nullptr detaches) a metrics registry; the device
+  /// and its transfer engine then publish `gpusim.*` counters/gauges into
+  /// it. The registry must outlive the device; multiple devices may share
+  /// one registry (counters aggregate across them).
+  void set_metrics_registry(obs::MetricsRegistry* registry);
+  /// Non-null once a registry is attached.
+  const DeviceMetrics* metrics() const {
+    return metrics_.transfers != nullptr ? &metrics_ : nullptr;
+  }
+
   /// Host-visible backing storage of an allocation (+offset). Used by the
   /// functional kernel executor and the transfer engine — the moral
   /// equivalent of the GDDR behind a device pointer.
@@ -102,6 +125,7 @@ class Device {
   std::size_t used_ = 0;
   sim::CacheLevel l2_;
   fault::FaultInjector* injector_ = nullptr;
+  DeviceMetrics metrics_;
 };
 
 /// RAII device allocation: TryMalloc on construction (null on OOM or

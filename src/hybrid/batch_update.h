@@ -12,6 +12,7 @@
 #include "core/workload.h"
 #include "fault/retry.h"
 #include "hybrid/hb_regular.h"
+#include "obs/trace.h"
 
 namespace hbtree {
 
@@ -88,6 +89,8 @@ Status TryRunBatchUpdate(HBRegularTree<K>& tree,
   BatchUpdateStats& stats = *stats_out;
   stats = BatchUpdateStats{};
   stats.queries = batch.size();
+  HBTREE_TRACE_SPAN_ARG("update.batch", "hybrid", "queries",
+                        static_cast<double>(batch.size()));
   RegularBTree<K>& host = tree.host_tree();
   std::vector<ModifiedNode> modified;
   const fault::RetryPolicy retry{config.max_sync_retries,
@@ -217,9 +220,12 @@ Status TryRunBatchUpdate(HBRegularTree<K>& tree,
   // One bulk I-segment transfer.
   double sync_us = 0;
   double backoff_us = 0;
-  sync_status = fault::RetryTransient(
-      retry, [&] { return tree.TrySyncISegment(&sync_us); },
-      &stats.sync_retries, &backoff_us);
+  {
+    HBTREE_TRACE_SPAN("update.sync", "hybrid");
+    sync_status = fault::RetryTransient(
+        retry, [&] { return tree.TrySyncISegment(&sync_us); },
+        &stats.sync_retries, &backoff_us);
+  }
   stats.sync_us = sync_us + backoff_us;
 
   const double single_us =

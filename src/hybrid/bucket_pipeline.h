@@ -15,6 +15,7 @@
 #include "hybrid/hb_fast.h"
 #include "hybrid/hb_implicit.h"
 #include "hybrid/hb_regular.h"
+#include "obs/trace.h"
 #include "sim/resource.h"
 
 namespace hbtree {
@@ -93,6 +94,18 @@ struct PipelineStats {
 
 namespace pipeline_internal {
 
+/// Per-stage occupancy intervals of one scheduled bucket on the simulated
+/// timeline — what the scheduler already decides internally, surfaced so
+/// the trace exporter can draw each stage on its resource track and make
+/// the cross-bucket overlap (or its absence, for kSequential) visible.
+struct StageTimeline {
+  double pre_start = 0, pre_end = 0;        // CPU pre-descent (LB only)
+  double h2d_start = 0, h2d_end = 0;        // T1
+  double kernel_start = 0, kernel_end = 0;  // T2
+  double d2h_start = 0, d2h_end = 0;        // T3
+  double cpu_start = 0, cpu_end = 0;        // T4 (+ LB CPU capacity)
+};
+
 /// Job-shop scheduler over the simulated platform resources; encodes the
 /// overlap rules of the three strategies.
 class Scheduler {
@@ -101,21 +114,37 @@ class Scheduler {
 
   /// Schedules one bucket; returns its completion time. `ready` is when
   /// the bucket's buffer set becomes available, `tpre` the CPU pre-descent
-  /// time (load balancing; 0 otherwise).
+  /// time (load balancing; 0 otherwise). `timeline` (optional) receives
+  /// the per-stage intervals the scheduler chose.
   double ScheduleBucket(double ready, double tpre, double t1, double t2,
-                        double t3, double t4) {
+                        double t3, double t4,
+                        StageTimeline* timeline = nullptr) {
     double start = ready;
+    StageTimeline tl;
     switch (strategy_) {
       case BucketStrategy::kSequential:
         // Nothing overlaps: chain after the previous bucket completed.
         start = std::max(start, last_end_);
-        if (tpre > 0) start = cpu_.Acquire(start, tpre) + tpre;
+        if (tpre > 0) {
+          const double sp = cpu_.Acquire(start, tpre);
+          tl.pre_start = sp;
+          tl.pre_end = sp + tpre;
+          start = sp + tpre;
+        }
         {
           double s1 = h2d_.Acquire(start, t1);
           double s2 = gpu_.Acquire(s1 + t1, t2);
           double s3 = d2h_.Acquire(s2 + t2, t3);
           double s4 = cpu_.Acquire(s3 + t3, t4);
           last_end_ = s4 + t4;
+          tl.h2d_start = s1;
+          tl.h2d_end = s1 + t1;
+          tl.kernel_start = s2;
+          tl.kernel_end = s2 + t2;
+          tl.d2h_start = s3;
+          tl.d2h_end = s3 + t3;
+          tl.cpu_start = s4;
+          tl.cpu_end = s4 + t4;
         }
         break;
       case BucketStrategy::kPipelined: {
@@ -131,6 +160,16 @@ class Scheduler {
         d2h_.Acquire(s_gpu + t1 + t2, t3);    // utilization accounting
         double s4 = cpu_.Acquire(s_gpu + t1 + t2 + t3, t4 + tpre);
         last_end_ = s4 + t4;
+        tl.pre_start = start;
+        tl.pre_end = start + tpre;
+        tl.h2d_start = s_gpu;
+        tl.h2d_end = s_gpu + t1;
+        tl.kernel_start = s_gpu + t1;
+        tl.kernel_end = s_gpu + t1 + t2;
+        tl.d2h_start = s_gpu + t1 + t2;
+        tl.d2h_end = s_gpu + t1 + t2 + t3;
+        tl.cpu_start = s4;
+        tl.cpu_end = s4 + t4 + tpre;
         break;
       }
       case BucketStrategy::kDoubleBuffered: {
@@ -141,9 +180,20 @@ class Scheduler {
         double s3 = d2h_.Acquire(s2 + t2, t3);
         double s4 = cpu_.Acquire(s3 + t3, t4 + tpre);
         last_end_ = s4 + t4;
+        tl.pre_start = start;
+        tl.pre_end = start + tpre;
+        tl.h2d_start = s1;
+        tl.h2d_end = s1 + t1;
+        tl.kernel_start = s2;
+        tl.kernel_end = s2 + t2;
+        tl.d2h_start = s3;
+        tl.d2h_end = s3 + t3;
+        tl.cpu_start = s4;
+        tl.cpu_end = s4 + t4 + tpre;
         break;
       }
     }
+    if (timeline != nullptr) *timeline = tl;
     return last_end_;
   }
 
@@ -271,6 +321,11 @@ Status RunPipelineChecked(typename Adapter::Tree& tree, const K* queries,
   PipelineStats& stats = *stats_out;
   stats = PipelineStats{};
   Scheduler scheduler(config.strategy);
+  // Model-time spans are offset by the wall time at run start so that
+  // successive pipeline runs in one trace do not all stack at ts = 0.
+  HBTREE_TRACE_ONLY(const double trace_base_us = obs::TraceSession::NowUs();)
+  HBTREE_TRACE_SPAN_ARG("pipeline.run", "hybrid", "queries",
+                        static_cast<double>(count));
   // Start-node indices travel as 32-bit values: every level a partial
   // descent can reach has fewer than 2^32 nodes.
   std::vector<std::uint32_t> start_nodes(m);
@@ -363,8 +418,12 @@ Status RunPipelineChecked(typename Adapter::Tree& tree, const K* queries,
         },
         &stats.kernel_retries, &backoff_us));
     stats.kernel += ks;
-    const double t2 =
-        gpu::EstimateKernelTime(device.spec(), ks).total_us + backoff_us;
+    const gpu::KernelTime kt = gpu::EstimateKernelTime(device.spec(), ks);
+    if (const gpu::Device::DeviceMetrics* m = device.metrics()) {
+      m->kernel_launches->Increment();
+      m->occupancy->Set(kt.occupancy);
+    }
+    const double t2 = kt.total_us + backoff_us;
 
     // -- T3: intermediate results back ------------------------------------
     double t3 = 0;
@@ -392,7 +451,31 @@ Status RunPipelineChecked(typename Adapter::Tree& tree, const K* queries,
         b >= static_cast<std::size_t>(config.buckets_in_flight)
             ? bucket_end[b - config.buckets_in_flight]
             : 0.0;
-    const double end = scheduler.ScheduleBucket(ready, tpre, t1, t2, t3, t4);
+    StageTimeline tl;
+    const double end =
+        scheduler.ScheduleBucket(ready, tpre, t1, t2, t3, t4, &tl);
+    HBTREE_TRACE_ONLY(if (tpre > 0) {
+      HBTREE_TRACE_MODEL_SPAN(kTrackPreDescend, "bucket.pre_descend",
+                              trace_base_us + tl.pre_start,
+                              tl.pre_end - tl.pre_start, "bucket",
+                              static_cast<double>(b));
+    })
+    HBTREE_TRACE_MODEL_SPAN(kTrackH2D, "bucket.h2d",
+                            trace_base_us + tl.h2d_start,
+                            tl.h2d_end - tl.h2d_start, "bucket",
+                            static_cast<double>(b));
+    HBTREE_TRACE_MODEL_SPAN(kTrackKernel, "bucket.kernel",
+                            trace_base_us + tl.kernel_start,
+                            tl.kernel_end - tl.kernel_start, "bucket",
+                            static_cast<double>(b));
+    HBTREE_TRACE_MODEL_SPAN(kTrackD2H, "bucket.d2h",
+                            trace_base_us + tl.d2h_start,
+                            tl.d2h_end - tl.d2h_start, "bucket",
+                            static_cast<double>(b));
+    HBTREE_TRACE_MODEL_SPAN(kTrackCpuLeaf, "bucket.cpu_leaf",
+                            trace_base_us + tl.cpu_start,
+                            tl.cpu_end - tl.cpu_start, "bucket",
+                            static_cast<double>(b));
     bucket_end.push_back(end);
     latency_sum += end - ready;
 

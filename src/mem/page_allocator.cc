@@ -23,7 +23,10 @@ const char* PageSizeName(PageSize s) {
 void PageRegistry::Register(const void* base, std::size_t size,
                             PageSize page_size) {
   Region region{reinterpret_cast<std::uintptr_t>(base),
-                reinterpret_cast<std::uintptr_t>(base) + size, page_size};
+                reinterpret_cast<std::uintptr_t>(base) + size, page_size,
+                next_page_base_};
+  const std::uint64_t bytes = PageBytes(page_size);
+  next_page_base_ += (size + bytes - 1) / bytes + (size == 0 ? 1 : 0);
   auto it = std::lower_bound(
       regions_.begin(), regions_.end(), region,
       [](const Region& a, const Region& b) { return a.base < b.base; });
@@ -51,9 +54,25 @@ PageSize PageRegistry::Lookup(const void* addr) const {
   return PageSize::k4K;
 }
 
-std::uint64_t PageRegistry::PageNumber(const void* addr) const {
+PageRegistry::Translation PageRegistry::Translate(const void* addr) const {
   auto a = reinterpret_cast<std::uintptr_t>(addr);
-  return static_cast<std::uint64_t>(a) / PageBytes(Lookup(addr));
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), a,
+      [](std::uintptr_t x, const Region& r) { return x < r.base; });
+  if (it != regions_.begin()) {
+    const Region& r = *std::prev(it);
+    if (a < r.end) {
+      return {r.page_size,
+              r.page_base + static_cast<std::uint64_t>(a - r.base) /
+                                PageBytes(r.page_size)};
+    }
+  }
+  return {PageSize::k4K,
+          static_cast<std::uint64_t>(a) / PageBytes(PageSize::k4K)};
+}
+
+std::uint64_t PageRegistry::PageNumber(const void* addr) const {
+  return Translate(addr).page;
 }
 
 PagedBuffer::PagedBuffer(std::size_t size, PageSize page_size,

@@ -37,6 +37,15 @@ class PageRegistry {
     std::uintptr_t base;
     std::uintptr_t end;  // one past the last byte
     PageSize page_size;
+    std::uint64_t page_base;  // first simulated page number of the region
+  };
+
+  /// `addr` resolved to the backing page size plus the simulated page
+  /// number. Two addresses with equal page numbers *and* page sizes share
+  /// a TLB entry.
+  struct Translation {
+    PageSize page_size;
+    std::uint64_t page;
   };
 
   void Register(const void* base, std::size_t size, PageSize page_size);
@@ -46,14 +55,28 @@ class PageRegistry {
   /// treated as regular 4K-paged memory (matching default OS behaviour).
   PageSize Lookup(const void* addr) const;
 
-  /// Virtual page number of `addr` given its backing page size. Two
-  /// addresses with equal page numbers *and* page sizes share a TLB entry.
+  Translation Translate(const void* addr) const;
+
+  /// Shorthand for Translate(addr).page.
   std::uint64_t PageNumber(const void* addr) const;
 
   const std::vector<Region>& regions() const { return regions_; }
 
  private:
+  // Registered regions model memory the OS backed with (aligned) pages of
+  // the requested size, but the bytes actually come from the heap, which
+  // aligns to nothing larger than a cache line. Numbering pages by raw
+  // virtual address would therefore let a region straddle a simulated
+  // page boundary — a 64 MB buffer "occupying" two 1 GB pages — purely
+  // depending on where malloc happened to place it, which varies run to
+  // run under ASLR. Instead each region is assigned a synthetic page
+  // range at registration, as if the allocator had returned page-aligned
+  // memory, starting far above any raw-address 4K page number so the two
+  // namespaces cannot collide.
+  static constexpr std::uint64_t kSyntheticPageBase = 1ull << 50;
+
   std::vector<Region> regions_;  // sorted by base
+  std::uint64_t next_page_base_ = kSyntheticPageBase;
 };
 
 /// A contiguous, cache-line-aligned allocation tagged with a page size.

@@ -1,0 +1,147 @@
+#ifndef HBTREE_OBS_HISTOGRAM_H_
+#define HBTREE_OBS_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace hbtree::obs {
+
+/// Percentile summary extracted from a LatencyHistogram.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double p50_us = 0;
+  double p90_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+  double mean_us = 0;
+};
+
+/// Lock-free log-scaled latency histogram (HdrHistogram-lite): four
+/// sub-buckets per power of two of nanoseconds, so any recorded value is
+/// attributed within ~12% of its true magnitude — plenty for p50/p99
+/// reporting. Record() is wait-free (one relaxed fetch_add plus a CAS
+/// loop for the running maximum) so every serving thread can record into
+/// the same histogram without contention on a lock.
+///
+/// Lived in src/serve/ until the observability layer needed the same
+/// structure for generic metric histograms; serve/latency_histogram.h
+/// now aliases this type.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 2;               // 4 sub-buckets/octave
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kLinearLimit = 1 << (kSubBits + 1);  // 0..7 exact
+  static constexpr int kBuckets = kLinearLimit + (64 - kSubBits - 1) * kSub;
+
+  void Record(std::uint64_t ns) {
+    counts_[BucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+    while (ns > seen &&
+           !max_ns_.compare_exchange_weak(seen, ns,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Adds `other`'s contents into this histogram (counts, sum, running
+  /// max). Safe against concurrent Record() on either side in the usual
+  /// monitoring sense: a racing sample lands wholly in one histogram or
+  /// the other, never half.
+  void MergeFrom(const LatencyHistogram& other) {
+    for (int b = 0; b < kBuckets; ++b) {
+      const std::uint64_t n = other.counts_[b].load(std::memory_order_relaxed);
+      if (n != 0) counts_[b].fetch_add(n, std::memory_order_relaxed);
+    }
+    sum_ns_.fetch_add(other.sum_ns_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    const std::uint64_t other_max =
+        other.max_ns_.load(std::memory_order_relaxed);
+    std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+    while (other_max > seen &&
+           !max_ns_.compare_exchange_weak(seen, other_max,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Zeroes the histogram. Windowed reporting drains a histogram with
+  /// MergeFrom + Reset; a Record() racing the pair may be dropped from
+  /// both windows — acceptable for monitoring, not for exact accounting.
+  void Reset() {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    sum_ns_.store(0, std::memory_order_relaxed);
+    max_ns_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Mid-point of the bucket `ns` falls into (its representative value).
+  static std::uint64_t BucketMidpointNs(int bucket) {
+    if (bucket < kLinearLimit) return bucket;
+    const int rel = bucket - kLinearLimit;
+    const int exp = kSubBits + 1 + rel / kSub;
+    const int sub = rel % kSub;
+    const std::uint64_t low =
+        (std::uint64_t{1} << exp) +
+        (static_cast<std::uint64_t>(sub) << (exp - kSubBits));
+    const std::uint64_t width = std::uint64_t{1} << (exp - kSubBits);
+    return low + width / 2;
+  }
+
+  static int BucketIndex(std::uint64_t ns) {
+    if (ns < kLinearLimit) return static_cast<int>(ns);
+    const int exp = 63 - std::countl_zero(ns);
+    const int sub = static_cast<int>((ns >> (exp - kSubBits)) & (kSub - 1));
+    return kLinearLimit + (exp - kSubBits - 1) * kSub + sub;
+  }
+
+  /// Consistent-enough snapshot for reporting: concurrent Record() calls
+  /// may or may not be included, as with any monitoring counter read.
+  LatencySummary Summarize() const {
+    std::array<std::uint64_t, kBuckets> counts;
+    std::uint64_t total = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      counts[b] = counts_[b].load(std::memory_order_relaxed);
+      total += counts[b];
+    }
+    LatencySummary summary;
+    summary.count = total;
+    if (total == 0) return summary;
+    summary.max_us = max_ns_.load(std::memory_order_relaxed) / 1e3;
+    summary.mean_us = sum_ns_.load(std::memory_order_relaxed) / 1e3 / total;
+
+    auto percentile = [&](double q) {
+      const std::uint64_t rank = static_cast<std::uint64_t>(q * (total - 1));
+      std::uint64_t seen = 0;
+      for (int b = 0; b < kBuckets; ++b) {
+        seen += counts[b];
+        if (seen > rank) return BucketMidpointNs(b) / 1e3;
+      }
+      return BucketMidpointNs(kBuckets - 1) / 1e3;
+    };
+    summary.p50_us = percentile(0.50);
+    summary.p90_us = percentile(0.90);
+    summary.p99_us = percentile(0.99);
+    // The histogram midpoint can overshoot the true maximum; clamp so the
+    // reported percentiles never exceed the observed max.
+    summary.p50_us = std::min(summary.p50_us, summary.max_us);
+    summary.p90_us = std::min(summary.p90_us, summary.max_us);
+    summary.p99_us = std::min(summary.p99_us, summary.max_us);
+    return summary;
+  }
+
+  std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> sum_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+}  // namespace hbtree::obs
+
+#endif  // HBTREE_OBS_HISTOGRAM_H_

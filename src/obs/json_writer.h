@@ -1,0 +1,137 @@
+#ifndef HBTREE_OBS_JSON_WRITER_H_
+#define HBTREE_OBS_JSON_WRITER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hbtree::obs {
+
+/// Minimal streaming JSON writer shared by the metrics dump, the Chrome
+/// trace exporter, and the bench reporter. Keeps the emitted schema in
+/// one place: keys are always quoted, numbers are emitted with enough
+/// precision to round-trip a metric, and non-finite doubles become null
+/// (the metrics validator then fails loudly instead of shipping a NaN
+/// that breaks downstream JSON parsers).
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(4096); }
+
+  void BeginObject() {
+    Separate();
+    out_.push_back('{');
+    stack_.push_back(false);
+  }
+  void EndObject() {
+    stack_.pop_back();
+    out_.push_back('}');
+  }
+  void BeginArray() {
+    Separate();
+    out_.push_back('[');
+    stack_.push_back(false);
+  }
+  void EndArray() {
+    stack_.pop_back();
+    out_.push_back(']');
+  }
+
+  /// Emits `"key":`; the next value call supplies the value.
+  void Key(const std::string& key) {
+    Separate();
+    AppendEscaped(key);
+    out_.push_back(':');
+    pending_value_ = true;
+  }
+
+  void String(const std::string& value) {
+    Separate();
+    AppendEscaped(value);
+  }
+  void Uint(std::uint64_t value) {
+    Separate();
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "%llu",
+                  static_cast<unsigned long long>(value));
+    out_ += buffer;
+  }
+  void Int(std::int64_t value) {
+    Separate();
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+    out_ += buffer;
+  }
+  void Number(double value) {
+    Separate();
+    if (!std::isfinite(value)) {
+      out_ += "null";
+      return;
+    }
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+    out_ += buffer;
+  }
+  void Bool(bool value) {
+    Separate();
+    out_ += value ? "true" : "false";
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  /// Inserts the comma between siblings. A value directly after Key()
+  /// never gets one (the key already separated itself).
+  void Separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) out_.push_back(',');
+      stack_.back() = true;
+    }
+  }
+
+  void AppendEscaped(const std::string& s) {
+    out_.push_back('"');
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            out_ += buffer;
+          } else {
+            out_.push_back(c);
+          }
+      }
+    }
+    out_.push_back('"');
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;  // per nesting level: "has emitted a sibling"
+  bool pending_value_ = false;
+};
+
+}  // namespace hbtree::obs
+
+#endif  // HBTREE_OBS_JSON_WRITER_H_

@@ -1,0 +1,168 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+#include "obs/json_writer.h"
+
+namespace hbtree::obs {
+
+std::uint64_t MetricsSnapshot::counter_or(const std::string& name,
+                                          std::uint64_t fallback) const {
+  for (const auto& [key, value] : counters) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+MetricsRegistry::MetricsRegistry()
+    : created_(std::chrono::steady_clock::now()), window_start_(created_) {}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Collect() const {
+  MetricsSnapshot snapshot;
+  snapshot.windowed = false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot.window_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    created_)
+          .count();
+  for (const auto& [name, c] : counters_) {
+    snapshot.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snapshot.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    snapshot.histograms.emplace_back(name, h->LifetimeSummary());
+  }
+  return snapshot;
+}
+
+MetricsSnapshot MetricsRegistry::CollectWindow() {
+  MetricsSnapshot snapshot;
+  snapshot.windowed = true;
+  std::lock_guard<std::mutex> window_lock(window_mutex_);
+  const auto now = std::chrono::steady_clock::now();
+  snapshot.window_seconds =
+      std::chrono::duration<double>(now - window_start_).count();
+  window_start_ = now;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) {
+    const std::uint64_t total = c->value();
+    snapshot.counters.emplace_back(name, total - c->window_base_);
+    c->window_base_ = total;
+  }
+  for (const auto& [name, g] : gauges_) {
+    snapshot.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    snapshot.histograms.emplace_back(name, h->RollWindow());
+  }
+  return snapshot;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::string MetricsRegistry::ToText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "metrics (%s, %.3fs window)\n",
+                snapshot.windowed ? "interval" : "lifetime",
+                snapshot.window_seconds);
+  out += line;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::snprintf(line, sizeof(line), "  %-32s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::snprintf(line, sizeof(line), "  %-32s %.4g\n", name.c_str(), value);
+    out += line;
+  }
+  for (const auto& [name, s] : snapshot.histograms) {
+    std::snprintf(line, sizeof(line),
+                  "  %-32s count %llu  p50 %.1fus  p90 %.1fus  p99 %.1fus  "
+                  "max %.1fus\n",
+                  name.c_str(), static_cast<unsigned long long>(s.count),
+                  s.p50_us, s.p90_us, s.p99_us, s.max_us);
+    out += line;
+  }
+  return out;
+}
+
+void MetricsRegistry::AppendJson(const MetricsSnapshot& snapshot,
+                                 JsonWriter* w) {
+  w->BeginObject();
+  w->Key("schema");
+  w->String("hbtree.metrics.v1");
+  w->Key("windowed");
+  w->Bool(snapshot.windowed);
+  w->Key("window_seconds");
+  w->Number(snapshot.window_seconds);
+  w->Key("counters");
+  w->BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    w->Key(name);
+    w->Uint(value);
+  }
+  w->EndObject();
+  w->Key("gauges");
+  w->BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    w->Key(name);
+    w->Number(value);
+  }
+  w->EndObject();
+  w->Key("histograms");
+  w->BeginObject();
+  for (const auto& [name, s] : snapshot.histograms) {
+    w->Key(name);
+    w->BeginObject();
+    w->Key("count");
+    w->Uint(s.count);
+    w->Key("p50_us");
+    w->Number(s.p50_us);
+    w->Key("p90_us");
+    w->Number(s.p90_us);
+    w->Key("p99_us");
+    w->Number(s.p99_us);
+    w->Key("max_us");
+    w->Number(s.max_us);
+    w->Key("mean_us");
+    w->Number(s.mean_us);
+    w->EndObject();
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+std::string MetricsRegistry::ToJson(const MetricsSnapshot& snapshot) {
+  JsonWriter w;
+  AppendJson(snapshot, &w);
+  return w.str();
+}
+
+}  // namespace hbtree::obs

@@ -1,0 +1,255 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "obs/json_writer.h"
+
+namespace hbtree::obs {
+
+std::atomic<bool> TraceSession::active_{false};
+
+namespace {
+
+/// One thread's event log. Owned jointly by the thread (thread_local
+/// shared_ptr, so recording needs no lock) and the global registry (so
+/// export still sees the events of threads that already exited).
+struct ThreadBuffer {
+  int tid = 0;
+  const char* name = nullptr;
+  std::vector<TraceEvent> events;
+};
+
+struct TraceState {
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  std::mutex mutex;  // guards buffers (registration, control ops)
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  // Wall tids start above the fixed model-track range so a Perfetto view
+  // sorts the resource tracks first.
+  std::atomic<int> next_tid{16};
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceState& state = State();
+    b->tid = state.next_tid.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+const char* ModelTrackName(int tid) {
+  switch (tid) {
+    case TraceSession::kTrackPreDescend:
+      return "sim.pre_descend";
+    case TraceSession::kTrackH2D:
+      return "sim.h2d";
+    case TraceSession::kTrackKernel:
+      return "sim.kernel";
+    case TraceSession::kTrackD2H:
+      return "sim.d2h";
+    case TraceSession::kTrackCpuLeaf:
+      return "sim.cpu_leaf";
+    default:
+      return "sim.unknown";
+  }
+}
+
+void AppendEvent(JsonWriter* w, const TraceEvent& e) {
+  w->BeginObject();
+  w->Key("name");
+  w->String(e.name);
+  w->Key("cat");
+  w->String(e.cat);
+  w->Key("ph");
+  w->String(std::string(1, e.ph));
+  w->Key("pid");
+  w->Int(e.pid);
+  w->Key("tid");
+  w->Int(e.tid);
+  w->Key("ts");
+  w->Number(e.ts_us);
+  if (e.ph == 'X') {
+    w->Key("dur");
+    w->Number(e.dur_us);
+  }
+  if (e.ph == 'i') {
+    w->Key("s");
+    w->String("t");  // thread-scoped instant
+  }
+  if (e.arg_name != nullptr) {
+    w->Key("args");
+    w->BeginObject();
+    w->Key(e.arg_name);
+    w->Number(e.arg_value);
+    w->EndObject();
+  }
+  w->EndObject();
+}
+
+void AppendMetadata(JsonWriter* w, const char* kind, int pid, int tid,
+                    const std::string& name) {
+  w->BeginObject();
+  w->Key("name");
+  w->String(kind);
+  w->Key("ph");
+  w->String("M");
+  w->Key("pid");
+  w->Int(pid);
+  if (tid >= 0) {
+    w->Key("tid");
+    w->Int(tid);
+  }
+  w->Key("args");
+  w->BeginObject();
+  w->Key("name");
+  w->String(name);
+  w->EndObject();
+  w->EndObject();
+}
+
+}  // namespace
+
+void TraceSession::Start() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (auto& buffer : state.buffers) buffer->events.clear();
+  state.start = std::chrono::steady_clock::now();
+  active_.store(true, std::memory_order_release);
+}
+
+void TraceSession::Stop() { active_.store(false, std::memory_order_release); }
+
+void TraceSession::Clear() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (auto& buffer : state.buffers) buffer->events.clear();
+}
+
+double TraceSession::NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - State().start)
+      .count();
+}
+
+void TraceSession::SetThreadName(const char* name) {
+  LocalBuffer().name = name;
+}
+
+void TraceSession::RecordComplete(const char* name, const char* cat,
+                                  double ts_us, double dur_us,
+                                  const char* arg_name, double arg_value) {
+  if (!active()) return;
+  ThreadBuffer& buffer = LocalBuffer();
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'X';
+  e.pid = kWallPid;
+  e.tid = buffer.tid;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.arg_name = arg_name;
+  e.arg_value = arg_value;
+  buffer.events.push_back(e);
+}
+
+void TraceSession::RecordInstant(const char* name, const char* cat) {
+  if (!active()) return;
+  ThreadBuffer& buffer = LocalBuffer();
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'i';
+  e.pid = kWallPid;
+  e.tid = buffer.tid;
+  e.ts_us = NowUs();
+  buffer.events.push_back(e);
+}
+
+void TraceSession::RecordModelSpan(ModelTrack track, const char* name,
+                                   double ts_us, double dur_us,
+                                   const char* arg_name, double arg_value) {
+  if (!active()) return;
+  ThreadBuffer& buffer = LocalBuffer();
+  TraceEvent e;
+  e.name = name;
+  e.cat = "model";
+  e.ph = 'X';
+  e.pid = kModelPid;
+  e.tid = static_cast<int>(track);
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.arg_name = arg_name;
+  e.arg_value = arg_value;
+  buffer.events.push_back(e);
+}
+
+std::vector<TraceEvent> TraceSession::Snapshot() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : state.buffers) {
+    events.insert(events.end(), buffer->events.begin(),
+                  buffer->events.end());
+  }
+  return events;
+}
+
+std::size_t TraceSession::event_count() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::size_t n = 0;
+  for (const auto& buffer : state.buffers) n += buffer->events.size();
+  return n;
+}
+
+std::string TraceSession::ToChromeJson() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+  AppendMetadata(&w, "process_name", kWallPid, -1, "wall-clock");
+  AppendMetadata(&w, "process_name", kModelPid, -1, "modelled platform");
+  for (int track = kTrackPreDescend; track <= kTrackCpuLeaf; ++track) {
+    AppendMetadata(&w, "thread_name", kModelPid, track,
+                   ModelTrackName(track));
+  }
+  for (const auto& buffer : state.buffers) {
+    char fallback[32];
+    std::snprintf(fallback, sizeof(fallback), "thread %d", buffer->tid);
+    AppendMetadata(&w, "thread_name", kWallPid, buffer->tid,
+                   buffer->name != nullptr ? buffer->name : fallback);
+  }
+  for (const auto& buffer : state.buffers) {
+    for (const TraceEvent& e : buffer->events) AppendEvent(&w, e);
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+bool TraceSession::WriteChromeJson(const std::string& path) {
+  if (active()) return false;
+  const std::string json = ToChromeJson();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  return written == json.size() && std::fclose(file) == 0;
+}
+
+}  // namespace hbtree::obs

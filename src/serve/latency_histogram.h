@@ -1,113 +1,16 @@
 #ifndef HBTREE_SERVE_LATENCY_HISTOGRAM_H_
 #define HBTREE_SERVE_LATENCY_HISTOGRAM_H_
 
-#include <algorithm>
-#include <array>
-#include <atomic>
-#include <bit>
-#include <cstdint>
+#include "obs/histogram.h"
 
 namespace hbtree::serve {
 
-/// Percentile summary extracted from a LatencyHistogram.
-struct LatencySummary {
-  std::uint64_t count = 0;
-  double p50_us = 0;
-  double p90_us = 0;
-  double p99_us = 0;
-  double max_us = 0;
-  double mean_us = 0;
-};
-
-/// Lock-free log-scaled latency histogram (HdrHistogram-lite): four
-/// sub-buckets per power of two of nanoseconds, so any recorded value is
-/// attributed within ~12% of its true magnitude — plenty for p50/p99
-/// reporting. Record() is wait-free (one relaxed fetch_add plus a CAS
-/// loop for the running maximum) so every serving thread can record into
-/// the same histogram without contention on a lock.
-class LatencyHistogram {
- public:
-  static constexpr int kSubBits = 2;               // 4 sub-buckets/octave
-  static constexpr int kSub = 1 << kSubBits;
-  static constexpr int kLinearLimit = 1 << (kSubBits + 1);  // 0..7 exact
-  static constexpr int kBuckets = kLinearLimit + (64 - kSubBits - 1) * kSub;
-
-  void Record(std::uint64_t ns) {
-    counts_[BucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
-    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
-    std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
-    while (ns > seen &&
-           !max_ns_.compare_exchange_weak(seen, ns,
-                                          std::memory_order_relaxed)) {
-    }
-  }
-
-  /// Mid-point of the bucket `ns` falls into (its representative value).
-  static std::uint64_t BucketMidpointNs(int bucket) {
-    if (bucket < kLinearLimit) return bucket;
-    const int rel = bucket - kLinearLimit;
-    const int exp = kSubBits + 1 + rel / kSub;
-    const int sub = rel % kSub;
-    const std::uint64_t low =
-        (std::uint64_t{1} << exp) +
-        (static_cast<std::uint64_t>(sub) << (exp - kSubBits));
-    const std::uint64_t width = std::uint64_t{1} << (exp - kSubBits);
-    return low + width / 2;
-  }
-
-  static int BucketIndex(std::uint64_t ns) {
-    if (ns < kLinearLimit) return static_cast<int>(ns);
-    const int exp = 63 - std::countl_zero(ns);
-    const int sub = static_cast<int>((ns >> (exp - kSubBits)) & (kSub - 1));
-    return kLinearLimit + (exp - kSubBits - 1) * kSub + sub;
-  }
-
-  /// Consistent-enough snapshot for reporting: concurrent Record() calls
-  /// may or may not be included, as with any monitoring counter read.
-  LatencySummary Summarize() const {
-    std::array<std::uint64_t, kBuckets> counts;
-    std::uint64_t total = 0;
-    for (int b = 0; b < kBuckets; ++b) {
-      counts[b] = counts_[b].load(std::memory_order_relaxed);
-      total += counts[b];
-    }
-    LatencySummary summary;
-    summary.count = total;
-    if (total == 0) return summary;
-    summary.max_us = max_ns_.load(std::memory_order_relaxed) / 1e3;
-    summary.mean_us = sum_ns_.load(std::memory_order_relaxed) / 1e3 / total;
-
-    auto percentile = [&](double q) {
-      const std::uint64_t rank = static_cast<std::uint64_t>(q * (total - 1));
-      std::uint64_t seen = 0;
-      for (int b = 0; b < kBuckets; ++b) {
-        seen += counts[b];
-        if (seen > rank) return BucketMidpointNs(b) / 1e3;
-      }
-      return BucketMidpointNs(kBuckets - 1) / 1e3;
-    };
-    summary.p50_us = percentile(0.50);
-    summary.p90_us = percentile(0.90);
-    summary.p99_us = percentile(0.99);
-    // The histogram midpoint can overshoot the true maximum; clamp so the
-    // reported percentiles never exceed the observed max.
-    summary.p50_us = std::min(summary.p50_us, summary.max_us);
-    summary.p90_us = std::min(summary.p90_us, summary.max_us);
-    summary.p99_us = std::min(summary.p99_us, summary.max_us);
-    return summary;
-  }
-
-  std::uint64_t count() const {
-    std::uint64_t total = 0;
-    for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
-    return total;
-  }
-
- private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
-  std::atomic<std::uint64_t> sum_ns_{0};
-  std::atomic<std::uint64_t> max_ns_{0};
-};
+/// The serving layer's latency histogram now lives in the observability
+/// library (obs/histogram.h) so the metrics registry can reuse it for any
+/// ns-valued distribution; these aliases keep the original serve-side
+/// names working.
+using LatencySummary = obs::LatencySummary;
+using LatencyHistogram = obs::LatencyHistogram;
 
 }  // namespace hbtree::serve
 

@@ -1,6 +1,7 @@
 #ifndef HBTREE_SERVE_SERVER_H_
 #define HBTREE_SERVE_SERVER_H_
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -20,6 +21,8 @@
 #include "hybrid/batch_update.h"
 #include "hybrid/bucket_pipeline.h"
 #include "hybrid/hb_regular.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/admission_queue.h"
 #include "serve/latency_histogram.h"
 #include "serve/serve_stats.h"
@@ -41,6 +44,14 @@ struct ServerOptions {
   /// rate fields should come from calibration (see
   /// bench_support/serve_runner.h).
   PipelineConfig pipeline;
+
+  /// GPU sub-buckets per admission bucket. 1 ships each admission bucket
+  /// as a single pipeline bucket (no intra-dispatch overlap); >1 splits
+  /// it so the double-buffered schedule overlaps consecutive sub-buckets'
+  /// H2D/kernel/D2H stages within one dispatch — the paper's Fig. 10
+  /// pipelining applied to serving, and what makes the overlap visible
+  /// on the modelled trace tracks (--trace_out).
+  int pipeline_depth = 1;
 
   /// Batch-update configuration and method (Section 5.6). The default
   /// asynchronous-parallel method matches the epoch-swap design: the
@@ -201,7 +212,7 @@ class Server {
         case PushResult::kOk:
           break;
         case PushResult::kTimeout:
-          shed_updates_.fetch_add(1, std::memory_order_relaxed);
+          shed_updates_.Increment();
           op.done.set_value(UpdateResult{
               Status::DeadlineExceeded("update shed at admission"), 0});
           break;
@@ -241,17 +252,17 @@ class Server {
 
   ServeStats Stats() const {
     ServeStats stats;
-    stats.lookups = lookups_done_.load(std::memory_order_relaxed);
-    stats.ranges = ranges_done_.load(std::memory_order_relaxed);
-    stats.updates = updates_done_.load(std::memory_order_relaxed);
-    stats.read_buckets = read_buckets_.load(std::memory_order_relaxed);
+    stats.lookups = lookups_done_.value();
+    stats.ranges = ranges_done_.value();
+    stats.updates = updates_done_.value();
+    stats.read_buckets = read_buckets_.value();
     stats.update_batches = committed_batches();
     stats.avg_bucket_fill =
         stats.read_buckets > 0
             ? static_cast<double>(stats.lookups) / stats.read_buckets
             : 0;
-    stats.read_latency = read_latency_.Summarize();
-    stats.update_latency = update_latency_.Summarize();
+    stats.read_latency = read_latency_.LifetimeSummary();
+    stats.update_latency = update_latency_.LifetimeSummary();
     stats.wall_seconds =
         std::chrono::duration<double>(Clock::now() - started_at_).count();
     if (stats.wall_seconds > 0) {
@@ -268,25 +279,29 @@ class Server {
     }
     stats.epoch = snapshots_.epoch();
 
-    stats.shed_reads = shed_reads_.load(std::memory_order_relaxed);
-    stats.shed_updates = shed_updates_.load(std::memory_order_relaxed);
-    stats.transfer_retries =
-        transfer_retries_.load(std::memory_order_relaxed);
-    stats.kernel_retries = kernel_retries_.load(std::memory_order_relaxed);
-    stats.sync_retries = sync_retries_.load(std::memory_order_relaxed);
-    stats.device_faults = device_faults_.load(std::memory_order_relaxed);
-    stats.sync_failures = sync_failures_.load(std::memory_order_relaxed);
-    stats.breaker_opens = breaker_opens_.load(std::memory_order_relaxed);
-    stats.breaker_closes = breaker_closes_.load(std::memory_order_relaxed);
-    stats.probe_attempts = probe_attempts_.load(std::memory_order_relaxed);
-    stats.cpu_fallback_buckets =
-        cpu_fallback_buckets_.load(std::memory_order_relaxed);
-    stats.cpu_fallback_lookups =
-        cpu_fallback_lookups_.load(std::memory_order_relaxed);
+    stats.shed_reads = shed_reads_.value();
+    stats.shed_updates = shed_updates_.value();
+    stats.transfer_retries = transfer_retries_.value();
+    stats.kernel_retries = kernel_retries_.value();
+    stats.sync_retries = sync_retries_.value();
+    stats.device_faults = device_faults_.value();
+    stats.sync_failures = sync_failures_.value();
+    stats.breaker_opens = breaker_opens_.value();
+    stats.breaker_closes = breaker_closes_.value();
+    stats.probe_attempts = probe_attempts_.value();
+    stats.cpu_fallback_buckets = cpu_fallback_buckets_.value();
+    stats.cpu_fallback_lookups = cpu_fallback_lookups_.value();
     stats.faults_injected =
         slot_a_.injector.total_injected() + slot_b_.injector.total_injected();
     return stats;
   }
+
+  /// The server's metrics registry: every ServeStats counter above plus
+  /// the device-level `gpusim.*` metrics of both snapshot slots. Hand it
+  /// to obs::MetricsRegistry::ToJson/ToText for export, or CollectWindow()
+  /// for interval rates.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   /// Stops admission, drains both lanes, and joins the workers. Safe to
   /// call more than once.
@@ -365,6 +380,9 @@ class Server {
     if (options_.pipeline.bucket_size <= 0) {
       return Status::InvalidArgument("pipeline.bucket_size must be positive");
     }
+    if (options_.pipeline_depth < 1) {
+      return Status::InvalidArgument("pipeline_depth must be >= 1");
+    }
     if (options_.update_batch_size <= 0) {
       return Status::InvalidArgument("update_batch_size must be positive");
     }
@@ -383,6 +401,10 @@ class Server {
       slot_a_.device.set_fault_injector(&slot_a_.injector);
       slot_b_.device.set_fault_injector(&slot_b_.injector);
     }
+    // Both slots publish into the server's registry: gpusim.* counters
+    // aggregate across the two devices.
+    slot_a_.device.set_metrics_registry(&metrics_);
+    slot_b_.device.set_metrics_registry(&metrics_);
     started_at_ = Clock::now();
     read_worker_ = std::thread([this] { ReadLoop(); });
     update_worker_ = std::thread([this] { UpdateLoop(); });
@@ -401,7 +423,7 @@ class Server {
         case PushResult::kOk:
           break;
         case PushResult::kTimeout: {
-          shed_reads_.fetch_add(1, std::memory_order_relaxed);
+          shed_reads_.Increment();
           ReadResult<K> shed;
           shed.status = Status::DeadlineExceeded("read shed at admission");
           op.done.set_value(std::move(shed));
@@ -426,7 +448,7 @@ class Server {
     return result;
   }
 
-  void RecordLatency(LatencyHistogram* histogram, Clock::time_point start) {
+  void RecordLatency(obs::Histogram* histogram, Clock::time_point start) {
     histogram->Record(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                              start)
@@ -439,13 +461,15 @@ class Server {
     if (slot.breaker_open) return;
     slot.breaker_open = true;
     slot.buckets_since_probe = 0;
-    breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+    breaker_opens_.Increment();
+    HBTREE_TRACE_INSTANT("breaker.open", "serve");
   }
 
   void CloseBreaker(TreeSlot& slot) {
     slot.breaker_open = false;
     slot.consecutive_failures = 0;
-    breaker_closes_.fetch_add(1, std::memory_order_relaxed);
+    breaker_closes_.Increment();
+    HBTREE_TRACE_INSTANT("breaker.close", "serve");
   }
 
   /// One GPU bucket through the fault-tolerant pipeline; false on a
@@ -454,12 +478,22 @@ class Server {
   bool TryGpuBucket(TreeSlot& slot, const std::vector<K>& keys,
                     std::vector<LookupResult<K>>* results) {
     PipelineStats ps;
+    PipelineConfig config = options_.pipeline;
+    if (options_.pipeline_depth > 1) {
+      // Split the batch actually dispatched, not the configured bucket
+      // size: partial admission buckets (shipped by max_batch_delay)
+      // would otherwise fit in one sub-bucket and lose the overlap.
+      const int target = static_cast<int>(
+          (keys.size() + options_.pipeline_depth - 1) /
+          static_cast<std::size_t>(options_.pipeline_depth));
+      config.bucket_size = std::max(
+          1, std::min(options_.pipeline.bucket_size, target));
+    }
     const Status status =
         TryRunSearchPipeline(slot.tree, keys.data(), keys.size(),
-                             options_.pipeline, results, &ps);
-    transfer_retries_.fetch_add(ps.transfer_retries,
-                                std::memory_order_relaxed);
-    kernel_retries_.fetch_add(ps.kernel_retries, std::memory_order_relaxed);
+                             config, results, &ps);
+    transfer_retries_.Add(ps.transfer_retries);
+    kernel_retries_.Add(ps.kernel_retries);
     if (!status.ok()) return false;
     std::lock_guard<std::mutex> lock(sim_mutex_);
     sim_pipeline_us_ += ps.total_us;
@@ -471,7 +505,8 @@ class Server {
   /// results serve the bucket.
   bool ProbeSlot(TreeSlot& slot, const std::vector<K>& keys,
                  std::vector<LookupResult<K>>* results) {
-    probe_attempts_.fetch_add(1, std::memory_order_relaxed);
+    probe_attempts_.Increment();
+    HBTREE_TRACE_INSTANT("breaker.probe", "serve");
     if (!slot.tree.mirror_valid() &&
         !slot.tree.TrySyncISegment().ok()) {
       return false;
@@ -486,6 +521,8 @@ class Server {
   /// silently return pre-update results.
   void DispatchBucket(TreeSlot& slot, const std::vector<K>& keys,
                       std::vector<LookupResult<K>>* results) {
+    HBTREE_TRACE_SPAN_ARG("bucket.dispatch", "serve", "keys",
+                          static_cast<double>(keys.size()));
     if (!slot.breaker_open && !slot.tree.mirror_valid()) OpenBreaker(slot);
 
     if (!slot.breaker_open) {
@@ -493,7 +530,7 @@ class Server {
         slot.consecutive_failures = 0;
         return;
       }
-      device_faults_.fetch_add(1, std::memory_order_relaxed);
+      device_faults_.Increment();
       if (++slot.consecutive_failures >=
           options_.breaker_failure_threshold) {
         OpenBreaker(slot);
@@ -512,11 +549,12 @@ class Server {
     // results.
     PipelinedSearch(slot.tree.host_tree(), keys.data(), keys.size(),
                     options_.cpu_fallback_depth, results->data());
-    cpu_fallback_buckets_.fetch_add(1, std::memory_order_relaxed);
-    cpu_fallback_lookups_.fetch_add(keys.size(), std::memory_order_relaxed);
+    cpu_fallback_buckets_.Increment();
+    cpu_fallback_lookups_.Add(keys.size());
   }
 
   void ReadLoop() {
+    HBTREE_TRACE_THREAD_NAME("serve.read_worker");
     const std::size_t bucket_size =
         static_cast<std::size_t>(options_.pipeline.bucket_size);
     std::vector<ReadOp> batch;
@@ -525,9 +563,13 @@ class Server {
     std::vector<LookupResult<K>> results;
     for (;;) {
       batch.clear();
-      const std::size_t n = read_queue_.PopBatch(
-          &batch, bucket_size, std::chrono::microseconds(10'000),
-          options_.max_batch_delay);
+      std::size_t n;
+      {
+        HBTREE_TRACE_SPAN("bucket.fill", "serve");
+        n = read_queue_.PopBatch(&batch, bucket_size,
+                                 std::chrono::microseconds(10'000),
+                                 options_.max_batch_delay);
+      }
       if (n == 0) {
         if (read_queue_.closed() && read_queue_.size() == 0) return;
         continue;
@@ -539,7 +581,7 @@ class Server {
       std::size_t live = 0;
       for (std::size_t i = 0; i < batch.size(); ++i) {
         if (now > batch[i].deadline) {
-          shed_reads_.fetch_add(1, std::memory_order_relaxed);
+          shed_reads_.Increment();
           ReadResult<K> shed;
           shed.status =
               Status::DeadlineExceeded("read deadline passed in queue");
@@ -584,29 +626,38 @@ class Server {
         }
       }
 
-      read_buckets_.fetch_add(1, std::memory_order_relaxed);
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        const bool is_range = batch[i].max_matches > 0;
-        batch[i].done.set_value(std::move(out[i]));
-        RecordLatency(&read_latency_, batch[i].admitted);
-        if (is_range) {
-          ranges_done_.fetch_add(1, std::memory_order_relaxed);
-        } else {
-          lookups_done_.fetch_add(1, std::memory_order_relaxed);
+      read_buckets_.Increment();
+      {
+        HBTREE_TRACE_SPAN_ARG("bucket.complete", "serve", "ops",
+                              static_cast<double>(batch.size()));
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          const bool is_range = batch[i].max_matches > 0;
+          batch[i].done.set_value(std::move(out[i]));
+          RecordLatency(&read_latency_, batch[i].admitted);
+          if (is_range) {
+            ranges_done_.Increment();
+          } else {
+            lookups_done_.Increment();
+          }
         }
       }
     }
   }
 
   void UpdateLoop() {
+    HBTREE_TRACE_THREAD_NAME("serve.update_worker");
     std::vector<UpdateOp> ops;
     std::vector<UpdateQuery<K>> batch;
     std::vector<std::size_t> live;
     for (;;) {
       ops.clear();
-      const std::size_t n = update_queue_.PopBatch(
-          &ops, static_cast<std::size_t>(options_.update_batch_size),
-          std::chrono::microseconds(10'000), options_.max_batch_delay);
+      std::size_t n;
+      {
+        HBTREE_TRACE_SPAN("update.fill", "serve");
+        n = update_queue_.PopBatch(
+            &ops, static_cast<std::size_t>(options_.update_batch_size),
+            std::chrono::microseconds(10'000), options_.max_batch_delay);
+      }
       if (n == 0) {
         if (update_queue_.closed() && update_queue_.size() == 0) return;
         continue;
@@ -620,7 +671,7 @@ class Server {
       batch.reserve(ops.size());
       for (std::size_t i = 0; i < ops.size(); ++i) {
         if (now > ops[i].deadline) {
-          shed_updates_.fetch_add(1, std::memory_order_relaxed);
+          shed_updates_.Increment();
           ops[i].done.set_value(UpdateResult{
               Status::DeadlineExceeded("update deadline passed in queue"),
               0});
@@ -642,25 +693,31 @@ class Server {
       bool recorded = false;
       Status sync_status = Status::Ok();
       std::uint64_t sync_retries = 0;
-      snapshots_.Publish([&](TreeSlot& slot) {
-        BatchUpdateStats pass;
-        const Status status =
-            TryRunBatchUpdate(slot.tree, batch, options_.update_method,
-                              options_.update, &pass);
-        sync_retries += pass.sync_retries;
-        if (!status.ok() && sync_status.ok()) sync_status = status;
-        if (!recorded) {
-          first_pass = pass;
-          recorded = true;
-        }
-      });
-      sync_retries_.fetch_add(sync_retries, std::memory_order_relaxed);
+      {
+        HBTREE_TRACE_SPAN_ARG("update.commit", "serve", "updates",
+                              static_cast<double>(batch.size()));
+        snapshots_.Publish([&](TreeSlot& slot) {
+          BatchUpdateStats pass;
+          const Status status =
+              TryRunBatchUpdate(slot.tree, batch, options_.update_method,
+                                options_.update, &pass);
+          sync_retries += pass.sync_retries;
+          if (!status.ok() && sync_status.ok()) sync_status = status;
+          if (!recorded) {
+            first_pass = pass;
+            recorded = true;
+          }
+        });
+      }
+      sync_retries_.Add(sync_retries);
       if (!sync_status.ok()) {
-        sync_failures_.fetch_add(1, std::memory_order_relaxed);
+        sync_failures_.Increment();
       }
 
       const std::uint64_t seq =
           committed_batches_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      committed_batches_metric_.Increment();
+      epoch_gauge_.Set(static_cast<double>(snapshots_.epoch()));
       {
         std::lock_guard<std::mutex> lock(sim_mutex_);
         sim_update_us_ += first_pass.total_us;
@@ -671,12 +728,19 @@ class Server {
         UpdateOp& op = ops[idx];
         op.done.set_value(UpdateResult{Status::Ok(), seq});
         RecordLatency(&update_latency_, op.admitted);
-        updates_done_.fetch_add(1, std::memory_order_relaxed);
+        updates_done_.Increment();
       }
     }
   }
 
   ServerOptions options_;
+
+  /// Owns every serving counter/histogram plus the slots' gpusim.*
+  /// metrics. Declared before the tree slots: slot destructors release
+  /// device memory, which updates the used-bytes gauge, so the registry
+  /// must outlive them.
+  obs::MetricsRegistry metrics_;
+
   AdmissionQueue<ReadOp> read_queue_;
   AdmissionQueue<UpdateOp> update_queue_;
   TreeSlot slot_a_;
@@ -686,28 +750,42 @@ class Server {
   std::thread read_worker_;
   std::thread update_worker_;
   std::atomic<bool> stopped_{false};
-  Clock::time_point started_at_;
+  // Initialized at declaration (not only in Init()) so Stats() on a
+  // partially constructed server can never divide by a garbage duration.
+  Clock::time_point started_at_ = Clock::now();
 
-  std::atomic<std::uint64_t> lookups_done_{0};
-  std::atomic<std::uint64_t> ranges_done_{0};
-  std::atomic<std::uint64_t> updates_done_{0};
-  std::atomic<std::uint64_t> read_buckets_{0};
+  // Metric handles into metrics_ (declared above, before the slots).
+  // Update hot paths cost exactly what the raw std::atomic members they
+  // replaced did (one relaxed RMW).
+  obs::Counter& lookups_done_ = metrics_.counter("serve.lookups");
+  obs::Counter& ranges_done_ = metrics_.counter("serve.ranges");
+  obs::Counter& updates_done_ = metrics_.counter("serve.updates");
+  obs::Counter& read_buckets_ = metrics_.counter("serve.read_buckets");
+  // Stays a raw atomic: the commit-sequence handoff needs acq_rel RMW
+  // semantics the registry's relaxed counters deliberately do not offer.
   std::atomic<std::uint64_t> committed_batches_{0};
-  LatencyHistogram read_latency_;
-  LatencyHistogram update_latency_;
+  obs::Counter& committed_batches_metric_ =
+      metrics_.counter("serve.committed_batches");
+  obs::Gauge& epoch_gauge_ = metrics_.gauge("serve.epoch");
+  obs::Histogram& read_latency_ = metrics_.histogram("serve.read_latency");
+  obs::Histogram& update_latency_ =
+      metrics_.histogram("serve.update_latency");
 
-  std::atomic<std::uint64_t> shed_reads_{0};
-  std::atomic<std::uint64_t> shed_updates_{0};
-  std::atomic<std::uint64_t> transfer_retries_{0};
-  std::atomic<std::uint64_t> kernel_retries_{0};
-  std::atomic<std::uint64_t> sync_retries_{0};
-  std::atomic<std::uint64_t> device_faults_{0};
-  std::atomic<std::uint64_t> sync_failures_{0};
-  std::atomic<std::uint64_t> breaker_opens_{0};
-  std::atomic<std::uint64_t> breaker_closes_{0};
-  std::atomic<std::uint64_t> probe_attempts_{0};
-  std::atomic<std::uint64_t> cpu_fallback_buckets_{0};
-  std::atomic<std::uint64_t> cpu_fallback_lookups_{0};
+  obs::Counter& shed_reads_ = metrics_.counter("serve.shed_reads");
+  obs::Counter& shed_updates_ = metrics_.counter("serve.shed_updates");
+  obs::Counter& transfer_retries_ =
+      metrics_.counter("serve.transfer_retries");
+  obs::Counter& kernel_retries_ = metrics_.counter("serve.kernel_retries");
+  obs::Counter& sync_retries_ = metrics_.counter("serve.sync_retries");
+  obs::Counter& device_faults_ = metrics_.counter("serve.device_faults");
+  obs::Counter& sync_failures_ = metrics_.counter("serve.sync_failures");
+  obs::Counter& breaker_opens_ = metrics_.counter("serve.breaker_opens");
+  obs::Counter& breaker_closes_ = metrics_.counter("serve.breaker_closes");
+  obs::Counter& probe_attempts_ = metrics_.counter("serve.probe_attempts");
+  obs::Counter& cpu_fallback_buckets_ =
+      metrics_.counter("serve.cpu_fallback_buckets");
+  obs::Counter& cpu_fallback_lookups_ =
+      metrics_.counter("serve.cpu_fallback_lookups");
 
   mutable std::mutex sim_mutex_;
   double sim_pipeline_us_ = 0;

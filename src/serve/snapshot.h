@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "core/macros.h"
+#include "obs/trace.h"
 
 namespace hbtree::serve {
 
@@ -106,6 +107,8 @@ class SnapshotPair {
   /// serving layer has exactly one update thread).
   template <typename Fn>
   void Publish(Fn&& mutate) {
+    HBTREE_TRACE_SPAN_ARG("snapshot.publish", "serve", "epoch",
+                          epoch_.load(std::memory_order_relaxed));
     const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
     const int standby = static_cast<int>((epoch + 1) & 1);
     mutate(*slots_[standby]);
@@ -116,7 +119,10 @@ class SnapshotPair {
     // guaranteed to see the new epoch in its revalidation and back off
     // this slot.
     epoch_.store(epoch + 1, std::memory_order_seq_cst);
-    WaitForDrain(static_cast<int>(epoch & 1));
+    {
+      HBTREE_TRACE_SPAN("snapshot.drain", "serve");
+      WaitForDrain(static_cast<int>(epoch & 1));
+    }
     // Catch up the old active (now standby) so the next Publish starts
     // from a converged pair.
     mutate(*slots_[static_cast<int>(epoch & 1)]);

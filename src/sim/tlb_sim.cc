@@ -25,9 +25,9 @@ TlbSim::TlbSim(const Config& config, const PageRegistry* registry)
 
 int TlbSim::Access(const void* addr) {
   ++accesses_;
-  const PageSize size = registry_->Lookup(addr);
-  const std::uint64_t page =
-      reinterpret_cast<std::uintptr_t>(addr) / PageBytes(size);
+  const PageRegistry::Translation t = registry_->Translate(addr);
+  const PageSize size = t.page_size;
+  const std::uint64_t page = t.page;
   bool hit;
   switch (size) {
     case PageSize::k4K:

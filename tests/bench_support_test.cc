@@ -6,6 +6,7 @@
 #include "bench_support/args.h"
 #include "bench_support/calibrate.h"
 #include "bench_support/harness.h"
+#include "bench_support/report.h"
 #include "bench_support/table.h"
 #include "cpubtree/implicit_btree.h"
 
@@ -83,6 +84,72 @@ TEST(Calibrate, LeafRateExceedsFullSearchRate) {
     EXPECT_GT(rates.descend_us_by_depth[d],
               rates.descend_us_by_depth[d - 1]);
   }
+}
+
+TEST(BenchReport, RowsKeepInsertionOrderInJson) {
+  BenchReport report("unit");
+  report.Meta("platform", "m1");
+  report.MetaNum("n", 1024);
+  report.AddRow().Num("mqps", 12.5, 1).Text("mode", "sync");
+  report.AddRow().Num("mqps", 31.25, 2);
+  const std::string json = report.ToJson();
+  EXPECT_EQ(json.rfind("{\"schema\":\"hbtree.bench.v1\"", 0), 0u);
+  EXPECT_NE(json.find("\"bench\":\"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"platform\":\"m1\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\":1024"), std::string::npos);
+  // JSON keeps full precision regardless of the console precision.
+  EXPECT_NE(json.find("\"mqps\":12.5"), std::string::npos);
+  EXPECT_NE(json.find("\"mqps\":31.25"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\":\"sync\""), std::string::npos);
+  // No metrics argument, no metrics key.
+  EXPECT_EQ(json.find("\"metrics\""), std::string::npos);
+}
+
+TEST(BenchReport, AddServeStatsRowUsesCanonicalColumns) {
+  serve::ServeStats stats;
+  stats.reads_per_second = 1000;
+  stats.transfer_retries = 2;
+  stats.kernel_retries = 1;
+  stats.sync_retries = 4;
+  stats.shed_reads = 3;
+  stats.shed_updates = 2;
+  BenchReport report("unit");
+  BenchReport::Row& row = report.AddRow();
+  row.Num("fault_rate", 0.1, 2);
+  report.AddServeStatsRow(row, stats);
+  const std::string json = report.ToJson();
+  // The canonical serving column set — every serve bench emits exactly
+  // these names, so downstream tooling never chases renamed columns.
+  for (const char* column :
+       {"fault_rate", "reads_per_s", "updates_per_s", "read_p50_us",
+        "read_p99_us", "retries", "device_faults", "breaker_opens",
+        "breaker_closes", "cpu_fallback_buckets", "shed"}) {
+    EXPECT_NE(json.find(std::string("\"") + column + "\":"),
+              std::string::npos)
+        << column;
+  }
+  EXPECT_NE(json.find("\"retries\":7"), std::string::npos);  // 2 + 1 + 4
+  EXPECT_NE(json.find("\"shed\":5"), std::string::npos);     // 3 + 2
+}
+
+TEST(BenchReport, EmbedsMetricsSnapshot) {
+  obs::MetricsRegistry registry;
+  registry.counter("unit.ops").Add(9);
+  BenchReport report("unit");
+  report.AddRow().Num("x", 1, 0);
+  const obs::MetricsSnapshot snapshot = registry.Collect();
+  const std::string json = report.ToJson(&snapshot);
+  EXPECT_NE(json.find("\"metrics\":{\"schema\":\"hbtree.metrics.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"unit.ops\":9"), std::string::npos);
+}
+
+TEST(BenchReport, AddRowReferencesSurviveGrowth) {
+  BenchReport report("unit");
+  BenchReport::Row& first = report.AddRow();
+  for (int i = 0; i < 100; ++i) report.AddRow().Num("i", i, 0);
+  first.Num("late", 7, 0);  // must not be a dangling reference
+  EXPECT_NE(report.ToJson().find("\"late\":7"), std::string::npos);
 }
 
 TEST(Calibrate, RebuildModelScalesLinearly) {

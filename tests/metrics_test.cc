@@ -1,0 +1,201 @@
+// Metrics registry tests: concurrent counter increments (meaningful under
+// TSan), windowed-snapshot correctness, histogram percentiles against a
+// sorted reference, LatencyHistogram merge/reset, and the no-NaN JSON
+// guarantee the validator relies on.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "serve/serve_stats.h"
+
+namespace hbtree::obs {
+namespace {
+
+TEST(Counter, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter& hits = registry.counter("test.hits");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) hits.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hits.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.Collect().counter_or("test.hits"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Counter, SameNameReturnsSameInstance) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("test.c");
+  Counter& b = registry.counter("test.c");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(MetricsRegistry, WindowedCountersReportDeltas) {
+  MetricsRegistry registry;
+  Counter& ops = registry.counter("test.ops");
+  ops.Add(5);
+  MetricsSnapshot w1 = registry.CollectWindow();
+  EXPECT_TRUE(w1.windowed);
+  EXPECT_EQ(w1.counter_or("test.ops"), 5u);
+
+  ops.Add(7);
+  MetricsSnapshot w2 = registry.CollectWindow();
+  EXPECT_EQ(w2.counter_or("test.ops"), 7u);
+
+  // An idle window reports zero, not the lifetime total.
+  MetricsSnapshot w3 = registry.CollectWindow();
+  EXPECT_EQ(w3.counter_or("test.ops"), 0u);
+
+  // Lifetime collection is unaffected by window rolls.
+  EXPECT_EQ(registry.Collect().counter_or("test.ops"), 12u);
+}
+
+TEST(MetricsRegistry, WindowedHistogramsReportIntervalOnly) {
+  MetricsRegistry registry;
+  Histogram& lat = registry.histogram("test.latency");
+  for (int i = 0; i < 100; ++i) lat.Record(1'000);
+  MetricsSnapshot w1 = registry.CollectWindow();
+  ASSERT_EQ(w1.histograms.size(), 1u);
+  EXPECT_EQ(w1.histograms[0].second.count, 100u);
+
+  for (int i = 0; i < 40; ++i) lat.Record(2'000);
+  MetricsSnapshot w2 = registry.CollectWindow();
+  EXPECT_EQ(w2.histograms[0].second.count, 40u);
+
+  // Lifetime folds every window plus the live interval.
+  MetricsSnapshot lifetime = registry.Collect();
+  EXPECT_EQ(lifetime.histograms[0].second.count, 140u);
+  EXPECT_EQ(lat.count(), 140u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("test.level");
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(0.75);
+  EXPECT_EQ(g.value(), 0.75);
+  g.Set(-3.5);
+  EXPECT_EQ(registry.Collect().gauges[0].second, -3.5);
+}
+
+TEST(Histogram, PercentilesTrackSortedReference) {
+  // Log-normal-ish latencies; the histogram's 4-sub-buckets-per-octave
+  // resolution bounds any value's attribution error at ~12.5%.
+  std::mt19937_64 rng(42);
+  std::lognormal_distribution<double> dist(10.0, 0.8);  // ~22us median
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test.lat");
+  std::vector<std::uint64_t> samples;
+  samples.reserve(20'000);
+  for (int i = 0; i < 20'000; ++i) {
+    const auto ns = static_cast<std::uint64_t>(dist(rng));
+    samples.push_back(ns);
+    h.Record(ns);
+  }
+  std::sort(samples.begin(), samples.end());
+  const auto reference = [&](double q) {
+    return samples[static_cast<std::size_t>(q * (samples.size() - 1))] / 1e3;
+  };
+  const LatencySummary s = h.LifetimeSummary();
+  EXPECT_EQ(s.count, samples.size());
+  EXPECT_NEAR(s.p50_us, reference(0.50), reference(0.50) * 0.15);
+  EXPECT_NEAR(s.p90_us, reference(0.90), reference(0.90) * 0.15);
+  EXPECT_NEAR(s.p99_us, reference(0.99), reference(0.99) * 0.15);
+  EXPECT_DOUBLE_EQ(s.max_us, samples.back() / 1e3);
+  EXPECT_LE(s.p50_us, s.p90_us);
+  EXPECT_LE(s.p90_us, s.p99_us);
+  EXPECT_LE(s.p99_us, s.max_us);
+}
+
+TEST(Histogram, ConcurrentRecordsKeepTotalCount) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test.lat");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<std::uint64_t>(100 + t * 1000 + i % 97));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.LifetimeSummary().count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(LatencyHistogram, MergeFromAddsCountsAndPropagatesMax) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(1'000);
+  for (int i = 0; i < 50; ++i) b.Record(8'000);
+  b.Record(1'000'000);
+  a.MergeFrom(b);
+  const LatencySummary s = a.Summarize();
+  EXPECT_EQ(s.count, 151u);
+  EXPECT_DOUBLE_EQ(s.max_us, 1'000.0);
+  EXPECT_EQ(b.count(), 51u);  // source untouched
+}
+
+TEST(LatencyHistogram, ResetZeroesEverything) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.Record(5'000);
+  h.Reset();
+  const LatencySummary s = h.Summarize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.max_us, 0.0);
+  EXPECT_EQ(s.mean_us, 0.0);
+}
+
+TEST(MetricsRegistry, JsonIsFiniteAndNonFiniteBecomesNull) {
+  MetricsRegistry registry;
+  registry.counter("test.ops").Add(3);
+  registry.gauge("test.ok").Set(1.5);
+  registry.histogram("test.lat").Record(1'000);
+  // An empty histogram must serialize as zeros, not NaN.
+  registry.histogram("test.empty");
+  std::string json = MetricsRegistry::ToJson(registry.Collect());
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"hbtree.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.ops\":3"), std::string::npos);
+
+  // A poisoned gauge serializes as null — the validator fails loudly
+  // instead of a downstream parser choking on a bare NaN token.
+  registry.gauge("test.poisoned")
+      .Set(std::numeric_limits<double>::quiet_NaN());
+  json = MetricsRegistry::ToJson(registry.Collect());
+  EXPECT_NE(json.find("\"test.poisoned\":null"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+TEST(ServeStats, DefaultStatsHaveFiniteRates) {
+  // The serving layer guards wall_seconds == 0; the struct itself must
+  // start finite so an immediately-collected Stats() never reports NaN.
+  serve::ServeStats stats;
+  EXPECT_TRUE(std::isfinite(stats.reads_per_second));
+  EXPECT_TRUE(std::isfinite(stats.updates_per_second));
+  EXPECT_EQ(stats.reads_per_second, 0.0);
+  const std::string text = stats.ToString();
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hbtree::obs
