@@ -9,7 +9,9 @@
 // Flags: --n_log2 (tree size), --clients (lookup threads), --lookups
 // (per client), --updates (total update stream), --bucket_log2,
 // --retries (device retry budget), --deadline_us (per-request deadline,
-// 0 = none), --platform, --seed, --metrics_json (hbtree.bench.v1 JSON
+// 0 = none), --shards / --read_workers (serving topology; creation
+// fails loudly if the per-shard trees exceed the device arena backing),
+// --platform, --seed, --metrics_json (hbtree.bench.v1 JSON
 // with the last run's metrics embedded), --trace_out (Chrome trace JSON
 // covering all three fault-rate runs — breaker open/close show up as
 // instants, bucket stages on the modelled resource tracks).
@@ -61,6 +63,9 @@ int Main(int argc, char** argv) {
   base_options.pipeline_depth =
       static_cast<int>(args.GetInt("pipeline_depth", 4));
   base_options.default_deadline = deadline;
+  base_options.num_shards = static_cast<int>(args.GetInt("shards", 1));
+  base_options.num_read_workers =
+      static_cast<int>(args.GetInt("read_workers", 1));
   auto queries = MakeLookupQueries(data, seed + 2);
   auto updates = MakeUpdateBatch(data, total_updates,
                                  /*insert_fraction=*/0.7, seed + 3);
@@ -79,7 +84,9 @@ int Main(int argc, char** argv) {
     Status status;
     auto server_ptr = serve::Server<Key64>::Create(options, data, &status);
     if (server_ptr == nullptr) {
-      std::fprintf(stderr, "server creation failed: %s\n",
+      std::fprintf(stderr,
+                   "server creation failed (shards=%d, read_workers=%d): %s\n",
+                   options.num_shards, options.num_read_workers,
                    status.message().c_str());
       return 1;
     }

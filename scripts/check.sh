@@ -7,6 +7,8 @@
 #   scripts/check.sh fault      # + fault-injection smoke under asan and tsan
 #   scripts/check.sh obs        # + observability smoke: fault-injected serve
 #                               #   bench, metrics JSON + trace validation
+#   scripts/check.sh shard      # + sharded serving stress under asan and
+#                               #   tsan, plus a multi-shard bench smoke
 #   scripts/check.sh all        # all of the above
 #
 # The release pass is the acceptance gate every change must keep green;
@@ -39,8 +41,33 @@ run_tsan() {
   # Only the concurrent suites matter under TSan; building just those
   # targets keeps the pass affordable on small machines.
   cmake --build --preset tsan -j "$jobs" --target serve_stress_test \
-      serve_fault_test metrics_test trace_export_test
-  (cd build-tsan && ctest -R 'serve_(stress|fault)_test|metrics_test|trace_export_test' --output-on-failure)
+      serve_shard_stress_test serve_fault_test metrics_test trace_export_test
+  (cd build-tsan && ctest -R 'serve_(stress|shard_stress|fault)_test|metrics_test|trace_export_test' --output-on-failure)
+}
+
+run_shard() {
+  echo "==> sharded serving stress (asan + tsan) + multi-shard bench smoke"
+  # The sharded suite is the data-race magnet of the serving layer:
+  # multiple read workers per shard against one pinned snapshot and its
+  # shared simulated device, plus per-shard update committers.
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$jobs" --target serve_shard_stress_test
+  (cd build-asan && ctest -R serve_shard_stress_test --output-on-failure)
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$jobs" --target serve_shard_stress_test
+  (cd build-tsan && ctest -R serve_shard_stress_test --output-on-failure)
+  # Short 4-shard x 2-worker bench run: exercises the sweep plumbing and
+  # the modelled-capacity column end to end.
+  cmake --preset release >/dev/null
+  cmake --build --preset release -j "$jobs" --target serve_throughput
+  ./build/bench/serve_throughput --n_log2=16 --lookups=8192 --updates=4096 \
+      --shards=4 --read_workers=2 \
+      --metrics_json=build/SHARD_smoke.json
+  python3 scripts/validate_metrics.py \
+      --require-counter serve.lookups \
+      --require-counter serve.shard0.read_buckets \
+      --require-counter serve.shard3.read_buckets \
+      build/SHARD_smoke.json
 }
 
 run_fault() {
@@ -88,8 +115,9 @@ case "$mode" in
   tsan)    run_release; run_tsan; run_obs ;;
   fault)   run_release; run_fault ;;
   obs)     run_release; run_obs ;;
-  all)     run_release; run_asan; run_tsan; run_fault; run_obs ;;
-  *) echo "usage: scripts/check.sh [release|asan|tsan|fault|obs|all]" >&2; exit 2 ;;
+  shard)   run_release; run_shard ;;
+  all)     run_release; run_asan; run_tsan; run_fault; run_obs; run_shard ;;
+  *) echo "usage: scripts/check.sh [release|asan|tsan|fault|obs|shard|all]" >&2; exit 2 ;;
 esac
 
 echo "==> all requested checks passed"

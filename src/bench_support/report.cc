@@ -47,10 +47,14 @@ BenchReport::Row& BenchReport::AddRow() {
 
 BenchReport::Row& BenchReport::AddServeStatsRow(
     Row& row, const serve::ServeStats& stats) {
-  row.Num("reads_per_s", stats.reads_per_second, 0)
+  row.Num("shards", stats.num_shards, 0)
+      .Num("read_workers", stats.num_read_workers, 0)
+      .Num("reads_per_s", stats.reads_per_second, 0)
       .Num("updates_per_s", stats.updates_per_second, 0)
       .Num("read_p50_us", stats.read_latency.p50_us, 1)
       .Num("read_p99_us", stats.read_latency.p99_us, 1)
+      .Num("queue_wait_p99_us", stats.queue_wait.p99_us, 1)
+      .Num("modelled_ops_per_s", stats.modelled_ops_per_second, 0)
       .Num("retries",
            static_cast<double>(stats.transfer_retries + stats.kernel_retries +
                                stats.sync_retries),

@@ -52,11 +52,13 @@ class BenchReport {
   Row& AddRow();
 
   /// The canonical serving-layer column set, in canonical order:
-  /// reads_per_s, updates_per_s, read_p50_us, read_p99_us, retries
-  /// (transfer + kernel + sync), device_faults, breaker_opens,
-  /// breaker_closes, cpu_fallback_buckets, shed (reads + updates).
-  /// Callers may prepend their sweep variable before calling and append
-  /// extra columns after.
+  /// shards, read_workers, reads_per_s, updates_per_s, read_p50_us,
+  /// read_p99_us, queue_wait_p99_us, modelled_ops_per_s (modelled
+  /// serving capacity — total ops over the busiest shard's modelled busy
+  /// time), retries (transfer + kernel + sync), device_faults,
+  /// breaker_opens, breaker_closes, cpu_fallback_buckets, shed (reads +
+  /// updates). Callers may prepend their sweep variable before calling
+  /// and append extra columns after.
   Row& AddServeStatsRow(Row& row, const serve::ServeStats& stats);
 
   /// Console table over the union of row columns (first-appearance

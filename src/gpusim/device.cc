@@ -11,6 +11,19 @@ Device::Device(const sim::GpuSpec& spec)
       l2_(sim::CacheLevel::Config{"gpu-l2", spec.l2_bytes,
                                   spec.l2_associativity, 64}) {}
 
+Device::~Device() {
+  const std::uint32_t count = slot_count_.load(std::memory_order_acquire);
+  for (std::uint32_t chunk_index = 0; chunk_index * kChunkSlots < count;
+       ++chunk_index) {
+    Allocation* chunk = chunks_[chunk_index].load(std::memory_order_acquire);
+    if (chunk == nullptr) continue;
+    for (std::uint32_t i = 0; i < kChunkSlots; ++i) {
+      delete[] chunk[i].data.load(std::memory_order_acquire);
+    }
+    delete[] chunk;
+  }
+}
+
 void Device::set_metrics_registry(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     metrics_ = DeviceMetrics{};
@@ -22,7 +35,8 @@ void Device::set_metrics_registry(obs::MetricsRegistry* registry) {
   metrics_.kernel_launches = &registry->counter("gpusim.kernel_launches");
   metrics_.occupancy = &registry->gauge("gpusim.occupancy");
   metrics_.used_bytes = &registry->gauge("gpusim.device_used_bytes");
-  metrics_.used_bytes->Set(static_cast<double>(used_));
+  metrics_.used_bytes->Set(
+      static_cast<double>(used_.load(std::memory_order_relaxed)));
 }
 
 bool Device::AccessL2(DevicePtr ptr) {
@@ -30,78 +44,110 @@ bool Device::AccessL2(DevicePtr ptr) {
   // bits — distinct allocations can never alias.
   const std::uint64_t segment =
       (static_cast<std::uint64_t>(ptr.alloc_id) << 40) | (ptr.offset / 64);
+  std::lock_guard<std::mutex> lock(l2_mutex_);
   return l2_.Access(segment);
 }
 
 DevicePtr Device::TryMalloc(std::size_t bytes) {
-  if (bytes == 0 || used_ + bytes > spec_.memory_bytes) return DevicePtr{};
+  if (bytes == 0) return DevicePtr{};
+  std::lock_guard<std::mutex> lock(arena_mutex_);
+  if (used_.load(std::memory_order_relaxed) + bytes > spec_.memory_bytes) {
+    return DevicePtr{};
+  }
   if (injector_ != nullptr &&
       injector_->ShouldFail(fault::Site::kDeviceAlloc)) {
     return DevicePtr{};
   }
-  Allocation alloc;
-  alloc.data = std::make_unique<std::byte[]>(bytes);
-  alloc.size = bytes;
-  alloc.live = true;
-  used_ += bytes;
-  if (metrics_.used_bytes != nullptr) {
-    metrics_.used_bytes->Set(static_cast<double>(used_));
-  }
-  // Reuse a dead slot if available to keep ids bounded.
-  for (std::size_t i = 0; i < allocations_.size(); ++i) {
-    if (!allocations_[i].live) {
-      allocations_[i] = std::move(alloc);
-      return DevicePtr{static_cast<std::uint32_t>(i), 0};
+
+  // Reuse a dead slot if available to keep ids bounded; otherwise claim
+  // the next high-water slot, growing the chunk table as needed.
+  std::uint32_t id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    id = slot_count_.load(std::memory_order_relaxed);
+    HBTREE_CHECK_MSG(id < kMaxChunks * kChunkSlots,
+                     "device allocation table exhausted (%u slots)", id);
+    const std::uint32_t chunk_index = id >> kChunkShift;
+    if (chunks_[chunk_index].load(std::memory_order_relaxed) == nullptr) {
+      chunks_[chunk_index].store(new Allocation[kChunkSlots],
+                                 std::memory_order_release);
     }
+    slot_count_.store(id + 1, std::memory_order_release);
   }
-  allocations_.push_back(std::move(alloc));
-  return DevicePtr{static_cast<std::uint32_t>(allocations_.size() - 1), 0};
+
+  Allocation& slot =
+      chunks_[id >> kChunkShift].load(std::memory_order_relaxed)
+          [id & (kChunkSlots - 1)];
+  slot.size.store(bytes, std::memory_order_relaxed);
+  // Publication point: readers acquire on `data` and then see `size`.
+  slot.data.store(new std::byte[bytes], std::memory_order_release);
+  used_.fetch_add(bytes, std::memory_order_relaxed);
+  if (metrics_.used_bytes != nullptr) {
+    metrics_.used_bytes->Set(
+        static_cast<double>(used_.load(std::memory_order_relaxed)));
+  }
+  return DevicePtr{id, 0};
 }
 
 DevicePtr Device::Malloc(std::size_t bytes) {
   DevicePtr ptr = TryMalloc(bytes);
   HBTREE_CHECK_MSG(!ptr.is_null(),
                    "device out of memory: requested %zu, used %zu of %zu",
-                   bytes, used_, static_cast<std::size_t>(spec_.memory_bytes));
+                   bytes, used_.load(std::memory_order_relaxed),
+                   static_cast<std::size_t>(spec_.memory_bytes));
   return ptr;
 }
 
 void Device::Free(DevicePtr ptr) {
   if (ptr.is_null()) return;
-  HBTREE_CHECK(ptr.alloc_id < allocations_.size());
-  Allocation& alloc = allocations_[ptr.alloc_id];
-  HBTREE_CHECK(alloc.live);
+  std::lock_guard<std::mutex> lock(arena_mutex_);
+  Allocation& slot = SlotRef(ptr);
+  std::byte* data = slot.data.load(std::memory_order_relaxed);
+  HBTREE_CHECK(data != nullptr);
   HBTREE_CHECK_MSG(ptr.offset == 0, "Free requires the allocation base");
-  used_ -= alloc.size;
-  alloc.data.reset();
-  alloc.size = 0;
-  alloc.live = false;
+  const std::size_t bytes = slot.size.load(std::memory_order_relaxed);
+  slot.data.store(nullptr, std::memory_order_release);
+  slot.size.store(0, std::memory_order_relaxed);
+  delete[] data;
+  free_slots_.push_back(ptr.alloc_id);
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
   if (metrics_.used_bytes != nullptr) {
-    metrics_.used_bytes->Set(static_cast<double>(used_));
+    metrics_.used_bytes->Set(
+        static_cast<double>(used_.load(std::memory_order_relaxed)));
   }
 }
 
-const Device::Allocation& Device::Resolve(DevicePtr ptr) const {
+Device::Allocation& Device::SlotRef(DevicePtr ptr) const {
   HBTREE_CHECK(!ptr.is_null());
-  HBTREE_CHECK(ptr.alloc_id < allocations_.size());
-  const Allocation& alloc = allocations_[ptr.alloc_id];
-  HBTREE_CHECK(alloc.live);
-  HBTREE_CHECK(ptr.offset <= alloc.size);
-  return alloc;
+  HBTREE_CHECK(ptr.alloc_id < slot_count_.load(std::memory_order_acquire));
+  Allocation* chunk =
+      chunks_[ptr.alloc_id >> kChunkShift].load(std::memory_order_acquire);
+  HBTREE_CHECK(chunk != nullptr);
+  return chunk[ptr.alloc_id & (kChunkSlots - 1)];
 }
 
 std::byte* Device::HostView(DevicePtr ptr) {
-  const Allocation& alloc = Resolve(ptr);
-  return alloc.data.get() + ptr.offset;
+  Allocation& slot = SlotRef(ptr);
+  std::byte* data = slot.data.load(std::memory_order_acquire);
+  HBTREE_CHECK(data != nullptr);
+  HBTREE_CHECK(ptr.offset <= slot.size.load(std::memory_order_relaxed));
+  return data + ptr.offset;
 }
 
 const std::byte* Device::HostView(DevicePtr ptr) const {
-  const Allocation& alloc = Resolve(ptr);
-  return alloc.data.get() + ptr.offset;
+  Allocation& slot = SlotRef(ptr);
+  std::byte* data = slot.data.load(std::memory_order_acquire);
+  HBTREE_CHECK(data != nullptr);
+  HBTREE_CHECK(ptr.offset <= slot.size.load(std::memory_order_relaxed));
+  return data + ptr.offset;
 }
 
 std::size_t Device::AllocationSize(DevicePtr ptr) const {
-  return Resolve(ptr).size;
+  Allocation& slot = SlotRef(ptr);
+  HBTREE_CHECK(slot.data.load(std::memory_order_acquire) != nullptr);
+  return slot.size.load(std::memory_order_relaxed);
 }
 
 TransferEngine::TransferEngine(Device* device, const sim::PcieSpec& pcie)
@@ -112,8 +158,8 @@ TransferEngine::TransferEngine(Device* device, const sim::PcieSpec& pcie)
 double TransferEngine::CopyToDevice(DevicePtr dst, const void* src,
                                     std::size_t bytes) {
   std::memcpy(device_->HostView(dst), src, bytes);
-  bytes_h2d_ += bytes;
-  ++transfers_;
+  bytes_h2d_.fetch_add(bytes, std::memory_order_relaxed);
+  transfers_.fetch_add(1, std::memory_order_relaxed);
   if (const Device::DeviceMetrics* m = device_->metrics()) {
     m->bytes_h2d->Add(bytes);
     m->transfers->Increment();
@@ -124,8 +170,8 @@ double TransferEngine::CopyToDevice(DevicePtr dst, const void* src,
 double TransferEngine::CopyToHost(void* dst, DevicePtr src,
                                   std::size_t bytes) {
   std::memcpy(dst, device_->HostView(src), bytes);
-  bytes_d2h_ += bytes;
-  ++transfers_;
+  bytes_d2h_.fetch_add(bytes, std::memory_order_relaxed);
+  transfers_.fetch_add(1, std::memory_order_relaxed);
   if (const Device::DeviceMetrics* m = device_->metrics()) {
     m->bytes_d2h->Add(bytes);
     m->transfers->Increment();
@@ -165,8 +211,8 @@ double TransferEngine::CopyOnDevice(DevicePtr dst, DevicePtr src,
 double TransferEngine::StreamedCopyToDevice(DevicePtr dst, const void* src,
                                             std::size_t bytes) {
   std::memcpy(device_->HostView(dst), src, bytes);
-  bytes_h2d_ += bytes;
-  ++transfers_;
+  bytes_h2d_.fetch_add(bytes, std::memory_order_relaxed);
+  transfers_.fetch_add(1, std::memory_order_relaxed);
   if (const Device::DeviceMetrics* m = device_->metrics()) {
     m->bytes_h2d->Add(bytes);
     m->transfers->Increment();

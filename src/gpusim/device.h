@@ -1,9 +1,11 @@
 #ifndef HBTREE_GPUSIM_DEVICE_H_
 #define HBTREE_GPUSIM_DEVICE_H_
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/status.h"
@@ -39,9 +41,29 @@ struct DevicePtr {
 /// memory capacity", Section 1). Allocation fails exactly as cudaMalloc
 /// would when the I-segment (or a whole tree, for the pure-GPU strawman)
 /// does not fit into the 3 GB of a GTX 780.
+///
+/// Thread safety: one device is shared by every read worker dispatching
+/// against a pinned snapshot slot, so the arena is concurrent-safe.
+/// - TryMalloc/Free/Malloc mutate slot bookkeeping under `arena_mutex_`.
+/// - HostView/AllocationSize are lock-free: allocation slots live in
+///   chunked stable storage and publish their backing buffer with a
+///   release store, so readers need only an acquire load. The caller
+///   contract matches real CUDA: accessing an allocation concurrently
+///   with its Free is undefined (the serving layer guarantees this
+///   structurally — snapshot drain before mutation, and an exclusive
+///   probe lock around mirror resyncs).
+/// - AccessL2 serializes on `l2_mutex_`: the L2 is one physical resource,
+///   so concurrent kernel streams interleave their segment accesses in
+///   arrival order (see DESIGN.md §9 for the modelled-time semantics).
+/// - set_fault_injector/set_metrics_registry are setup-time calls and
+///   must not race device traffic.
 class Device {
  public:
   explicit Device(const sim::GpuSpec& spec);
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
 
   /// Allocates device memory; returns a null pointer if `bytes` does not
   /// fit into the remaining capacity (the CUDA out-of-memory analogue) or
@@ -86,7 +108,7 @@ class Device {
 
   /// Host-visible backing storage of an allocation (+offset). Used by the
   /// functional kernel executor and the transfer engine — the moral
-  /// equivalent of the GDDR behind a device pointer.
+  /// equivalent of the GDDR behind a device pointer. Lock-free.
   std::byte* HostView(DevicePtr ptr);
   const std::byte* HostView(DevicePtr ptr) const;
 
@@ -101,29 +123,56 @@ class Device {
 
   std::size_t AllocationSize(DevicePtr ptr) const;
 
-  std::size_t used_bytes() const { return used_; }
+  std::size_t used_bytes() const {
+    return used_.load(std::memory_order_relaxed);
+  }
   std::size_t capacity_bytes() const { return spec_.memory_bytes; }
   const sim::GpuSpec& spec() const { return spec_; }
 
   /// Simulates one 64-byte-segment access through the device L2; returns
   /// true on hit (the segment does not consume DRAM bandwidth). Keyed by
-  /// (allocation, segment) so distinct allocations never alias.
+  /// (allocation, segment) so distinct allocations never alias. The L2 is
+  /// one physical resource: concurrent streams serialize on an internal
+  /// mutex and interleave in arrival order.
   bool AccessL2(DevicePtr ptr);
+  /// Direct L2 access for single-threaded inspection (tests, reports);
+  /// not synchronized against concurrent AccessL2 traffic.
   sim::CacheLevel& l2() { return l2_; }
 
  private:
+  /// One allocation slot. Slots live in chunked stable storage so a
+  /// reader holding an id can resolve it without a lock while other
+  /// threads allocate (which may add chunks but never moves a slot).
+  /// `data` doubles as the liveness flag (null == dead) and is the
+  /// release/acquire publication point for `size` and the buffer
+  /// contents written before publication.
   struct Allocation {
-    std::unique_ptr<std::byte[]> data;
-    std::size_t size = 0;
-    bool live = false;
+    std::atomic<std::byte*> data{nullptr};
+    std::atomic<std::size_t> size{0};
   };
 
-  const Allocation& Resolve(DevicePtr ptr) const;
+  static constexpr std::uint32_t kChunkShift = 10;  // 1024 slots per chunk
+  static constexpr std::uint32_t kChunkSlots = 1u << kChunkShift;
+  static constexpr std::uint32_t kMaxChunks = 4096;
+
+  /// Bounds-checks `ptr` and returns its slot. Lock-free; the slot may be
+  /// dead (data == null) — callers needing liveness check `data`.
+  Allocation& SlotRef(DevicePtr ptr) const;
 
   sim::GpuSpec spec_;
-  std::vector<Allocation> allocations_;
-  std::size_t used_ = 0;
+
+  /// Guards slot bookkeeping (free list, high-water mark, chunk growth).
+  mutable std::mutex arena_mutex_;
+  std::array<std::atomic<Allocation*>, kMaxChunks> chunks_{};
+  std::atomic<std::uint32_t> slot_count_{0};   // high-water mark
+  std::vector<std::uint32_t> free_slots_;      // dead ids for reuse
+  std::atomic<std::size_t> used_{0};
+
+  /// The L2 model mutates LRU state on every access; one mutex makes the
+  /// shared cache safe for concurrent kernel streams.
+  mutable std::mutex l2_mutex_;
   sim::CacheLevel l2_;
+
   fault::FaultInjector* injector_ = nullptr;
   DeviceMetrics metrics_;
 };
@@ -153,6 +202,10 @@ class ScopedDeviceAlloc {
 /// Host<->device transfer engine. Copies are functional (the data really
 /// moves, so results are verifiable); the returned times follow the
 /// paper's own transfer model T = T_init + bytes / Bandwidth (Section 5.4).
+///
+/// Thread-safe: copies into distinct allocations proceed concurrently
+/// (memcpy into disjoint buffers); the byte/transfer counters are relaxed
+/// atomics.
 class TransferEngine {
  public:
   TransferEngine(Device* device, const sim::PcieSpec& pcie);
@@ -183,16 +236,22 @@ class TransferEngine {
   double StreamedCopyToDevice(DevicePtr dst, const void* src,
                               std::size_t bytes);
 
-  std::uint64_t bytes_h2d() const { return bytes_h2d_; }
-  std::uint64_t bytes_d2h() const { return bytes_d2h_; }
-  std::uint64_t transfers() const { return transfers_; }
+  std::uint64_t bytes_h2d() const {
+    return bytes_h2d_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_d2h() const {
+    return bytes_d2h_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t transfers() const {
+    return transfers_.load(std::memory_order_relaxed);
+  }
 
  private:
   Device* device_;
   sim::PcieSpec pcie_;
-  std::uint64_t bytes_h2d_ = 0;
-  std::uint64_t bytes_d2h_ = 0;
-  std::uint64_t transfers_ = 0;
+  std::atomic<std::uint64_t> bytes_h2d_{0};
+  std::atomic<std::uint64_t> bytes_d2h_{0};
+  std::atomic<std::uint64_t> transfers_{0};
 };
 
 }  // namespace hbtree::gpu

@@ -160,42 +160,57 @@ Status TryRunBatchUpdate(HBRegularTree<K>& tree,
     constexpr int kStripes = 1024;
     static std::mutex stripes[kStripes];
     const std::size_t group = static_cast<std::size_t>(config.group_size);
+    // Spawning more functional workers than the host has cores buys no
+    // parallelism — it only adds context switches and contended futex
+    // waits that preempt concurrent readers (the cost model's view of
+    // the paper's 16-thread machine stays `model_threads`, so modelled
+    // timings do not change with the host).
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int workers =
+        std::max(1, std::min(config.real_threads,
+                             hw == 0 ? config.real_threads
+                                     : static_cast<int>(hw)));
     for (std::size_t begin = 0; begin < batch.size(); begin += group) {
       const std::size_t end = std::min(batch.size(), begin + group);
-      const int workers = std::max(1, config.real_threads);
       std::vector<std::vector<const UpdateQuery<K>*>> deferred(workers);
       std::vector<std::vector<ModifiedNode>> worker_modified(workers);
       std::vector<std::uint64_t> worker_applied(workers, 0);
-      std::vector<std::thread> threads;
       const std::size_t span = (end - begin + workers - 1) / workers;
-      for (int w = 0; w < workers; ++w) {
-        threads.emplace_back([&, w] {
-          const std::size_t lo = begin + w * span;
-          const std::size_t hi = std::min(end, lo + span);
-          for (std::size_t i = lo; i < hi; ++i) {
-            const auto& update = batch[i];
-            const bool is_insert =
-                update.kind == UpdateQuery<K>::Kind::kInsert;
-            NodeRef ln = host.FindLastInner(update.pair.key);
-            // The structural check reads the same leaf state a
-            // concurrent ApplyNonStructural writes, so it must run
-            // under the node's stripe lock too (an unlocked
-            // "optimistic" pre-check would be a data race; structural
-            // queries are <1% of the batch, so there is nothing to
-            // save by dodging the lock).
-            std::lock_guard<std::mutex> lock(stripes[ln % kStripes]);
-            if (host.WouldBeStructural(ln, is_insert, update.pair.key)) {
-              deferred[w].push_back(&update);
-              continue;
-            }
-            if (host.ApplyNonStructural(ln, is_insert, update.pair,
-                                        &worker_modified[w])) {
-              ++worker_applied[w];
-            }
+      auto run_worker = [&](int w) {
+        const std::size_t lo = begin + w * span;
+        const std::size_t hi = std::min(end, lo + span);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto& update = batch[i];
+          const bool is_insert =
+              update.kind == UpdateQuery<K>::Kind::kInsert;
+          NodeRef ln = host.FindLastInner(update.pair.key);
+          // The structural check reads the same leaf state a
+          // concurrent ApplyNonStructural writes, so it must run
+          // under the node's stripe lock too (an unlocked
+          // "optimistic" pre-check would be a data race; structural
+          // queries are <1% of the batch, so there is nothing to
+          // save by dodging the lock).
+          std::lock_guard<std::mutex> lock(stripes[ln % kStripes]);
+          if (host.WouldBeStructural(ln, is_insert, update.pair.key)) {
+            deferred[w].push_back(&update);
+            continue;
           }
-        });
+          if (host.ApplyNonStructural(ln, is_insert, update.pair,
+                                      &worker_modified[w])) {
+            ++worker_applied[w];
+          }
+        }
+      };
+      if (workers == 1) {
+        // Single functional worker: run inline, no thread spawn/join.
+        run_worker(0);
+      } else {
+        std::vector<std::thread> threads;
+        for (int w = 0; w < workers; ++w) {
+          threads.emplace_back(run_worker, w);
+        }
+        for (auto& thread : threads) thread.join();
       }
-      for (auto& thread : threads) thread.join();
       for (int w = 0; w < workers; ++w) {
         applied += worker_applied[w];
         modified.insert(modified.end(), worker_modified[w].begin(),

@@ -135,6 +135,16 @@ class MetricsRegistry {
   /// mains, ad-hoc device instances).
   static MetricsRegistry& Default();
 
+  /// Canonical per-instance label for sharded subsystems:
+  /// `<subsystem>.shard<N>.<what>`, e.g. `serve.shard2.read_buckets`.
+  /// Dashboards can aggregate across shards with a `<subsystem>.shard*`
+  /// prefix match while the unsharded `<subsystem>.<what>` name keeps the
+  /// global total.
+  static std::string ShardedName(const std::string& subsystem, int shard,
+                                 const std::string& what) {
+    return subsystem + ".shard" + std::to_string(shard) + "." + what;
+  }
+
   /// Human-readable multi-line dump (sorted by name).
   static std::string ToText(const MetricsSnapshot& snapshot);
   /// Stable machine-readable dump — schema `hbtree.metrics.v1`, validated

@@ -17,7 +17,9 @@ namespace {
 /// export still sees the events of threads that already exited).
 struct ThreadBuffer {
   int tid = 0;
-  const char* name = nullptr;
+  // Owned copy (unlike event names): worker threads name themselves with
+  // dynamically built labels like "serve.shard0.read1".
+  std::string name;
   std::vector<TraceEvent> events;
 };
 
@@ -233,7 +235,7 @@ std::string TraceSession::ToChromeJson() {
     char fallback[32];
     std::snprintf(fallback, sizeof(fallback), "thread %d", buffer->tid);
     AppendMetadata(&w, "thread_name", kWallPid, buffer->tid,
-                   buffer->name != nullptr ? buffer->name : fallback);
+                   !buffer->name.empty() ? buffer->name : fallback);
   }
   for (const auto& buffer : state.buffers) {
     for (const TraceEvent& e : buffer->events) AppendEvent(&w, e);

@@ -75,7 +75,9 @@ class TraceSession {
   /// Microseconds since Start() on the wall clock.
   static double NowUs();
 
-  /// Names the calling thread's track in the exported trace.
+  /// Names the calling thread's track in the exported trace. Unlike
+  /// event names, the string is copied — dynamically built worker labels
+  /// ("serve.shard0.read1") are fine.
   static void SetThreadName(const char* name);
 
   // -- Recording (no-ops unless active) -----------------------------------
@@ -190,6 +192,18 @@ struct NullSpan {
     if (::hbtree::obs::TraceSession::active())                    \
       ::hbtree::obs::TraceSession::RecordInstant(name, cat);      \
   } while (0)
+/// Explicit complete span whose start predates the recording site (e.g.
+/// an op's admission-queue wait, measured at dispatch). `ts_us`/`dur_us`
+/// are on the session clock (TraceSession::NowUs). Arguments are NOT
+/// evaluated when tracing is compiled out — keep them side-effect free.
+#define HBTREE_TRACE_COMPLETE(name, cat, ts_us, dur_us, arg_name, arg)    \
+  do {                                                                    \
+    if (::hbtree::obs::TraceSession::active())                            \
+      ::hbtree::obs::TraceSession::RecordComplete(                        \
+          name, cat, static_cast<double>(ts_us),                          \
+          static_cast<double>(dur_us), arg_name,                          \
+          static_cast<double>(arg));                                      \
+  } while (0)
 #define HBTREE_TRACE_MODEL_SPAN(track, name, ts_us, dur_us, arg_name, arg) \
   do {                                                                     \
     if (::hbtree::obs::TraceSession::active())                             \
@@ -215,6 +229,9 @@ struct NullSpan {
   } while (0)
 #define HBTREE_TRACE_INSTANT(name, cat) \
   do {                                  \
+  } while (0)
+#define HBTREE_TRACE_COMPLETE(name, cat, ts_us, dur_us, arg_name, arg) \
+  do {                                                                 \
   } while (0)
 #define HBTREE_TRACE_MODEL_SPAN(track, name, ts_us, dur_us, arg_name, arg) \
   do {                                                                     \

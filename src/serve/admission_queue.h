@@ -15,10 +15,12 @@ namespace hbtree::serve {
 ///
 /// Producers (client threads) block in Push() while the queue is full —
 /// this is the serving layer's backpressure: admission slows to the rate
-/// the pipeline drains buckets instead of queueing unboundedly. The
-/// single consumer (a batcher thread) pops up to a bucket's worth of
-/// operations at once, waiting briefly for a partial bucket to fill so
-/// light load still ships with bounded added latency.
+/// the pipeline drains buckets instead of queueing unboundedly. Consumers
+/// (batcher threads; a shard may run several read workers against one
+/// queue) pop up to a bucket's worth of operations at once, waiting
+/// briefly for a partial bucket to fill so light load still ships with
+/// bounded added latency. All operations are mutex-guarded, so any number
+/// of producers and consumers may run concurrently.
 /// Outcome of a deadline-bounded admission attempt.
 enum class PushResult {
   kOk,       // admitted

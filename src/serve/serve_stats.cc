@@ -8,14 +8,17 @@ std::string ServeStats::ToString() const {
   char buffer[2048];
   std::snprintf(
       buffer, sizeof(buffer),
-      "serve: %llu lookups, %llu ranges, %llu updates in %.2fs\n"
+      "serve: %llu lookups, %llu ranges, %llu updates in %.2fs "
+      "(%d shard%s x %d read worker%s)\n"
       "  throughput: %.0f reads/s, %.0f updates/s\n"
       "  batching:   %llu read buckets (avg fill %.1f), %llu update "
       "batches, epoch %llu\n"
       "  read  latency us: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n"
       "  update latency us: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n"
+      "  queue  wait   us: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n"
       "  simulated platform: pipeline %.0f us, updates %.0f us "
       "(%llu applied, %llu structural)\n"
+      "  modelled capacity: %.0f ops/s (busiest-shard makespan %.0f us)\n"
       "  faults: %llu injected, %llu device faults, %llu sync failures, "
       "retries %llu/%llu/%llu (transfer/kernel/sync)\n"
       "  breaker: %llu opens, %llu closes, %llu probes; cpu fallback "
@@ -23,16 +26,19 @@ std::string ServeStats::ToString() const {
       "  shed: %llu reads, %llu updates",
       static_cast<unsigned long long>(lookups),
       static_cast<unsigned long long>(ranges),
-      static_cast<unsigned long long>(updates), wall_seconds,
-      reads_per_second, updates_per_second,
+      static_cast<unsigned long long>(updates), wall_seconds, num_shards,
+      num_shards == 1 ? "" : "s", num_read_workers,
+      num_read_workers == 1 ? "" : "s", reads_per_second, updates_per_second,
       static_cast<unsigned long long>(read_buckets), avg_bucket_fill,
       static_cast<unsigned long long>(update_batches),
       static_cast<unsigned long long>(epoch), read_latency.p50_us,
       read_latency.p90_us, read_latency.p99_us, read_latency.max_us,
       update_latency.p50_us, update_latency.p90_us, update_latency.p99_us,
-      update_latency.max_us, sim_pipeline_us, sim_update_us,
+      update_latency.max_us, queue_wait.p50_us, queue_wait.p90_us,
+      queue_wait.p99_us, queue_wait.max_us, sim_pipeline_us, sim_update_us,
       static_cast<unsigned long long>(applied),
       static_cast<unsigned long long>(structural),
+      modelled_ops_per_second, modelled_makespan_us,
       static_cast<unsigned long long>(faults_injected),
       static_cast<unsigned long long>(device_faults),
       static_cast<unsigned long long>(sync_failures),

@@ -15,6 +15,10 @@ namespace hbtree::serve {
 /// platform timing the pipeline and batch updater report, letting a bench
 /// compare real serving overhead against the modelled hardware time.
 struct ServeStats {
+  // Serving topology: key-range shards and read workers per shard.
+  int num_shards = 1;
+  int num_read_workers = 1;
+
   // Completed operation counts.
   std::uint64_t lookups = 0;
   std::uint64_t ranges = 0;
@@ -28,6 +32,9 @@ struct ServeStats {
   // Wall-clock latency percentiles.
   LatencySummary read_latency;
   LatencySummary update_latency;
+  // Admission-queue wait (push to dispatch) across all shards; per-shard
+  // distributions live in the registry as serve.shard<N>.queue_wait.
+  LatencySummary queue_wait;
 
   // Throughput over the server's lifetime so far.
   double wall_seconds = 0;
@@ -37,6 +44,16 @@ struct ServeStats {
   // Simulated-platform aggregates (µs on the modelled hardware clock).
   double sim_pipeline_us = 0;
   double sim_update_us = 0;
+
+  // Modelled serving capacity. Shards are independent modelled devices,
+  // so their busy times overlap; within a shard, read buckets and update
+  // syncs share one device and are charged serially (conservative). The
+  // makespan is therefore max over shards of (pipeline + update busy
+  // time), and modelled throughput is total served operations divided by
+  // that makespan — the number the paper's platform would sustain, free
+  // of this host's core count (see DESIGN.md §9).
+  double modelled_makespan_us = 0;
+  double modelled_ops_per_second = 0;
 
   // Update outcome counters (from BatchUpdateStats).
   std::uint64_t applied = 0;

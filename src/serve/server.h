@@ -4,10 +4,15 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <cstdio>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -53,6 +58,29 @@ struct ServerOptions {
   /// on the modelled trace tracks (--trace_out).
   int pipeline_depth = 1;
 
+  /// Smallest sub-bucket worth a separate kernel launch. Partial
+  /// admission buckets (common under sharding, where each queue sees
+  /// 1/num_shards of the arrival stream) are dispatched with a reduced
+  /// effective depth so the per-launch setup cost is amortized over at
+  /// least this many keys — splitting a trickle bucket pipeline_depth
+  /// ways would multiply the fixed cost instead of hiding it.
+  int min_sub_bucket = 1024;
+
+  /// Key-range shards. Each shard is an independent snapshot pair with
+  /// its own admission queues, update worker, read workers and circuit
+  /// breakers; the bootstrap key space is split into `num_shards`
+  /// contiguous ranges of equal cardinality. Shards commit batches and
+  /// dispatch buckets in parallel, and each shard's tree is ~1/N the
+  /// size (one fewer inner level to search at sufficient N).
+  int num_shards = 1;
+
+  /// Read workers (bucket dispatchers) per shard, all drawing from the
+  /// shard's read queue and dispatching against the same pinned snapshot.
+  /// The shared simulated device is thread-safe (see gpusim/device.h);
+  /// each in-flight bucket needs its own query/result buffers in device
+  /// memory, which Create() validates up front.
+  int num_read_workers = 1;
+
   /// Batch-update configuration and method (Section 5.6). The default
   /// asynchronous-parallel method matches the epoch-swap design: the
   /// whole batch lands in main memory, then one bulk I-segment sync.
@@ -63,21 +91,35 @@ struct ServerOptions {
   /// non-structural, as the paper's update analysis assumes.
   double leaf_fill = 0.9;
 
-  /// Admission-queue capacity per lane (reads / updates); producers block
-  /// when a lane is full (backpressure).
+  /// Admission-queue capacity per lane (reads / updates, per shard);
+  /// producers block when a lane is full (backpressure).
   std::size_t queue_capacity = 64 * 1024;
 
   /// Updates per committed batch (flush threshold).
   int update_batch_size = 16 * 1024;
 
   /// How long a batcher waits for a partial bucket/batch to fill before
-  /// shipping it — the added latency bound under light load.
+  /// shipping it — the added latency bound under light load. Read workers
+  /// scale this window by num_shards: a shard sees ~1/N of the aggregate
+  /// arrival rate, so holding the window fixed would shrink bucket fill
+  /// by N and let the per-bucket kernel/transfer setup cost dominate.
+  /// Scaling keeps the expected fill (and the fixed-cost share per op)
+  /// constant while the wait stays at the single-shard dispatch interval.
   std::chrono::microseconds max_batch_delay{200};
+
+  // -- Observability -------------------------------------------------------
+
+  /// When positive, a background reporter thread collects
+  /// MetricsRegistry::CollectWindow() every interval while the server is
+  /// running and hands the windowed snapshot to `metrics_report_sink`
+  /// (or dumps it as text to stderr when no sink is set).
+  std::chrono::milliseconds metrics_report_interval{0};
+  std::function<void(const obs::MetricsSnapshot&)> metrics_report_sink;
 
   // -- Fault tolerance ----------------------------------------------------
 
   /// Fault-injection policy armed on each snapshot slot's device after a
-  /// clean bootstrap (slot B gets a decorrelated seed). Disabled by
+  /// clean bootstrap (every slot gets a decorrelated seed). Disabled by
   /// default; arm it in fault-tolerance tests and benches.
   fault::FaultConfig fault;
 
@@ -111,7 +153,9 @@ struct ReadResult {
 };
 
 /// Result of one update. `sequence` is the commit sequence number of the
-/// batch that applied it (valid when status is kOk).
+/// batch that applied it within its key-range shard (valid when status is
+/// kOk); sequences are monotonic per shard, not totally ordered across
+/// shards.
 struct UpdateResult {
   Status status = Status::Ok();
   std::uint64_t sequence = 0;
@@ -119,33 +163,46 @@ struct UpdateResult {
 
 /// Multi-threaded serving front-end over the regular HB+-tree.
 ///
-/// Client threads submit point lookups, range queries, and updates; the
-/// serving layer batches admitted reads into pipeline-sized buckets and
-/// dispatches them through the heterogeneous search pipeline, while
-/// updates accumulate into groups executed by the batch updater (Section
-/// 5.6). Reads run against an epoch-swapped snapshot (SnapshotPair), so
-/// lookups proceed concurrently with a batch-update pass.
+/// Client threads submit point lookups, range queries, and updates; each
+/// request routes to the key-range shard owning its key. A shard is an
+/// independent epoch-swapped snapshot pair (two full tree instances) with
+/// its own admission queues, one update worker, and
+/// `num_read_workers` read workers batching admitted reads into
+/// pipeline-sized buckets and dispatching them through the heterogeneous
+/// search pipeline. Shards share nothing but the metrics registry, so
+/// they commit batches and dispatch buckets in parallel; within a shard,
+/// concurrent read workers share the pinned snapshot's simulated device
+/// (thread-safe, see gpusim/device.h).
+///
+/// Range queries resolve per-shard-snapshot consistent: the scan starts
+/// in the shard owning the start key and continues into higher shards,
+/// pinning each shard's snapshot as it enters — each shard's segment is
+/// consistent, but a scan spanning shards may observe different commit
+/// points in different shards (same contract as per-shard sequences).
 ///
 /// Fault tolerance: device failures surface as typed Statuses from the
 /// Try* pipeline entry points and are absorbed here — a per-slot circuit
 /// breaker flips the bucket path to the CPU-only pipelined search after
 /// repeated failures (the host tree is always complete, so degraded mode
 /// loses throughput, not correctness) and periodic probes restore the GPU
-/// path once the device recovers. Requests never abort the process and
-/// every future resolves.
+/// path once the device recovers. Breaker state is per snapshot slot and
+/// shared by the shard's read workers (atomics; probes take the slot's
+/// exclusive lock so a resync never races an in-flight bucket). Requests
+/// never abort the process and every future resolves.
 ///
-/// Threads: any number of producers; one read batcher; one update
-/// committer. All Submit* methods are thread-safe and return futures.
+/// Threads: any number of producers; per shard, `num_read_workers` read
+/// workers and one update committer; plus an optional metrics reporter.
+/// All Submit* methods are thread-safe and return futures.
 template <typename K>
 class Server {
  public:
   using Clock = std::chrono::steady_clock;
 
   /// Builds a server or reports why it cannot be built (invalid options,
-  /// I-segment mirror exceeding device memory) via `*status_out` —
-  /// construction failures are expected operating conditions on a
-  /// capacity-limited device, not programming errors, so they do not
-  /// abort. Returns nullptr on failure.
+  /// I-segment mirror or per-worker bucket buffers exceeding device
+  /// memory) via `*status_out` — construction failures are expected
+  /// operating conditions on a capacity-limited device, not programming
+  /// errors, so they do not abort. Returns nullptr on failure.
   static std::unique_ptr<Server> Create(
       const ServerOptions& options,
       const std::vector<KeyValue<K>>& sorted_pairs,
@@ -164,8 +221,8 @@ class Server {
 
   // -- Client API ---------------------------------------------------------
 
-  /// Admits a point lookup; blocks if the read lane is full (until the
-  /// deadline, if one applies). `deadline` overrides
+  /// Admits a point lookup; blocks if the owning shard's read lane is
+  /// full (until the deadline, if one applies). `deadline` overrides
   /// options.default_deadline for this request; zero keeps the default.
   std::future<ReadResult<K>> SubmitLookup(
       K key, std::chrono::microseconds deadline = {}) {
@@ -195,7 +252,7 @@ class Server {
   }
 
   /// Admits an update. On success the future carries the sequence number
-  /// of the batch that committed it (after both snapshot instances
+  /// of the shard batch that committed it (after both snapshot instances
   /// converged); shed or rejected updates carry a non-ok status and were
   /// NOT applied.
   std::future<UpdateResult> SubmitUpdate(
@@ -207,8 +264,10 @@ class Server {
         deadline.count() != 0 ? deadline : options_.default_deadline;
     if (budget.count() != 0) op.deadline = op.admitted + budget;
     std::future<UpdateResult> result = op.done.get_future();
+    AdmissionQueue<UpdateOp>& queue =
+        shards_[ShardFor(update.pair.key)]->update_queue;
     if (op.deadline != Clock::time_point::max()) {
-      switch (update_queue_.PushUntil(std::move(op), op.deadline)) {
+      switch (queue.PushUntil(std::move(op), op.deadline)) {
         case PushResult::kOk:
           break;
         case PushResult::kTimeout:
@@ -222,7 +281,7 @@ class Server {
               0});
           break;
       }
-    } else if (!update_queue_.Push(std::move(op))) {
+    } else if (!queue.Push(std::move(op))) {
       // Benign race with Shutdown(): reject via the future instead of
       // aborting the process.
       op.done.set_value(UpdateResult{
@@ -242,16 +301,25 @@ class Server {
 
   // -- Introspection ------------------------------------------------------
 
-  /// Number of update batches fully committed (both instances converged).
+  /// Number of update batches fully committed (both instances converged),
+  /// summed over shards.
   std::uint64_t committed_batches() const {
     return committed_batches_.load(std::memory_order_acquire);
   }
-  /// Number of update batches whose first (visible) application has been
-  /// published; lookups admitted after this point see the batch.
-  std::uint64_t epoch() const { return snapshots_.epoch(); }
+  /// Sum of the shards' snapshot epochs: the number of update batches
+  /// whose first (visible) application has been published. A lookup
+  /// admitted after a batch's future resolved sees that batch (it routes
+  /// to the shard that committed it).
+  std::uint64_t epoch() const {
+    std::uint64_t sum = 0;
+    for (const auto& shard : shards_) sum += shard->snapshots.epoch();
+    return sum;
+  }
 
   ServeStats Stats() const {
     ServeStats stats;
+    stats.num_shards = options_.num_shards;
+    stats.num_read_workers = options_.num_read_workers;
     stats.lookups = lookups_done_.value();
     stats.ranges = ranges_done_.value();
     stats.updates = updates_done_.value();
@@ -263,6 +331,7 @@ class Server {
             : 0;
     stats.read_latency = read_latency_.LifetimeSummary();
     stats.update_latency = update_latency_.LifetimeSummary();
+    stats.queue_wait = queue_wait_.LifetimeSummary();
     stats.wall_seconds =
         std::chrono::duration<double>(Clock::now() - started_at_).count();
     if (stats.wall_seconds > 0) {
@@ -276,8 +345,21 @@ class Server {
       stats.sim_update_us = sim_update_us_;
       stats.applied = applied_;
       stats.structural = structural_;
+      // Modelled makespan: shards are independent devices, so their busy
+      // times overlap; within a shard, reads and update syncs share one
+      // device and are charged serially (conservative).
+      for (const auto& shard : shards_) {
+        stats.modelled_makespan_us =
+            std::max(stats.modelled_makespan_us,
+                     shard->sim_pipeline_us + shard->sim_update_us);
+      }
     }
-    stats.epoch = snapshots_.epoch();
+    if (stats.modelled_makespan_us > 0) {
+      stats.modelled_ops_per_second =
+          (stats.lookups + stats.ranges + stats.updates) * 1e6 /
+          stats.modelled_makespan_us;
+    }
+    stats.epoch = epoch();
 
     stats.shed_reads = shed_reads_.value();
     stats.shed_updates = shed_updates_.value();
@@ -291,34 +373,49 @@ class Server {
     stats.probe_attempts = probe_attempts_.value();
     stats.cpu_fallback_buckets = cpu_fallback_buckets_.value();
     stats.cpu_fallback_lookups = cpu_fallback_lookups_.value();
-    stats.faults_injected =
-        slot_a_.injector.total_injected() + slot_b_.injector.total_injected();
+    for (const auto& shard : shards_) {
+      stats.faults_injected += shard->slot_a.injector.total_injected() +
+                               shard->slot_b.injector.total_injected();
+    }
     return stats;
   }
 
-  /// The server's metrics registry: every ServeStats counter above plus
-  /// the device-level `gpusim.*` metrics of both snapshot slots. Hand it
-  /// to obs::MetricsRegistry::ToJson/ToText for export, or CollectWindow()
+  /// The server's metrics registry: every ServeStats counter above, the
+  /// per-shard `serve.shard<N>.*` series, plus the device-level
+  /// `gpusim.*` metrics of every snapshot slot. Hand it to
+  /// obs::MetricsRegistry::ToJson/ToText for export, or CollectWindow()
   /// for interval rates.
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
-  /// Stops admission, drains both lanes, and joins the workers. Safe to
-  /// call more than once.
+  /// Stops admission, drains every shard's lanes, and joins the workers.
+  /// Safe to call more than once.
   void Shutdown() {
     bool expected = false;
     if (!stopped_.compare_exchange_strong(expected, true)) return;
-    read_queue_.Close();
-    update_queue_.Close();
-    if (read_worker_.joinable()) read_worker_.join();
-    if (update_worker_.joinable()) update_worker_.join();
+    for (auto& shard : shards_) {
+      shard->read_queue.Close();
+      shard->update_queue.Close();
+    }
+    for (auto& shard : shards_) {
+      for (std::thread& worker : shard->read_workers) {
+        if (worker.joinable()) worker.join();
+      }
+      if (shard->update_worker.joinable()) shard->update_worker.join();
+    }
+    {
+      std::lock_guard<std::mutex> lock(reporter_mutex_);
+      reporter_stop_ = true;
+    }
+    reporter_cv_.notify_all();
+    if (reporter_thread_.joinable()) reporter_thread_.join();
   }
 
  private:
   /// One snapshot instance: a full tree with its own registry, device,
-  /// transfer engine, and fault injector, so the two instances share no
-  /// mutable state. The breaker fields are touched only by the read
-  /// worker (the snapshot handshake keeps the writer off a pinned slot).
+  /// transfer engine, and fault injector, so no two instances share
+  /// mutable tree state (read workers of one shard share the pinned
+  /// instance's thread-safe device).
   struct TreeSlot {
     PageRegistry registry;
     gpu::Device device;
@@ -326,10 +423,16 @@ class Server {
     HBRegularTree<K> tree;
     fault::FaultInjector injector;
 
-    // Circuit-breaker state (read worker only).
-    int consecutive_failures = 0;
-    bool breaker_open = false;
-    int buckets_since_probe = 0;
+    // Circuit-breaker state, shared by the shard's read workers
+    // (atomics: concurrent dispatchers may fail and probe in parallel).
+    std::atomic<int> consecutive_failures{0};
+    std::atomic<bool> breaker_open{false};
+    std::atomic<int> buckets_since_probe{0};
+
+    /// Probes resync the device mirror (realloc + bulk copy), which must
+    /// not race another worker's in-flight GPU bucket on this slot:
+    /// dispatches hold shared, probe resyncs hold exclusive.
+    std::shared_mutex gpu_mutex;
 
     TreeSlot(const ServerOptions& options, std::uint64_t slot_index)
         : device(options.platform.gpu),
@@ -344,8 +447,8 @@ class Server {
       return config;
     }
 
-    /// Decorrelates the two slots' fault streams without asking callers
-    /// for two seeds.
+    /// Decorrelates the slots' fault streams without asking callers for
+    /// a seed per slot (slot_index is unique across shards: 2*shard+side).
     static fault::FaultConfig SlotFaultConfig(fault::FaultConfig config,
                                               std::uint64_t slot_index) {
       config.seed += slot_index * 7919;
@@ -368,13 +471,55 @@ class Server {
     std::promise<UpdateResult> done;
   };
 
-  explicit Server(const ServerOptions& options)
-      : options_(options),
-        read_queue_(options.queue_capacity),
-        update_queue_(options.queue_capacity),
-        slot_a_(options, 0),
-        slot_b_(options, 1),
-        snapshots_(&slot_a_, &slot_b_) {}
+  /// One key-range shard: an independent snapshot pair with its own
+  /// admission lanes and workers. Shards never touch each other's trees
+  /// or devices; the only cross-shard read is a range scan continuing
+  /// into the next shard's pinned snapshot.
+  struct Shard {
+    const int index;
+    AdmissionQueue<ReadOp> read_queue;
+    AdmissionQueue<UpdateOp> update_queue;
+    TreeSlot slot_a;
+    TreeSlot slot_b;
+    SnapshotPair<TreeSlot> snapshots;
+    /// Per-shard commit sequence (returned to this shard's update
+    /// futures).
+    std::atomic<std::uint64_t> committed_batches{0};
+
+    // Per-shard metric handles (serve.shard<N>.*), bound in Init.
+    obs::Counter* read_buckets = nullptr;
+    obs::Counter* update_batches = nullptr;
+    obs::Counter* breaker_opens = nullptr;
+    obs::Histogram* queue_wait = nullptr;
+
+    // Modelled busy time of this shard's device (guarded by the server's
+    // sim_mutex_): read-pipeline and update-path µs on the simulated
+    // platform clock. Shards overlap — the serving makespan is the max
+    // across shards (see ServeStats::modelled_makespan_us).
+    double sim_pipeline_us = 0;
+    double sim_update_us = 0;
+
+    std::vector<std::thread> read_workers;
+    std::thread update_worker;
+
+    Shard(const ServerOptions& options, int shard_index)
+        : index(shard_index),
+          read_queue(options.queue_capacity),
+          update_queue(options.queue_capacity),
+          slot_a(options, static_cast<std::uint64_t>(shard_index) * 2),
+          slot_b(options, static_cast<std::uint64_t>(shard_index) * 2 + 1),
+          snapshots(&slot_a, &slot_b) {}
+  };
+
+  explicit Server(const ServerOptions& options) : options_(options) {}
+
+  /// Shard owning `key`: the number of range bounds <= key.
+  /// `shard_bounds_[i]` is the smallest bootstrap key of shard i+1.
+  std::size_t ShardFor(K key) const {
+    return static_cast<std::size_t>(
+        std::upper_bound(shard_bounds_.begin(), shard_bounds_.end(), key) -
+        shard_bounds_.begin());
+  }
 
   Status Init(const std::vector<KeyValue<K>>& sorted_pairs) {
     if (options_.pipeline.bucket_size <= 0) {
@@ -390,24 +535,120 @@ class Server {
         options_.breaker_probe_interval <= 0) {
       return Status::InvalidArgument("breaker thresholds must be positive");
     }
-    // Bootstrap is fault-free: the injectors arm only after both mirrors
+    if (options_.num_shards < 1) {
+      return Status::InvalidArgument("num_shards must be >= 1");
+    }
+    if (options_.num_read_workers < 1) {
+      return Status::InvalidArgument("num_read_workers must be >= 1");
+    }
+    const int num_shards = options_.num_shards;
+    const std::size_t n = sorted_pairs.size();
+    if (num_shards > 1) {
+      if (n < static_cast<std::size_t>(num_shards)) {
+        return Status::InvalidArgument(
+            "num_shards exceeds the bootstrap key count — every shard "
+            "needs at least one key to define its range");
+      }
+      for (int i = 1; i < num_shards; ++i) {
+        const K bound = sorted_pairs[n * static_cast<std::size_t>(i) /
+                                     static_cast<std::size_t>(num_shards)]
+                            .key;
+        if (!shard_bounds_.empty() && !(shard_bounds_.back() < bound)) {
+          return Status::InvalidArgument(
+              "num_shards exceeds the distinct bootstrap keys — shard "
+              "range bounds must be strictly increasing");
+        }
+        shard_bounds_.push_back(bound);
+      }
+    }
+
+    shards_.reserve(static_cast<std::size_t>(num_shards));
+    for (int i = 0; i < num_shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(options_, i));
+    }
+
+    // Bootstrap is fault-free: the injectors arm only after every mirror
     // built, so an injected fault can never masquerade as "tree does not
     // fit" at startup.
-    if (!slot_a_.tree.Build(sorted_pairs) ||
-        !slot_b_.tree.Build(sorted_pairs)) {
-      return Status::DeviceOom("I-segment does not fit into device memory");
+    for (int i = 0; i < num_shards; ++i) {
+      const std::size_t lo = n * static_cast<std::size_t>(i) /
+                             static_cast<std::size_t>(num_shards);
+      const std::size_t hi = n * static_cast<std::size_t>(i + 1) /
+                             static_cast<std::size_t>(num_shards);
+      const std::vector<KeyValue<K>> slice(sorted_pairs.begin() + lo,
+                                           sorted_pairs.begin() + hi);
+      Shard& shard = *shards_[i];
+      if (!shard.slot_a.tree.Build(slice) ||
+          !shard.slot_b.tree.Build(slice)) {
+        return Status::DeviceOom("I-segment does not fit into device memory");
+      }
+      HBTREE_RETURN_IF_ERROR(ValidateBucketBacking(shard));
     }
-    if (options_.fault.enabled()) {
-      slot_a_.device.set_fault_injector(&slot_a_.injector);
-      slot_b_.device.set_fault_injector(&slot_b_.injector);
+
+    for (auto& shard : shards_) {
+      if (options_.fault.enabled()) {
+        shard->slot_a.device.set_fault_injector(&shard->slot_a.injector);
+        shard->slot_b.device.set_fault_injector(&shard->slot_b.injector);
+      }
+      // Every slot publishes into the server's registry: gpusim.*
+      // counters aggregate across all devices.
+      shard->slot_a.device.set_metrics_registry(&metrics_);
+      shard->slot_b.device.set_metrics_registry(&metrics_);
+      const int i = shard->index;
+      shard->read_buckets = &metrics_.counter(
+          obs::MetricsRegistry::ShardedName("serve", i, "read_buckets"));
+      shard->update_batches = &metrics_.counter(
+          obs::MetricsRegistry::ShardedName("serve", i, "update_batches"));
+      shard->breaker_opens = &metrics_.counter(
+          obs::MetricsRegistry::ShardedName("serve", i, "breaker_opens"));
+      shard->queue_wait = &metrics_.histogram(
+          obs::MetricsRegistry::ShardedName("serve", i, "queue_wait"));
     }
-    // Both slots publish into the server's registry: gpusim.* counters
-    // aggregate across the two devices.
-    slot_a_.device.set_metrics_registry(&metrics_);
-    slot_b_.device.set_metrics_registry(&metrics_);
+
     started_at_ = Clock::now();
-    read_worker_ = std::thread([this] { ReadLoop(); });
-    update_worker_ = std::thread([this] { UpdateLoop(); });
+    for (auto& shard : shards_) {
+      Shard* s = shard.get();
+      for (int w = 0; w < options_.num_read_workers; ++w) {
+        s->read_workers.emplace_back([this, s, w] { ReadLoop(*s, w); });
+      }
+      s->update_worker = std::thread([this, s] { UpdateLoop(*s); });
+    }
+    if (options_.metrics_report_interval.count() > 0) {
+      reporter_thread_ = std::thread([this] { ReporterLoop(); });
+    }
+    return Status::Ok();
+  }
+
+  /// Every concurrent dispatch needs its own query/result buffers in the
+  /// slot's device arena, on top of the I-segment mirror Build() already
+  /// placed there. Failing now with an actionable message beats
+  /// degenerate serving where every bucket OOMs onto the CPU path.
+  Status ValidateBucketBacking(Shard& shard) const {
+    const std::size_t m =
+        static_cast<std::size_t>(options_.pipeline.bucket_size);
+    const bool balanced = options_.pipeline.cpu_descend_levels > 0 ||
+                          options_.pipeline.cpu_split_ratio < 1.0;
+    const std::size_t per_worker =
+        m * (sizeof(K) + sizeof(std::uint64_t) +
+             (balanced ? sizeof(std::uint32_t) : 0));
+    const std::size_t need =
+        per_worker * static_cast<std::size_t>(options_.num_read_workers);
+    for (TreeSlot* slot : {&shard.slot_a, &shard.slot_b}) {
+      const std::size_t used = slot->device.used_bytes();
+      const std::size_t capacity = slot->device.capacity_bytes();
+      if (used + need > capacity) {
+        char msg[256];
+        std::snprintf(
+            msg, sizeof(msg),
+            "shard %d: %d read worker(s) need %zu bytes of bucket buffers "
+            "but only %zu of %zu device bytes remain after the I-segment "
+            "mirror — reduce num_read_workers or pipeline.bucket_size, or "
+            "raise num_shards",
+            shard.index, options_.num_read_workers, need, capacity - used,
+            capacity);
+        return Status::DeviceOom(msg);
+      }
+    }
     return Status::Ok();
   }
 
@@ -418,8 +659,9 @@ class Server {
         deadline.count() != 0 ? deadline : options_.default_deadline;
     if (budget.count() != 0) op.deadline = op.admitted + budget;
     std::future<ReadResult<K>> result = op.done.get_future();
+    AdmissionQueue<ReadOp>& queue = shards_[ShardFor(op.key)]->read_queue;
     if (op.deadline != Clock::time_point::max()) {
-      switch (read_queue_.PushUntil(std::move(op), op.deadline)) {
+      switch (queue.PushUntil(std::move(op), op.deadline)) {
         case PushResult::kOk:
           break;
         case PushResult::kTimeout: {
@@ -437,7 +679,7 @@ class Server {
           break;
         }
       }
-    } else if (!read_queue_.Push(std::move(op))) {
+    } else if (!queue.Push(std::move(op))) {
       // Benign race with Shutdown(): reject via the future instead of
       // aborting the process.
       ReadResult<K> rejected;
@@ -455,19 +697,21 @@ class Server {
             .count()));
   }
 
-  // -- Circuit breaker (read worker only) ---------------------------------
+  // -- Circuit breaker (shared by a shard's read workers) ------------------
 
-  void OpenBreaker(TreeSlot& slot) {
-    if (slot.breaker_open) return;
-    slot.breaker_open = true;
-    slot.buckets_since_probe = 0;
+  void OpenBreaker(Shard& shard, TreeSlot& slot) {
+    // exchange: concurrent workers hitting the threshold together open
+    // the breaker (and count the open) exactly once.
+    if (slot.breaker_open.exchange(true, std::memory_order_relaxed)) return;
+    slot.buckets_since_probe.store(0, std::memory_order_relaxed);
     breaker_opens_.Increment();
+    shard.breaker_opens->Increment();
     HBTREE_TRACE_INSTANT("breaker.open", "serve");
   }
 
   void CloseBreaker(TreeSlot& slot) {
-    slot.breaker_open = false;
-    slot.consecutive_failures = 0;
+    if (!slot.breaker_open.exchange(false, std::memory_order_relaxed)) return;
+    slot.consecutive_failures.store(0, std::memory_order_relaxed);
     breaker_closes_.Increment();
     HBTREE_TRACE_INSTANT("breaker.close", "serve");
   }
@@ -475,19 +719,30 @@ class Server {
   /// One GPU bucket through the fault-tolerant pipeline; false on a
   /// terminal device failure (results are then unreliable and the caller
   /// must re-serve the bucket on the CPU).
-  bool TryGpuBucket(TreeSlot& slot, const std::vector<K>& keys,
+  bool TryGpuBucket(Shard& shard, TreeSlot& slot, const std::vector<K>& keys,
                     std::vector<LookupResult<K>>* results) {
     PipelineStats ps;
     PipelineConfig config = options_.pipeline;
-    if (options_.pipeline_depth > 1) {
+    // Effective depth shrinks for partial buckets so each sub-bucket keeps
+    // at least min_sub_bucket keys (per-launch setup does not amortize
+    // below that); full buckets still split pipeline_depth ways.
+    const int depth = std::clamp(
+        static_cast<int>(keys.size() /
+                         std::max(1, options_.min_sub_bucket)),
+        1, std::max(1, options_.pipeline_depth));
+    if (depth > 1) {
       // Split the batch actually dispatched, not the configured bucket
       // size: partial admission buckets (shipped by max_batch_delay)
       // would otherwise fit in one sub-bucket and lose the overlap.
       const int target = static_cast<int>(
-          (keys.size() + options_.pipeline_depth - 1) /
-          static_cast<std::size_t>(options_.pipeline_depth));
+          (keys.size() + static_cast<std::size_t>(depth) - 1) /
+          static_cast<std::size_t>(depth));
       config.bucket_size = std::max(
           1, std::min(options_.pipeline.bucket_size, target));
+    } else {
+      config.bucket_size = std::max(
+          1, std::min(options_.pipeline.bucket_size,
+                      static_cast<int>(keys.size())));
     }
     const Status status =
         TryRunSearchPipeline(slot.tree, keys.data(), keys.size(),
@@ -497,13 +752,14 @@ class Server {
     if (!status.ok()) return false;
     std::lock_guard<std::mutex> lock(sim_mutex_);
     sim_pipeline_us_ += ps.total_us;
+    shard.sim_pipeline_us += ps.total_us;
     return true;
   }
 
   /// Recovery probe: resync the mirror if stale, then run this bucket
   /// through the GPU path. The probe is not wasted work — on success its
-  /// results serve the bucket.
-  bool ProbeSlot(TreeSlot& slot, const std::vector<K>& keys,
+  /// results serve the bucket. Caller holds the slot's exclusive lock.
+  bool ProbeSlot(Shard& shard, TreeSlot& slot, const std::vector<K>& keys,
                  std::vector<LookupResult<K>>* results) {
     probe_attempts_.Increment();
     HBTREE_TRACE_INSTANT("breaker.probe", "serve");
@@ -511,7 +767,7 @@ class Server {
         !slot.tree.TrySyncISegment().ok()) {
       return false;
     }
-    return TryGpuBucket(slot, keys, results);
+    return TryGpuBucket(shard, slot, keys, results);
   }
 
   /// Serves one bucket of point lookups, always filling `results`: the
@@ -519,26 +775,42 @@ class Server {
   /// fresh, the CPU-only pipelined search otherwise. Correctness rule: a
   /// stale mirror (failed sync) must never serve GPU lookups — it would
   /// silently return pre-update results.
-  void DispatchBucket(TreeSlot& slot, const std::vector<K>& keys,
+  void DispatchBucket(Shard& shard, TreeSlot& slot,
+                      const std::vector<K>& keys,
                       std::vector<LookupResult<K>>* results) {
     HBTREE_TRACE_SPAN_ARG("bucket.dispatch", "serve", "keys",
                           static_cast<double>(keys.size()));
-    if (!slot.breaker_open && !slot.tree.mirror_valid()) OpenBreaker(slot);
+    if (!slot.breaker_open.load(std::memory_order_relaxed) &&
+        !slot.tree.mirror_valid()) {
+      OpenBreaker(shard, slot);
+    }
 
-    if (!slot.breaker_open) {
-      if (TryGpuBucket(slot, keys, results)) {
-        slot.consecutive_failures = 0;
+    if (!slot.breaker_open.load(std::memory_order_relaxed)) {
+      bool ok;
+      {
+        std::shared_lock<std::shared_mutex> lock(slot.gpu_mutex);
+        ok = TryGpuBucket(shard, slot, keys, results);
+      }
+      if (ok) {
+        slot.consecutive_failures.store(0, std::memory_order_relaxed);
         return;
       }
       device_faults_.Increment();
-      if (++slot.consecutive_failures >=
+      if (slot.consecutive_failures.fetch_add(1, std::memory_order_relaxed) +
+              1 >=
           options_.breaker_failure_threshold) {
-        OpenBreaker(slot);
+        OpenBreaker(shard, slot);
       }
-    } else if (++slot.buckets_since_probe >=
-               options_.breaker_probe_interval) {
-      slot.buckets_since_probe = 0;
-      if (ProbeSlot(slot, keys, results)) {
+    } else if ((slot.buckets_since_probe.fetch_add(
+                    1, std::memory_order_relaxed) +
+                1) %
+                   options_.breaker_probe_interval ==
+               0) {
+      // Every Nth open bucket probes. The counter is monotonic (no reset
+      // on probe) so concurrent workers keep the modulo cadence without a
+      // CAS loop; OpenBreaker zeroes it on the open transition.
+      std::unique_lock<std::shared_mutex> lock(slot.gpu_mutex);
+      if (ProbeSlot(shard, slot, keys, results)) {
         CloseBreaker(slot);
         return;
       }
@@ -553,10 +825,20 @@ class Server {
     cpu_fallback_lookups_.Add(keys.size());
   }
 
-  void ReadLoop() {
-    HBTREE_TRACE_THREAD_NAME("serve.read_worker");
+  void ReadLoop(Shard& shard, int worker_index) {
+    HBTREE_TRACE_ONLY(const std::string worker_name =
+                          "serve.shard" + std::to_string(shard.index) +
+                          ".read" + std::to_string(worker_index);)
+    HBTREE_TRACE_THREAD_NAME(worker_name.c_str());
+    (void)worker_index;
     const std::size_t bucket_size =
         static_cast<std::size_t>(options_.pipeline.bucket_size);
+    // Per-shard arrival rate is ~1/num_shards of the aggregate, and
+    // co-workers on the same queue split that stream again; scale the
+    // fill window to match (see ServerOptions::max_batch_delay).
+    const std::chrono::microseconds fill_wait =
+        options_.max_batch_delay *
+        static_cast<int>(shards_.size() * options_.num_read_workers);
     std::vector<ReadOp> batch;
     std::vector<K> keys;
     std::vector<std::size_t> key_op;  // bucket position of keys[i]
@@ -566,12 +848,14 @@ class Server {
       std::size_t n;
       {
         HBTREE_TRACE_SPAN("bucket.fill", "serve");
-        n = read_queue_.PopBatch(&batch, bucket_size,
-                                 std::chrono::microseconds(10'000),
-                                 options_.max_batch_delay);
+        n = shard.read_queue.PopBatch(&batch, bucket_size,
+                                      std::chrono::microseconds(10'000),
+                                      fill_wait);
       }
       if (n == 0) {
-        if (read_queue_.closed() && read_queue_.size() == 0) return;
+        if (shard.read_queue.closed() && shard.read_queue.size() == 0) {
+          return;
+        }
         continue;
       }
 
@@ -594,7 +878,23 @@ class Server {
       batch.resize(live);
       if (batch.empty()) continue;
 
-      auto guard = snapshots_.Acquire();
+      // Queue wait (push -> dispatch), per op: the shard-imbalance
+      // signal. The bucket's worst wait becomes a trace span ending now.
+      std::uint64_t max_wait_ns = 0;
+      for (const ReadOp& op : batch) {
+        const std::uint64_t wait_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now - op.admitted)
+                .count());
+        queue_wait_.Record(wait_ns);
+        shard.queue_wait->Record(wait_ns);
+        max_wait_ns = std::max(max_wait_ns, wait_ns);
+      }
+      HBTREE_TRACE_COMPLETE("queue.wait", "serve",
+                            obs::TraceSession::NowUs() - max_wait_ns / 1e3,
+                            max_wait_ns / 1e3, "ops", batch.size());
+
+      auto guard = shard.snapshots.Acquire();
       TreeSlot& slot = guard.slot();
 
       keys.clear();
@@ -609,7 +909,7 @@ class Server {
       std::vector<ReadResult<K>> out(batch.size());
       if (!keys.empty()) {
         results.assign(keys.size(), LookupResult<K>{});
-        DispatchBucket(slot, keys, &results);
+        DispatchBucket(shard, slot, keys, &results);
         for (std::size_t i = 0; i < keys.size(); ++i) {
           out[key_op[i]].lookup = results[i];
         }
@@ -618,15 +918,26 @@ class Server {
         if (batch[i].max_matches > 0) {
           // Range queries resolve against the same pinned snapshot; the
           // leaf-sequential scan is the CPU's share regardless (Section
-          // 5.4), so it runs host-side here.
+          // 5.4), so it runs host-side here. A scan exhausting this
+          // shard's range continues into the next shard's snapshot,
+          // pinned as it enters (per-shard consistency; see class docs).
           out[i].range.resize(batch[i].max_matches);
-          const int matched = slot.tree.host_tree().RangeScan(
+          int matched = slot.tree.host_tree().RangeScan(
               batch[i].key, batch[i].max_matches, out[i].range.data());
+          for (std::size_t next = static_cast<std::size_t>(shard.index) + 1;
+               matched < batch[i].max_matches && next < shards_.size();
+               ++next) {
+            auto next_guard = shards_[next]->snapshots.Acquire();
+            matched += next_guard.slot().tree.host_tree().RangeScan(
+                shard_bounds_[next - 1], batch[i].max_matches - matched,
+                out[i].range.data() + matched);
+          }
           out[i].range.resize(matched);
         }
       }
 
       read_buckets_.Increment();
+      shard.read_buckets->Increment();
       {
         HBTREE_TRACE_SPAN_ARG("bucket.complete", "serve", "ops",
                               static_cast<double>(batch.size()));
@@ -644,8 +955,11 @@ class Server {
     }
   }
 
-  void UpdateLoop() {
-    HBTREE_TRACE_THREAD_NAME("serve.update_worker");
+  void UpdateLoop(Shard& shard) {
+    HBTREE_TRACE_ONLY(const std::string worker_name =
+                          "serve.shard" + std::to_string(shard.index) +
+                          ".update";)
+    HBTREE_TRACE_THREAD_NAME(worker_name.c_str());
     std::vector<UpdateOp> ops;
     std::vector<UpdateQuery<K>> batch;
     std::vector<std::size_t> live;
@@ -654,12 +968,19 @@ class Server {
       std::size_t n;
       {
         HBTREE_TRACE_SPAN("update.fill", "serve");
-        n = update_queue_.PopBatch(
+        // Same arrival-rate scaling as the read fill window: a shard sees
+        // 1/num_shards of the update stream, and a half-filled commit
+        // still pays the full publish cost (double apply + mirror sync +
+        // reader drain), so small time-sliced batches are the worst case.
+        n = shard.update_queue.PopBatch(
             &ops, static_cast<std::size_t>(options_.update_batch_size),
-            std::chrono::microseconds(10'000), options_.max_batch_delay);
+            std::chrono::microseconds(10'000),
+            options_.max_batch_delay * static_cast<int>(shards_.size()));
       }
       if (n == 0) {
-        if (update_queue_.closed() && update_queue_.size() == 0) return;
+        if (shard.update_queue.closed() && shard.update_queue.size() == 0) {
+          return;
+        }
         continue;
       }
 
@@ -677,6 +998,12 @@ class Server {
               0});
           continue;
         }
+        const std::uint64_t wait_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now - ops[i].admitted)
+                .count());
+        queue_wait_.Record(wait_ns);
+        shard.queue_wait->Record(wait_ns);
         live.push_back(i);
         batch.push_back(ops[i].query);
       }
@@ -686,7 +1013,7 @@ class Server {
       // epoch so new read buckets see the batch, drain readers still on
       // the old instance, then converge it with the same batch. Host
       // application always completes; a failed device sync only leaves
-      // that slot's mirror stale (the read worker's breaker reroutes it
+      // that slot's mirror stale (the read workers' breaker reroutes it
       // to the CPU until a probe resyncs), so the updates commit and
       // their futures succeed either way.
       BatchUpdateStats first_pass{};
@@ -696,7 +1023,7 @@ class Server {
       {
         HBTREE_TRACE_SPAN_ARG("update.commit", "serve", "updates",
                               static_cast<double>(batch.size()));
-        snapshots_.Publish([&](TreeSlot& slot) {
+        shard.snapshots.Publish([&](TreeSlot& slot) {
           BatchUpdateStats pass;
           const Status status =
               TryRunBatchUpdate(slot.tree, batch, options_.update_method,
@@ -715,12 +1042,16 @@ class Server {
       }
 
       const std::uint64_t seq =
-          committed_batches_.fetch_add(1, std::memory_order_acq_rel) + 1;
+          shard.committed_batches.fetch_add(1, std::memory_order_acq_rel) +
+          1;
+      committed_batches_.fetch_add(1, std::memory_order_acq_rel);
       committed_batches_metric_.Increment();
-      epoch_gauge_.Set(static_cast<double>(snapshots_.epoch()));
+      shard.update_batches->Increment();
+      epoch_gauge_.Set(static_cast<double>(epoch()));
       {
         std::lock_guard<std::mutex> lock(sim_mutex_);
         sim_update_us_ += first_pass.total_us;
+        shard.sim_update_us += first_pass.total_us;
         applied_ += first_pass.applied;
         structural_ += first_pass.structural;
       }
@@ -733,28 +1064,52 @@ class Server {
     }
   }
 
+  void ReporterLoop() {
+    HBTREE_TRACE_THREAD_NAME("serve.metrics_reporter");
+    std::unique_lock<std::mutex> lock(reporter_mutex_);
+    for (;;) {
+      if (reporter_cv_.wait_for(lock, options_.metrics_report_interval,
+                                [this] { return reporter_stop_; })) {
+        return;
+      }
+      lock.unlock();
+      const obs::MetricsSnapshot window = metrics_.CollectWindow();
+      if (options_.metrics_report_sink) {
+        options_.metrics_report_sink(window);
+      } else {
+        std::fprintf(stderr, "[serve.metrics window %.2fs]\n%s\n",
+                     window.window_seconds,
+                     obs::MetricsRegistry::ToText(window).c_str());
+      }
+      lock.lock();
+    }
+  }
+
   ServerOptions options_;
 
   /// Owns every serving counter/histogram plus the slots' gpusim.*
-  /// metrics. Declared before the tree slots: slot destructors release
+  /// metrics. Declared before the shards: slot destructors release
   /// device memory, which updates the used-bytes gauge, so the registry
   /// must outlive them.
   obs::MetricsRegistry metrics_;
 
-  AdmissionQueue<ReadOp> read_queue_;
-  AdmissionQueue<UpdateOp> update_queue_;
-  TreeSlot slot_a_;
-  TreeSlot slot_b_;
-  SnapshotPair<TreeSlot> snapshots_;
+  /// Key-range shards (stable addresses: workers hold references).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// shard_bounds_[i] = smallest bootstrap key owned by shard i+1; empty
+  /// for a single shard. Immutable after Init.
+  std::vector<K> shard_bounds_;
 
-  std::thread read_worker_;
-  std::thread update_worker_;
   std::atomic<bool> stopped_{false};
   // Initialized at declaration (not only in Init()) so Stats() on a
   // partially constructed server can never divide by a garbage duration.
   Clock::time_point started_at_ = Clock::now();
 
-  // Metric handles into metrics_ (declared above, before the slots).
+  std::thread reporter_thread_;
+  std::mutex reporter_mutex_;
+  std::condition_variable reporter_cv_;
+  bool reporter_stop_ = false;  // guarded by reporter_mutex_
+
+  // Metric handles into metrics_ (declared above, before the shards).
   // Update hot paths cost exactly what the raw std::atomic members they
   // replaced did (one relaxed RMW).
   obs::Counter& lookups_done_ = metrics_.counter("serve.lookups");
@@ -770,6 +1125,7 @@ class Server {
   obs::Histogram& read_latency_ = metrics_.histogram("serve.read_latency");
   obs::Histogram& update_latency_ =
       metrics_.histogram("serve.update_latency");
+  obs::Histogram& queue_wait_ = metrics_.histogram("serve.queue_wait");
 
   obs::Counter& shed_reads_ = metrics_.counter("serve.shed_reads");
   obs::Counter& shed_updates_ = metrics_.counter("serve.shed_updates");

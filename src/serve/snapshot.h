@@ -104,7 +104,9 @@ class SnapshotPair {
 
   /// Applies `mutate` to both instances with an epoch swap in between.
   /// Single-writer: callers must serialize Publish() externally (the
-  /// serving layer has exactly one update thread).
+  /// serving layer runs exactly one update thread per shard, and each
+  /// shard owns its own pair). Any number of readers may hold guards
+  /// concurrently — a shard's read workers all pin the same active slot.
   template <typename Fn>
   void Publish(Fn&& mutate) {
     HBTREE_TRACE_SPAN_ARG("snapshot.publish", "serve", "epoch",

@@ -107,6 +107,8 @@ TEST(BenchReport, RowsKeepInsertionOrderInJson) {
 
 TEST(BenchReport, AddServeStatsRowUsesCanonicalColumns) {
   serve::ServeStats stats;
+  stats.num_shards = 4;
+  stats.num_read_workers = 2;
   stats.reads_per_second = 1000;
   stats.transfer_retries = 2;
   stats.kernel_retries = 1;
@@ -121,13 +123,16 @@ TEST(BenchReport, AddServeStatsRowUsesCanonicalColumns) {
   // The canonical serving column set — every serve bench emits exactly
   // these names, so downstream tooling never chases renamed columns.
   for (const char* column :
-       {"fault_rate", "reads_per_s", "updates_per_s", "read_p50_us",
-        "read_p99_us", "retries", "device_faults", "breaker_opens",
+       {"fault_rate", "shards", "read_workers", "reads_per_s",
+        "updates_per_s", "read_p50_us", "read_p99_us", "queue_wait_p99_us",
+        "modelled_ops_per_s", "retries", "device_faults", "breaker_opens",
         "breaker_closes", "cpu_fallback_buckets", "shed"}) {
     EXPECT_NE(json.find(std::string("\"") + column + "\":"),
               std::string::npos)
         << column;
   }
+  EXPECT_NE(json.find("\"shards\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"read_workers\":2"), std::string::npos);
   EXPECT_NE(json.find("\"retries\":7"), std::string::npos);  // 2 + 1 + 4
   EXPECT_NE(json.find("\"shed\":5"), std::string::npos);     // 3 + 2
 }
