@@ -12,9 +12,11 @@
 // 0 = none), --shards / --read_workers (serving topology; creation
 // fails loudly if the per-shard trees exceed the device arena backing),
 // --platform, --seed, --metrics_json (hbtree.bench.v1 JSON
-// with the last run's metrics embedded), --trace_out (Chrome trace JSON
-// covering all three fault-rate runs — breaker open/close show up as
-// instants, bucket stages on the modelled resource tracks).
+// with the last run's metrics embedded and its stage waterfall under
+// "stages"), --trace_out (Chrome trace JSON of the last — highest fault
+// rate — run: breaker open/close show up as instants, bucket stages on
+// the modelled resource tracks). Each run records its own trace session
+// so exemplars and the waterfall work without flags.
 
 #include <atomic>
 #include <cstdio>
@@ -27,6 +29,8 @@
 #include "bench_support/serve_runner.h"
 #include "bench_support/table.h"
 #include "core/workload.h"
+#include "obs/span_aggregator.h"
+#include "obs/trace.h"
 #include "serve/server.h"
 
 namespace hbtree::bench {
@@ -73,9 +77,12 @@ int Main(int argc, char** argv) {
   const double rates[] = {0.0, 0.01, 0.10};
   std::vector<RateResult> results;
   obs::MetricsSnapshot last_metrics;
+  obs::StageWaterfall last_stages;
 
-  MaybeStartTrace(args);
   for (const double rate : rates) {
+    // Per-run session: exemplars and the stage waterfall need live spans
+    // even without --trace_out; Start() clears the previous run.
+    obs::TraceSession::Start();
     serve::ServerOptions options = base_options;
     if (rate > 0) {
       options.fault = fault::FaultConfig::Transfers(rate, seed + 17);
@@ -124,17 +131,19 @@ int Main(int argc, char** argv) {
     for (auto& t : lookup_clients) t.join();
     update_client.join();
     server.Shutdown();
+    obs::TraceSession::Stop();
 
     RateResult result;
     result.fault_rate = rate;
     result.stats = server.Stats();
     results.push_back(result);
     last_metrics = server.metrics().Collect();
+    last_stages = obs::SpanAggregator::FromSession();
     std::printf("fault rate %.2f: %llu/%zu lookups served ok\n", rate,
                 static_cast<unsigned long long>(served.load()),
                 static_cast<std::size_t>(clients) * lookups_per_client);
   }
-  MaybeWriteTrace(args);
+  MaybeWriteTrace(args);  // last run's session; the loop already stopped it
 
   BenchReport report("serve_fault_tolerance");
   report.Meta("platform", platform.name);
@@ -148,6 +157,7 @@ int Main(int argc, char** argv) {
     row.Num("fault_rate", r.fault_rate, 2);
     report.AddServeStatsRow(row, r.stats);
   }
+  report.SetStages(last_stages);
   report.PrintTable("serving under injected device faults");
   if (args.Has("metrics_json")) {
     if (!report.WriteJson(args.GetString("metrics_json", ""),

@@ -19,7 +19,14 @@
 // the overlap evidence: how many read buckets completed strictly between
 // the first and last update commit. Also writes the canonical serving
 // baseline BENCH_serve.json (schema hbtree.bench.v1 with the last run's
-// metrics registry embedded) — override the path with --metrics_json.
+// metrics registry embedded plus a "stages" waterfall — where the last
+// run's time went per pipeline stage) — override the path with
+// --metrics_json.
+//
+// Every run records its own trace session (tracing is compiled into
+// this binary), so tail-latency exemplars and the stage waterfall work
+// without flags; --trace_out additionally exports the last run's
+// session as Chrome trace JSON, matching the embedded metrics snapshot.
 //
 // Flags: --n_log2 (tree size), --clients (lookup threads), --lookups
 // (per client), --updates (total update stream), --bucket_log2,
@@ -27,7 +34,7 @@
 // count; 0 sweeps the topology grid (1,1), (1,--read_workers), (4,1),
 // (4,--read_workers)), --read_workers (dispatchers per shard),
 // --platform, --seed, --metrics_json (output path), --trace_out (Chrome
-// trace JSON).
+// trace JSON of the last run).
 
 #include <cstdio>
 #include <deque>
@@ -40,6 +47,8 @@
 #include "bench_support/serve_runner.h"
 #include "bench_support/table.h"
 #include "core/workload.h"
+#include "obs/span_aggregator.h"
+#include "obs/trace.h"
 #include "serve/server.h"
 
 namespace hbtree::bench {
@@ -50,6 +59,7 @@ struct RunResult {
   std::uint64_t overlapped_buckets = 0;
   double hit_rate = 0;
   obs::MetricsSnapshot metrics;
+  obs::StageWaterfall stages;
 };
 
 /// Runs the whole client workload against one server configuration.
@@ -62,6 +72,12 @@ bool RunOne(const serve::ServerOptions& options,
             const std::vector<UpdateQuery<Key64>>& updates, int clients,
             std::size_t lookups_per_client, std::size_t in_flight,
             RunResult* out) {
+  // Each run is its own trace session: the dispatch spans feed the tail-
+  // latency exemplars and the stage waterfall even when no trace file is
+  // requested. Start() clears the previous run's events, so whatever the
+  // caller exports afterwards covers the last run only — consistent with
+  // the last-run metrics snapshot the report embeds.
+  obs::TraceSession::Start();
   Status create_status;
   auto server_ptr = serve::Server<Key64>::Create(options, data, &create_status);
   if (server_ptr == nullptr) {
@@ -119,13 +135,18 @@ bool RunOne(const serve::ServerOptions& options,
   for (auto& t : lookup_clients) t.join();
   update_client.join();
 
+  // Shutdown first: its final CollectWindow() flush feeds the SLO
+  // tracker, so Stats() below reports burn rates covering the whole run.
+  server.Shutdown();
+  obs::TraceSession::Stop();
+
   out->stats = server.Stats();
   out->overlapped_buckets =
       buckets_after_last_commit.load() - buckets_before_first_commit.load();
   out->hit_rate = static_cast<double>(hits.load()) /
                   (static_cast<double>(clients) * lookups_per_client);
   out->metrics = server.metrics().Collect();
-  server.Shutdown();
+  out->stages = obs::SpanAggregator::FromSession();
   return true;
 }
 
@@ -171,8 +192,6 @@ int Main(int argc, char** argv) {
     sweep.emplace_back(4, 1);
     sweep.emplace_back(4, read_workers);
   }
-
-  MaybeStartTrace(args);
 
   BenchReport report("serve_throughput");
   report.Meta("platform", platform.name);
@@ -224,7 +243,8 @@ int Main(int argc, char** argv) {
     last = std::move(result);
   }
 
-  MaybeWriteTrace(args);
+  MaybeWriteTrace(args);  // last run's session; RunOne already stopped it
+  report.SetStages(last.stages);
   report.PrintTable("serving throughput (canonical columns)");
   const std::string json_path =
       args.GetString("metrics_json", "BENCH_serve.json");

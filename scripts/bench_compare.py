@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Regression sentinel: diffs two hbtree.bench.v1 reports.
+
+Compares a candidate bench report against a checked-in baseline (e.g.
+BENCH_serve.json) row by row and metric by metric, with per-metric
+tolerance bands. Exits 1 when any watched metric regresses beyond its
+band, 2 when the reports are not comparable (different bench, row sets,
+or meta), 0 otherwise — so check.sh (mode `regress`) and CI can gate on
+it directly.
+
+Direction matters: throughput-like columns (reads_per_s, mqps, ...)
+regress when they DROP; latency-like columns (any *_us) regress when
+they RISE. Improvements are reported but never fail the run. Stage
+waterfall shares are compared by absolute difference (a share moving
+from 0.30 to 0.45 means the pipeline's shape changed, whatever the
+totals did).
+
+Rows are matched by (shards, read_workers) when both reports carry those
+columns, else by index. Meta keys describing the workload (n, clients,
+lookups_per_client, updates, bucket, platform, seed) must match unless
+--allow-meta-drift is given: comparing different workloads is a user
+error, not a regression.
+
+Usage:
+  scripts/bench_compare.py BASELINE.json CANDIDATE.json
+  scripts/bench_compare.py --tolerance 0.15 --stage-tolerance 0.2 \\
+      --metric-tolerance read_p99_us=0.5 BENCH_serve.json new.json
+"""
+
+import argparse
+import json
+import sys
+
+# Higher is better: a drop beyond tolerance is a regression.
+HIGHER_BETTER = {
+    "reads_per_s", "updates_per_s", "modelled_ops_per_s", "mqps",
+    "hit_rate", "vs_baseline", "modelled_vs_baseline",
+}
+# Columns that are workload/topology identity or noisy bookkeeping, not
+# performance: never compared.
+SKIP = {
+    "shards", "read_workers", "fault_rate", "overlapped_buckets",
+    "update_batches", "retries", "device_faults", "breaker_opens",
+    "breaker_closes", "cpu_fallback_buckets", "shed", "slo_max_burn",
+}
+META_IDENTITY = ("platform", "n", "clients", "lookups_per_client",
+                 "updates", "bucket", "seed", "retries", "deadline_us")
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL {path}: cannot parse: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "hbtree.bench.v1":
+        print(f"FAIL {path}: not an hbtree.bench.v1 report "
+              f"(schema {doc.get('schema')!r})", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def row_key(row, index):
+    if "shards" in row and "read_workers" in row:
+        return f"shards={row['shards']:g},workers={row['read_workers']:g}"
+    if "fault_rate" in row:
+        return f"fault_rate={row['fault_rate']:g}"
+    return f"row[{index}]"
+
+
+def lower_better(column):
+    return column.endswith("_us")
+
+
+def watched(column):
+    return column not in SKIP and (column in HIGHER_BETTER or
+                                   lower_better(column))
+
+
+class Comparison:
+    def __init__(self, args):
+        self.args = args
+        self.regressions = []
+        self.improvements = []
+        self.compared = 0
+
+    def tolerance_for(self, column):
+        return self.args.per_metric.get(column, self.args.tolerance)
+
+    def check(self, where, column, base, cand):
+        if not isinstance(base, (int, float)) or isinstance(base, bool):
+            return
+        if not isinstance(cand, (int, float)) or isinstance(cand, bool):
+            self.regressions.append(
+                f"{where}.{column}: candidate value is not numeric")
+            return
+        self.compared += 1
+        tol = self.tolerance_for(column)
+        if base == 0:
+            # No baseline signal (e.g. a p99 of 0): nothing to band.
+            return
+        delta = (cand - base) / abs(base)
+        worse = -delta if column in HIGHER_BETTER else delta
+        line = (f"{where}.{column}: {base:g} -> {cand:g} "
+                f"({delta:+.1%}, tolerance {tol:.0%})")
+        if worse > tol:
+            self.regressions.append(line)
+        elif worse < -tol:
+            self.improvements.append(line)
+
+    def check_share(self, where, stage, base, cand):
+        self.compared += 1
+        diff = abs(cand - base)
+        if diff > self.args.stage_tolerance:
+            self.regressions.append(
+                f"{where}.{stage}.share: {base:.2f} -> {cand:.2f} "
+                f"(moved {diff:.2f}, tolerance "
+                f"{self.args.stage_tolerance:.2f})")
+
+
+def compare_rows(cmp, baseline, candidate):
+    base_rows = {row_key(r, i): r for i, r in enumerate(baseline["rows"])}
+    cand_rows = {row_key(r, i): r for i, r in enumerate(candidate["rows"])}
+    if base_rows.keys() != cand_rows.keys():
+        print(f"FAIL: row sets differ: baseline {sorted(base_rows)} vs "
+              f"candidate {sorted(cand_rows)}", file=sys.stderr)
+        sys.exit(2)
+    for key, base_row in base_rows.items():
+        cand_row = cand_rows[key]
+        for column, base_value in base_row.items():
+            if not watched(column) or column not in cand_row:
+                continue
+            cmp.check(key, column, base_value, cand_row[column])
+
+
+def compare_stages(cmp, baseline, candidate):
+    base = baseline.get("stages")
+    cand = candidate.get("stages")
+    if base is None or cand is None:
+        return
+    # Aggregate shares only: per-group shares wobble with scheduling, the
+    # aggregate shape is the stable fingerprint of the pipeline.
+    for stage, s in base.get("aggregate", {}).items():
+        c = cand.get("aggregate", {}).get(stage)
+        if c is None:
+            cmp.regressions.append(
+                f"stages.{stage}: present in baseline, missing in candidate")
+            continue
+        cmp.check_share("stages", stage, s["share"], c["share"])
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--tolerance", type=float, default=0.08,
+                        help="default relative tolerance band "
+                             "(default 8%%)")
+    parser.add_argument("--stage-tolerance", type=float, default=0.10,
+                        help="absolute band for aggregate stage shares "
+                             "(default 0.10)")
+    parser.add_argument("--metric-tolerance", action="append", default=[],
+                        metavar="COLUMN=TOL",
+                        help="per-metric override, e.g. read_p99_us=0.5")
+    parser.add_argument("--allow-meta-drift", action="store_true",
+                        help="compare even when the workload meta differs")
+    args = parser.parse_args()
+    args.per_metric = {}
+    for spec in args.metric_tolerance:
+        column, _, value = spec.partition("=")
+        try:
+            args.per_metric[column] = float(value)
+        except ValueError:
+            parser.error(f"bad --metric-tolerance {spec!r}")
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+    if baseline.get("bench") != candidate.get("bench"):
+        print(f"FAIL: different benches: {baseline.get('bench')!r} vs "
+              f"{candidate.get('bench')!r}", file=sys.stderr)
+        return 2
+    drift = [k for k in META_IDENTITY
+             if baseline.get("meta", {}).get(k) !=
+             candidate.get("meta", {}).get(k)
+             and (k in baseline.get("meta", {}) or
+                  k in candidate.get("meta", {}))]
+    if drift:
+        msg = (f"workload meta differs on {drift} — these runs measured "
+               f"different things")
+        if not args.allow_meta_drift:
+            print(f"FAIL: {msg} (pass --allow-meta-drift to override)",
+                  file=sys.stderr)
+            return 2
+        print(f"warning: {msg}", file=sys.stderr)
+
+    cmp = Comparison(args)
+    compare_rows(cmp, baseline, candidate)
+    compare_stages(cmp, baseline, candidate)
+
+    for line in cmp.improvements:
+        print(f"  improved   {line}")
+    for line in cmp.regressions:
+        print(f"  REGRESSED  {line}", file=sys.stderr)
+    verdict = "REGRESSION" if cmp.regressions else "OK"
+    print(f"{verdict}: {cmp.compared} metric(s) compared, "
+          f"{len(cmp.regressions)} regressed, "
+          f"{len(cmp.improvements)} improved "
+          f"({args.baseline} -> {args.candidate})")
+    return 1 if cmp.regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

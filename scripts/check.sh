@@ -9,6 +9,10 @@
 #                               #   bench, metrics JSON + trace validation
 #   scripts/check.sh shard      # + sharded serving stress under asan and
 #                               #   tsan, plus a multi-shard bench smoke
+#   scripts/check.sh regress    # + bench regression sentinel: rerun the
+#                               #   serving bench at the checked-in
+#                               #   baseline's workload and diff against
+#                               #   BENCH_serve.json with bench_compare.py
 #   scripts/check.sh all        # all of the above
 #
 # The release pass is the acceptance gate every change must keep green;
@@ -109,6 +113,40 @@ print('build/OBS_fault_trace.json: OK (%d events)' % len(d['traceEvents']))"
   python3 scripts/validate_metrics.py build/OBS_overhead.json
 }
 
+run_regress() {
+  echo "==> bench regression sentinel (serve_throughput vs BENCH_serve.json)"
+  cmake --preset release >/dev/null
+  cmake --build --preset release -j "$jobs" --target serve_throughput
+  # Default flags reproduce the checked-in baseline's workload (the meta
+  # check in bench_compare.py enforces that). The trace covers the last
+  # sweep run — the same run whose metrics snapshot the report embeds —
+  # so the exemplar links can be resolved end to end.
+  ./build/bench/serve_throughput \
+      --metrics_json=build/REGRESS_serve.json \
+      --trace_out=build/REGRESS_trace.json
+  python3 scripts/validate_metrics.py \
+      --require-counter serve.lookups \
+      --require-exemplars serve.read_latency \
+      --trace build/REGRESS_trace.json \
+      build/REGRESS_serve.json
+  # Wall-clock throughput/latency move with the host (the histogram's
+  # log buckets alone quantize tails by ~12% per step, and a loaded or
+  # small-core machine doubles queue waits), so those bands are wide;
+  # the modelled numbers come off the simulated platform clock and get
+  # tight ones. Catches the "someone made serving 2x slower" class, not
+  # single-digit noise.
+  python3 scripts/bench_compare.py \
+      --tolerance 0.5 \
+      --stage-tolerance 0.15 \
+      --metric-tolerance modelled_ops_per_s=0.15 \
+      --metric-tolerance modelled_vs_baseline=0.15 \
+      --metric-tolerance hit_rate=0.02 \
+      --metric-tolerance read_p50_us=1.0 \
+      --metric-tolerance read_p99_us=1.0 \
+      --metric-tolerance queue_wait_p99_us=2.0 \
+      BENCH_serve.json build/REGRESS_serve.json
+}
+
 case "$mode" in
   release) run_release ;;
   asan)    run_release; run_asan; run_obs ;;
@@ -116,8 +154,9 @@ case "$mode" in
   fault)   run_release; run_fault ;;
   obs)     run_release; run_obs ;;
   shard)   run_release; run_shard ;;
-  all)     run_release; run_asan; run_tsan; run_fault; run_obs; run_shard ;;
-  *) echo "usage: scripts/check.sh [release|asan|tsan|fault|obs|shard|all]" >&2; exit 2 ;;
+  regress) run_release; run_regress ;;
+  all)     run_release; run_asan; run_tsan; run_fault; run_obs; run_shard; run_regress ;;
+  *) echo "usage: scripts/check.sh [release|asan|tsan|fault|obs|shard|regress|all]" >&2; exit 2 ;;
 esac
 
 echo "==> all requested checks passed"

@@ -9,11 +9,20 @@ Accepts either schema:
 
 Fails (exit 1) on: unparseable JSON, unknown schema, missing required
 keys, non-finite numbers (the C++ JSON writer turns NaN/inf into null,
-so any null value is a poisoned metric), negative counters, or malformed
-histogram summaries (percentiles above the max, p50 > p99, ...).
+so any null value is a poisoned metric), negative counters, malformed
+histogram summaries (percentiles above the max, p50 > p99, ...),
+malformed exemplars, or a malformed bench "stages" waterfall.
+
+With --trace TRACE.json the exemplars are cross-checked against the
+exported Chrome trace: every exemplar stamped with the trace's session
+id must carry a span_id that resolves to a recorded span (exemplars
+from other sessions are skipped — a lifetime registry can outlive a
+trace session).
 
 Usage: scripts/validate_metrics.py FILE [FILE ...]
        scripts/validate_metrics.py --require-counter serve.lookups FILE
+       scripts/validate_metrics.py --trace trace.json \\
+           --require-exemplars serve.read_latency BENCH_serve.json
 """
 
 import argparse
@@ -25,6 +34,13 @@ import sys
 # check.sh assert the fault-injected run actually recorded activity.
 REQUIRED_HISTOGRAM_KEYS = ("count", "p50_us", "p90_us", "p99_us",
                            "max_us", "mean_us")
+REQUIRED_EXEMPLAR_KEYS = ("bucket_us", "trace_id", "span_id", "shard",
+                          "wall_us", "modelled_us")
+REQUIRED_STAGE_KEYS = ("count", "total_us", "mean_us", "max_us", "share")
+# LatencyHistogram::kMaxExemplars — the reservoir is bounded per
+# histogram, so more than this in a serialized summary means the bound
+# was lost somewhere (e.g. a MergeFrom that concatenates).
+MAX_EXEMPLARS = 8
 
 
 class ValidationError(Exception):
@@ -60,6 +76,72 @@ def validate_histogram(path, name, summary):
         for key in REQUIRED_HISTOGRAM_KEYS[1:]:
             if summary[key] < 0:
                 fail(path, f"histogram {name}.{key} is negative")
+    validate_exemplars(path, name, summary)
+
+
+def validate_exemplars(path, name, summary):
+    exemplars = summary.get("exemplars")
+    if exemplars is None:
+        return
+    if not isinstance(exemplars, list):
+        fail(path, f"histogram {name}.exemplars is not an array")
+    if len(exemplars) > MAX_EXEMPLARS:
+        fail(path, f"histogram {name} has {len(exemplars)} exemplars; the "
+                   f"reservoir is bounded at {MAX_EXEMPLARS}")
+    if exemplars and summary["count"] == 0:
+        fail(path, f"histogram {name} has exemplars but zero samples")
+    for i, ex in enumerate(exemplars):
+        if not isinstance(ex, dict):
+            fail(path, f"histogram {name} exemplar {i} is not an object")
+        for key in REQUIRED_EXEMPLAR_KEYS:
+            if key not in ex:
+                fail(path, f"histogram {name} exemplar {i} missing {key}")
+            check_finite_number(path, f"histogram {name} exemplar {i}.{key}",
+                                ex[key])
+        for key in ("trace_id", "span_id"):
+            if ex[key] != int(ex[key]) or ex[key] <= 0:
+                fail(path, f"histogram {name} exemplar {i}.{key} is not a "
+                           f"positive integer: {ex[key]!r}")
+        if ex["wall_us"] < 0 or ex["modelled_us"] < 0:
+            fail(path, f"histogram {name} exemplar {i} has negative latency")
+        if summary["count"] > 0 and ex["wall_us"] > summary["max_us"] + 1e-9:
+            fail(path, f"histogram {name} exemplar {i} wall_us "
+                       f"{ex['wall_us']} exceeds the histogram max "
+                       f"{summary['max_us']}")
+
+
+def validate_stage_map(path, context, stages):
+    if not isinstance(stages, dict):
+        fail(path, f"{context} is not an object")
+    share_sum = 0.0
+    for stage, s in stages.items():
+        if not isinstance(s, dict):
+            fail(path, f"{context}.{stage} is not an object")
+        for key in REQUIRED_STAGE_KEYS:
+            if key not in s:
+                fail(path, f"{context}.{stage} missing key {key}")
+            check_finite_number(path, f"{context}.{stage}.{key}", s[key])
+            if s[key] < 0:
+                fail(path, f"{context}.{stage}.{key} is negative")
+        if not 0 <= s["share"] <= 1 + 1e-9:
+            fail(path, f"{context}.{stage}.share out of [0,1]: {s['share']}")
+        share_sum += s["share"]
+    if stages and abs(share_sum - 1.0) > 1e-6:
+        fail(path, f"{context} stage shares sum to {share_sum}, not 1")
+
+
+def validate_stages(path, stages):
+    for key in ("total_us", "aggregate", "groups"):
+        if key not in stages:
+            fail(path, f"stages section missing key {key}")
+    check_finite_number(path, "stages.total_us", stages["total_us"])
+    validate_stage_map(path, "stages.aggregate", stages["aggregate"])
+    if not isinstance(stages["groups"], dict):
+        fail(path, "stages.groups is not an object")
+    for group, group_stages in stages["groups"].items():
+        validate_stage_map(path, f"stages.groups.{group}", group_stages)
+    return (f"{len(stages['aggregate'])} stages over "
+            f"{len(stages['groups'])} groups")
 
 
 def validate_metrics_v1(path, doc):
@@ -96,12 +178,77 @@ def validate_bench_v1(path, doc):
                 continue
             check_finite_number(path, f"row {i} column {column}", value)
     detail = f"{len(doc['rows'])} rows"
+    if "stages" in doc:
+        detail += "; stages: " + validate_stages(path, doc["stages"])
     if "metrics" in doc:
         detail += "; metrics: " + validate_metrics_v1(path, doc["metrics"])
     return detail
 
 
-def validate_file(path, require_counters):
+def load_trace_spans(path):
+    """Returns (trace_id, set of span_ids) from a Chrome trace export."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"cannot parse trace: {e}")
+    trace_id = trace.get("traceId")
+    if not isinstance(trace_id, int) or trace_id <= 0:
+        fail(path, f"trace has no usable top-level traceId: {trace_id!r}")
+    span_ids = set()
+    for event in trace.get("traceEvents", []):
+        span_id = event.get("args", {}).get("span_id")
+        if isinstance(span_id, int) and span_id > 0:
+            span_ids.add(span_id)
+    return trace_id, span_ids
+
+
+def iter_histograms(doc):
+    metrics = doc if doc.get("schema") == "hbtree.metrics.v1" \
+        else doc.get("metrics", {})
+    yield from metrics.get("histograms", {}).items()
+
+
+def check_exemplars_against_trace(path, doc, trace_id, span_ids):
+    """Every exemplar from the trace's session must resolve to a span."""
+    resolved = 0
+    skipped = 0
+    for name, summary in iter_histograms(doc):
+        for i, ex in enumerate(summary.get("exemplars", [])):
+            if int(ex["trace_id"]) != trace_id:
+                skipped += 1  # captured under an earlier/other session
+                continue
+            if int(ex["span_id"]) not in span_ids:
+                fail(path, f"histogram {name} exemplar {i} span_id "
+                           f"{ex['span_id']} does not resolve in the trace "
+                           f"(trace_id {trace_id} matches)")
+            resolved += 1
+    return resolved, skipped
+
+
+def check_required_exemplars(path, doc, names):
+    """Each named histogram needs >= 1 exemplar from its own tail.
+
+    The reservoir targets the p99+ region; tolerate adaptive-threshold
+    lag by only requiring the best exemplar to reach 80% of p99.
+    """
+    histograms = dict(iter_histograms(doc))
+    for name in names:
+        if name not in histograms:
+            fail(path, f"histogram {name} (--require-exemplars) is absent")
+        summary = histograms[name]
+        exemplars = summary.get("exemplars", [])
+        if not exemplars:
+            fail(path, f"histogram {name} recorded {summary['count']} "
+                       f"samples but captured no exemplars")
+        best = max(ex["wall_us"] for ex in exemplars)
+        if best < 0.8 * summary["p99_us"]:
+            fail(path, f"histogram {name} exemplars top out at "
+                       f"{best:.1f}us, below 80% of p99 "
+                       f"({summary['p99_us']:.1f}us) — not tail samples")
+
+
+def validate_file(path, args, trace):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -116,9 +263,20 @@ def validate_file(path, require_counters):
         counters = doc.get("metrics", {}).get("counters", {})
     else:
         fail(path, f"unknown schema: {schema!r}")
-    for name in require_counters:
+    for name in args.require_counter:
         if name not in counters:
             fail(path, f"required counter {name} is absent")
+    if args.require_exemplars:
+        check_required_exemplars(path, doc, args.require_exemplars)
+    if trace is not None:
+        resolved, skipped = check_exemplars_against_trace(
+            path, doc, trace[0], trace[1])
+        detail += f"; {resolved} exemplar(s) resolved in trace"
+        if skipped:
+            detail += f", {skipped} from other sessions skipped"
+        if args.require_exemplars and resolved == 0:
+            fail(path, "no exemplar resolved against the trace (all from "
+                       "other sessions?)")
     print(f"{path}: OK ({schema}; {detail})")
 
 
@@ -129,11 +287,25 @@ def main():
                         metavar="NAME",
                         help="fail unless this counter exists in the "
                              "(embedded) metrics snapshot")
+    parser.add_argument("--require-exemplars", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless this histogram carries at least "
+                             "one tail exemplar (>= 80%% of its p99)")
+    parser.add_argument("--trace", metavar="TRACE_JSON",
+                        help="Chrome trace export to resolve exemplar "
+                             "trace_id/span_id pairs against")
     args = parser.parse_args()
     status = 0
+    trace = None
+    if args.trace:
+        try:
+            trace = load_trace_spans(args.trace)
+        except ValidationError as e:
+            print(f"FAIL {e}", file=sys.stderr)
+            return 1
     for path in args.files:
         try:
-            validate_file(path, args.require_counter)
+            validate_file(path, args, trace)
         except ValidationError as e:
             print(f"FAIL {e}", file=sys.stderr)
             status = 1

@@ -66,7 +66,19 @@ BenchReport::Row& BenchReport::AddServeStatsRow(
            static_cast<double>(stats.cpu_fallback_buckets), 0)
       .Num("shed", static_cast<double>(stats.shed_reads + stats.shed_updates),
            0);
+  // Worst burn rate across the tracked SLOs (0 with none observed): >1
+  // means some objective spent its error budget faster than tolerated
+  // during this run.
+  double max_burn = 0;
+  for (const obs::SloStatus& slo : stats.slos) {
+    max_burn = std::max(max_burn, slo.burn_short);
+  }
+  row.Num("slo_max_burn", max_burn, 2);
   return row;
+}
+
+void BenchReport::SetStages(const obs::StageWaterfall& stages) {
+  stages_ = stages;
 }
 
 void BenchReport::PrintTable(const std::string& title,
@@ -149,6 +161,43 @@ std::string BenchReport::ToJson(const obs::MetricsSnapshot* metrics) const {
     w.EndObject();
   }
   w.EndArray();
+  if (!stages_.empty()) {
+    auto append_stages =
+        [&w](const std::vector<std::pair<std::string, obs::StageStats>>&
+                 stages) {
+          w.BeginObject();
+          for (const auto& [stage, s] : stages) {
+            w.Key(stage);
+            w.BeginObject();
+            w.Key("count");
+            w.Uint(s.count);
+            w.Key("total_us");
+            w.Number(s.total_us);
+            w.Key("mean_us");
+            w.Number(s.mean_us());
+            w.Key("max_us");
+            w.Number(s.max_us);
+            w.Key("share");
+            w.Number(s.share);
+            w.EndObject();
+          }
+          w.EndObject();
+        };
+    w.Key("stages");
+    w.BeginObject();
+    w.Key("total_us");
+    w.Number(stages_.total_us);
+    w.Key("aggregate");
+    append_stages(stages_.stages);
+    w.Key("groups");
+    w.BeginObject();
+    for (const obs::StageGroup& group : stages_.groups) {
+      w.Key(group.name);
+      append_stages(group.stages);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
   if (metrics != nullptr) {
     w.Key("metrics");
     obs::MetricsRegistry::AppendJson(*metrics, &w);

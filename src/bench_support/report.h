@@ -8,6 +8,7 @@
 
 #include "bench_support/args.h"
 #include "obs/metrics.h"
+#include "obs/span_aggregator.h"
 #include "serve/serve_stats.h"
 
 namespace hbtree::bench {
@@ -61,6 +62,13 @@ class BenchReport {
   /// and append extra columns after.
   Row& AddServeStatsRow(Row& row, const serve::ServeStats& stats);
 
+  /// Attaches a stage waterfall (obs::SpanAggregator::FromSession() of a
+  /// traced run), emitted as the JSON's "stages" section: where the ops'
+  /// time went per pipeline stage, aggregate and per shard/slot. A
+  /// report carries at most one waterfall — conventionally the last
+  /// (largest-topology) run, matching the embedded metrics snapshot.
+  void SetStages(const obs::StageWaterfall& stages);
+
   /// Console table over the union of row columns (first-appearance
   /// order); missing cells print "-".
   void PrintTable(const std::string& title, int column_width = 10) const;
@@ -77,6 +85,7 @@ class BenchReport {
   std::string name_;
   std::vector<std::pair<std::string, Cell>> meta_;
   std::deque<Row> rows_;  // deque: AddRow must not invalidate references
+  obs::StageWaterfall stages_;
 };
 
 // -- Shared observability flags ---------------------------------------------

@@ -66,6 +66,12 @@ struct PipelineConfig {
   /// Modelled exponential-backoff delay before the first retry, µs
   /// (doubled per retry); charged to the failing step's timeline.
   double retry_backoff_us = 25.0;
+
+  /// Model-track block this run's trace spans land on (a multiple of
+  /// TraceSession::kModelTrackStride; the serving layer assigns one block
+  /// per tree slot so multi-shard traces stay on separate tracks). Unused
+  /// when tracing is compiled out.
+  int trace_track_base = 0;
 };
 
 /// Aggregate result of one pipeline run.
@@ -455,25 +461,26 @@ Status RunPipelineChecked(typename Adapter::Tree& tree, const K* queries,
     const double end =
         scheduler.ScheduleBucket(ready, tpre, t1, t2, t3, t4, &tl);
     HBTREE_TRACE_ONLY(if (tpre > 0) {
-      HBTREE_TRACE_MODEL_SPAN(kTrackPreDescend, "bucket.pre_descend",
+      HBTREE_TRACE_MODEL_SPAN(config.trace_track_base, kTrackPreDescend,
+                              "bucket.pre_descend",
                               trace_base_us + tl.pre_start,
                               tl.pre_end - tl.pre_start, "bucket",
                               static_cast<double>(b));
     })
-    HBTREE_TRACE_MODEL_SPAN(kTrackH2D, "bucket.h2d",
+    HBTREE_TRACE_MODEL_SPAN(config.trace_track_base, kTrackH2D, "bucket.h2d",
                             trace_base_us + tl.h2d_start,
                             tl.h2d_end - tl.h2d_start, "bucket",
                             static_cast<double>(b));
-    HBTREE_TRACE_MODEL_SPAN(kTrackKernel, "bucket.kernel",
-                            trace_base_us + tl.kernel_start,
+    HBTREE_TRACE_MODEL_SPAN(config.trace_track_base, kTrackKernel,
+                            "bucket.kernel", trace_base_us + tl.kernel_start,
                             tl.kernel_end - tl.kernel_start, "bucket",
                             static_cast<double>(b));
-    HBTREE_TRACE_MODEL_SPAN(kTrackD2H, "bucket.d2h",
+    HBTREE_TRACE_MODEL_SPAN(config.trace_track_base, kTrackD2H, "bucket.d2h",
                             trace_base_us + tl.d2h_start,
                             tl.d2h_end - tl.d2h_start, "bucket",
                             static_cast<double>(b));
-    HBTREE_TRACE_MODEL_SPAN(kTrackCpuLeaf, "bucket.cpu_leaf",
-                            trace_base_us + tl.cpu_start,
+    HBTREE_TRACE_MODEL_SPAN(config.trace_track_base, kTrackCpuLeaf,
+                            "bucket.cpu_leaf", trace_base_us + tl.cpu_start,
                             tl.cpu_end - tl.cpu_start, "bucket",
                             static_cast<double>(b));
     bucket_end.push_back(end);

@@ -6,8 +6,30 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <mutex>
+#include <vector>
 
 namespace hbtree::obs {
+
+/// One tail-latency sample linked back to its trace span: the answer to
+/// "which dispatch was that p99 outlier, and where did its time go".
+/// `trace_id` identifies the recording TraceSession (exported as the
+/// trace JSON's top-level `traceId`), `span_id` the specific span (the
+/// bucket dispatch / update commit that served the sample). Both stay
+/// below 2^53 so they survive a round trip through JSON doubles.
+struct Exemplar {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  int shard = -1;          // key-range shard that served the sample
+  double modelled_us = 0;  // modelled device time charged to its bucket
+  std::uint64_t wall_ns = 0;  // the sample's own recorded latency
+};
+
+/// Exemplar pinned to the histogram bucket its sample landed in.
+struct BucketExemplar {
+  int bucket = -1;
+  Exemplar exemplar;
+};
 
 /// Percentile summary extracted from a LatencyHistogram.
 struct LatencySummary {
@@ -17,6 +39,9 @@ struct LatencySummary {
   double p99_us = 0;
   double max_us = 0;
   double mean_us = 0;
+  /// Captured tail exemplars (empty unless the owner recorded any via
+  /// RecordWithExemplar), sorted by bucket ascending.
+  std::vector<BucketExemplar> exemplars;
 };
 
 /// Lock-free log-scaled latency histogram (HdrHistogram-lite): four
@@ -35,6 +60,9 @@ class LatencyHistogram {
   static constexpr int kSub = 1 << kSubBits;
   static constexpr int kLinearLimit = 1 << (kSubBits + 1);  // 0..7 exact
   static constexpr int kBuckets = kLinearLimit + (64 - kSubBits - 1) * kSub;
+  /// Exemplar reservoir bound: at most this many (bucket, exemplar)
+  /// entries per histogram, regardless of how many shards merge in.
+  static constexpr int kMaxExemplars = 8;
 
   void Record(std::uint64_t ns) {
     counts_[BucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
@@ -44,6 +72,45 @@ class LatencyHistogram {
            !max_ns_.compare_exchange_weak(seen, ns,
                                           std::memory_order_relaxed)) {
     }
+  }
+
+  /// Record() plus exemplar capture: if the sample's bucket is at or
+  /// above the exemplar threshold, it competes for a reservoir slot. The
+  /// reservoir keeps at most kMaxExemplars entries, one per bucket, each
+  /// holding the max-latency sample seen for that bucket; when full, the
+  /// lowest-bucket entry is evicted for a higher-bucket sample, so the
+  /// extreme tail always keeps its exemplar. The threshold pre-check is
+  /// one relaxed load; only qualifying samples (the tail) take the
+  /// reservoir lock.
+  void RecordWithExemplar(std::uint64_t ns, const Exemplar& exemplar) {
+    Record(ns);
+    const int bucket = BucketIndex(ns);
+    if (bucket < exemplar_threshold_.load(std::memory_order_relaxed)) return;
+    Exemplar e = exemplar;
+    e.wall_ns = ns;
+    std::lock_guard<std::mutex> lock(exemplar_mutex_);
+    Offer(bucket, e);
+  }
+
+  /// Capture floor: samples whose bucket lies below the threshold are
+  /// not considered for the reservoir. 0 (the default) captures into the
+  /// reservoir from the first sample on; owners typically raise it to
+  /// the bucket of a trailing percentile (see obs::Histogram).
+  void SetExemplarThresholdNs(std::uint64_t ns) {
+    exemplar_threshold_.store(BucketIndex(ns), std::memory_order_relaxed);
+  }
+
+  /// Current reservoir contents, sorted by bucket ascending.
+  std::vector<BucketExemplar> Exemplars() const {
+    std::lock_guard<std::mutex> lock(exemplar_mutex_);
+    std::vector<BucketExemplar> out;
+    out.reserve(static_cast<std::size_t>(exemplar_count_));
+    for (int i = 0; i < exemplar_count_; ++i) out.push_back(exemplars_[i]);
+    std::sort(out.begin(), out.end(),
+              [](const BucketExemplar& a, const BucketExemplar& b) {
+                return a.bucket < b.bucket;
+              });
+    return out;
   }
 
   /// Adds `other`'s contents into this histogram (counts, sum, running
@@ -64,6 +131,18 @@ class LatencyHistogram {
            !max_ns_.compare_exchange_weak(seen, other_max,
                                           std::memory_order_relaxed)) {
     }
+    // Exemplars reconcile under the same policy as live capture: per
+    // bucket the max-latency sample wins, the reservoir stays bounded,
+    // and higher buckets displace lower ones — so merging N shards'
+    // histograms keeps the globally worst tail samples. Snapshot the
+    // source first: both sides may be recording concurrently, and taking
+    // the two locks in a fixed order (snapshot then insert) avoids any
+    // lock-order cycle between histograms merged in both directions.
+    const std::vector<BucketExemplar> theirs = other.Exemplars();
+    if (!theirs.empty()) {
+      std::lock_guard<std::mutex> lock(exemplar_mutex_);
+      for (const BucketExemplar& be : theirs) Offer(be.bucket, be.exemplar);
+    }
   }
 
   /// Zeroes the histogram. Windowed reporting drains a histogram with
@@ -73,6 +152,8 @@ class LatencyHistogram {
     for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
     sum_ns_.store(0, std::memory_order_relaxed);
     max_ns_.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(exemplar_mutex_);
+    exemplar_count_ = 0;
   }
 
   /// Mid-point of the bucket `ns` falls into (its representative value).
@@ -127,6 +208,7 @@ class LatencyHistogram {
     summary.p50_us = std::min(summary.p50_us, summary.max_us);
     summary.p90_us = std::min(summary.p90_us, summary.max_us);
     summary.p99_us = std::min(summary.p99_us, summary.max_us);
+    summary.exemplars = Exemplars();
     return summary;
   }
 
@@ -137,9 +219,38 @@ class LatencyHistogram {
   }
 
  private:
+  /// Inserts under exemplar_mutex_ (caller holds it). One entry per
+  /// bucket (max wall_ns wins); when full, the lowest-bucket entry yields
+  /// to a strictly higher bucket.
+  void Offer(int bucket, const Exemplar& exemplar) {
+    int lowest = 0;
+    for (int i = 0; i < exemplar_count_; ++i) {
+      if (exemplars_[i].bucket == bucket) {
+        if (exemplar.wall_ns > exemplars_[i].exemplar.wall_ns) {
+          exemplars_[i].exemplar = exemplar;
+        }
+        return;
+      }
+      if (exemplars_[i].bucket < exemplars_[lowest].bucket) lowest = i;
+    }
+    if (exemplar_count_ < kMaxExemplars) {
+      exemplars_[exemplar_count_++] = BucketExemplar{bucket, exemplar};
+      return;
+    }
+    if (exemplars_[lowest].bucket < bucket) {
+      exemplars_[lowest] = BucketExemplar{bucket, exemplar};
+    }
+  }
+
   std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
   std::atomic<std::uint64_t> sum_ns_{0};
   std::atomic<std::uint64_t> max_ns_{0};
+
+  /// Minimum bucket index worth an exemplar (see RecordWithExemplar).
+  std::atomic<int> exemplar_threshold_{0};
+  mutable std::mutex exemplar_mutex_;  // guards the reservoir below
+  std::array<BucketExemplar, kMaxExemplars> exemplars_{};
+  int exemplar_count_ = 0;
 };
 
 }  // namespace hbtree::obs

@@ -105,9 +105,10 @@ std::string MetricsRegistry::ToText(const MetricsSnapshot& snapshot) {
   for (const auto& [name, s] : snapshot.histograms) {
     std::snprintf(line, sizeof(line),
                   "  %-32s count %llu  p50 %.1fus  p90 %.1fus  p99 %.1fus  "
-                  "max %.1fus\n",
+                  "max %.1fus%s\n",
                   name.c_str(), static_cast<unsigned long long>(s.count),
-                  s.p50_us, s.p90_us, s.p99_us, s.max_us);
+                  s.p50_us, s.p90_us, s.p99_us, s.max_us,
+                  s.exemplars.empty() ? "" : "  (+exemplars)");
     out += line;
   }
   return out;
@@ -153,6 +154,31 @@ void MetricsRegistry::AppendJson(const MetricsSnapshot& snapshot,
     w->Number(s.max_us);
     w->Key("mean_us");
     w->Number(s.mean_us);
+    if (!s.exemplars.empty()) {
+      // Tail exemplars: each links a recorded sample back to the trace
+      // span that served it (resolve with scripts/validate_metrics.py
+      // --trace). bucket_us is the representative (midpoint) value of
+      // the histogram bucket the sample landed in.
+      w->Key("exemplars");
+      w->BeginArray();
+      for (const BucketExemplar& be : s.exemplars) {
+        w->BeginObject();
+        w->Key("bucket_us");
+        w->Number(LatencyHistogram::BucketMidpointNs(be.bucket) / 1e3);
+        w->Key("trace_id");
+        w->Uint(be.exemplar.trace_id);
+        w->Key("span_id");
+        w->Uint(be.exemplar.span_id);
+        w->Key("shard");
+        w->Int(be.exemplar.shard);
+        w->Key("wall_us");
+        w->Number(be.exemplar.wall_ns / 1e3);
+        w->Key("modelled_us");
+        w->Number(be.exemplar.modelled_us);
+        w->EndObject();
+      }
+      w->EndArray();
+    }
     w->EndObject();
   }
   w->EndObject();

@@ -1,0 +1,103 @@
+#ifndef HBTREE_OBS_SLO_H_
+#define HBTREE_OBS_SLO_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hbtree::obs {
+
+/// One service-level objective over registry metrics.
+///
+/// Two kinds:
+///  * kLatencyP99 — "p99 of histogram `histogram` ≤ threshold_us". The
+///    bad fraction of a window is the estimated share of its samples
+///    above the threshold (interpolated from the window's percentile
+///    summary — the registry does not keep raw samples).
+///  * kRatio — "sum(bad_counters) / sum(total_counters) ≤ budget", e.g.
+///    shed requests over admitted requests.
+///
+/// `budget` is the tolerated bad fraction; burn rate is bad fraction
+/// over budget, so burn 1.0 means exactly spending the error budget and
+/// burn 2.0 means burning it twice as fast as tolerated (SRE-style
+/// multi-window burn-rate alerting).
+struct SloSpec {
+  enum class Kind { kLatencyP99, kRatio };
+
+  std::string name;  // metric-safe label, e.g. "read_p99"
+  Kind kind = Kind::kLatencyP99;
+
+  // kLatencyP99
+  std::string histogram;    // registry histogram the target reads
+  double threshold_us = 0;  // latency target
+
+  // kRatio
+  std::vector<std::string> bad_counters;
+  std::vector<std::string> total_counters;
+
+  double budget = 0.01;   // tolerated bad fraction (1% by default)
+  int long_windows = 12;  // windows folded into the long burn rate
+};
+
+/// Burn-rate state of one SLO after some number of observed windows.
+struct SloStatus {
+  std::string name;
+  double budget = 0;
+  double bad_fraction = 0;  // most recent window
+  double burn_short = 0;    // last window's bad fraction / budget
+  double burn_long = 0;     // over the last `long_windows` windows
+  std::uint64_t windows = 0;
+  /// Both windows over budget — the page-worthy condition: the short
+  /// window says it's happening now, the long window says it's not a
+  /// blip.
+  bool burning = false;
+};
+
+/// Multi-window burn-rate accounting fed from CollectWindow() deltas.
+///
+/// The owner calls Observe() with each windowed snapshot (the serving
+/// layer's reporter loop does this on its reporting interval and once
+/// more at shutdown); the tracker keeps a bounded ring of per-window
+/// (bad, total) pairs per target and publishes burn rates back into the
+/// registry as gauges `slo.<name>.burn_short` / `.burn_long` /
+/// `.bad_fraction`, so they ride every metrics export without extra
+/// plumbing. Thread-safe.
+class SloTracker {
+ public:
+  /// `registry` may be null (no gauge publication; tests).
+  explicit SloTracker(MetricsRegistry* registry) : registry_(registry) {}
+
+  void AddTarget(const SloSpec& spec);
+
+  /// Folds one windowed snapshot into every target. Snapshots must come
+  /// from CollectWindow() (deltas); lifetime snapshots would double-count.
+  void Observe(const MetricsSnapshot& window);
+
+  std::vector<SloStatus> Status() const;
+
+  /// Estimated fraction of a summarized window's samples above
+  /// `threshold_us`, interpolated between the summary's percentile
+  /// points. Exposed for tests.
+  static double EstimateBadFraction(const LatencySummary& summary,
+                                    double threshold_us);
+
+ private:
+  struct Target {
+    SloSpec spec;
+    // Ring of per-window (bad, total) weighted sample counts, most
+    // recent last, bounded by spec.long_windows.
+    std::vector<std::pair<double, double>> ring;
+    SloStatus status;
+  };
+
+  MetricsRegistry* registry_;
+  mutable std::mutex mutex_;
+  std::vector<Target> targets_;
+};
+
+}  // namespace hbtree::obs
+
+#endif  // HBTREE_OBS_SLO_H_

@@ -1,8 +1,10 @@
 #include "obs/trace.h"
 
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 
 #include "obs/json_writer.h"
 
@@ -23,14 +25,32 @@ struct ThreadBuffer {
   std::vector<TraceEvent> events;
 };
 
+/// 48-bit session identity (survives a JSON-double round trip). Mixes
+/// two clocks so back-to-back sessions in one process and sessions in
+/// distinct processes both diverge.
+std::uint64_t GenerateTraceId() {
+  const auto mono = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  const auto wall = static_cast<std::uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+  std::uint64_t id = (mono * 0x9e3779b97f4a7c15ull) ^ wall;
+  id &= (std::uint64_t{1} << 48) - 1;
+  return id != 0 ? id : 1;
+}
+
 struct TraceState {
   std::chrono::steady_clock::time_point start =
       std::chrono::steady_clock::now();
-  std::mutex mutex;  // guards buffers (registration, control ops)
+  std::mutex mutex;  // guards buffers + model_prefixes (control ops)
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  // Wall tids start above the fixed model-track range so a Perfetto view
-  // sorts the resource tracks first.
+  std::map<int, std::string> model_prefixes;  // track base → label
+  // Wall tids start above the slot-0 model-track block so a Perfetto
+  // view sorts those resource tracks first. Sharded slots use bases ≥
+  // kModelTrackStride and so share the tid space with wall threads —
+  // harmless, the pids differ.
   std::atomic<int> next_tid{16};
+  std::atomic<std::uint64_t> next_span_id{1};
+  std::atomic<std::uint64_t> trace_id{0};
 };
 
 TraceState& State() {
@@ -89,11 +109,17 @@ void AppendEvent(JsonWriter* w, const TraceEvent& e) {
     w->Key("s");
     w->String("t");  // thread-scoped instant
   }
-  if (e.arg_name != nullptr) {
+  if (e.arg_name != nullptr || e.span_id != 0) {
     w->Key("args");
     w->BeginObject();
-    w->Key(e.arg_name);
-    w->Number(e.arg_value);
+    if (e.arg_name != nullptr) {
+      w->Key(e.arg_name);
+      w->Number(e.arg_value);
+    }
+    if (e.span_id != 0) {
+      w->Key("span_id");
+      w->Uint(e.span_id);
+    }
     w->EndObject();
   }
   w->EndObject();
@@ -127,6 +153,7 @@ void TraceSession::Start() {
   std::lock_guard<std::mutex> lock(state.mutex);
   for (auto& buffer : state.buffers) buffer->events.clear();
   state.start = std::chrono::steady_clock::now();
+  state.trace_id.store(GenerateTraceId(), std::memory_order_relaxed);
   active_.store(true, std::memory_order_release);
 }
 
@@ -148,9 +175,25 @@ void TraceSession::SetThreadName(const char* name) {
   LocalBuffer().name = name;
 }
 
+std::uint64_t TraceSession::trace_id() {
+  return State().trace_id.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TraceSession::NextSpanId() {
+  return State().next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceSession::RegisterModelTrackPrefix(int base,
+                                            const std::string& prefix) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.model_prefixes[base] = prefix;
+}
+
 void TraceSession::RecordComplete(const char* name, const char* cat,
                                   double ts_us, double dur_us,
-                                  const char* arg_name, double arg_value) {
+                                  const char* arg_name, double arg_value,
+                                  std::uint64_t span_id) {
   if (!active()) return;
   ThreadBuffer& buffer = LocalBuffer();
   TraceEvent e;
@@ -163,6 +206,7 @@ void TraceSession::RecordComplete(const char* name, const char* cat,
   e.dur_us = dur_us;
   e.arg_name = arg_name;
   e.arg_value = arg_value;
+  e.span_id = span_id;
   buffer.events.push_back(e);
 }
 
@@ -182,6 +226,13 @@ void TraceSession::RecordInstant(const char* name, const char* cat) {
 void TraceSession::RecordModelSpan(ModelTrack track, const char* name,
                                    double ts_us, double dur_us,
                                    const char* arg_name, double arg_value) {
+  RecordModelSpanAt(0, track, name, ts_us, dur_us, arg_name, arg_value);
+}
+
+void TraceSession::RecordModelSpanAt(int base, ModelTrack track,
+                                     const char* name, double ts_us,
+                                     double dur_us, const char* arg_name,
+                                     double arg_value) {
   if (!active()) return;
   ThreadBuffer& buffer = LocalBuffer();
   TraceEvent e;
@@ -189,7 +240,7 @@ void TraceSession::RecordModelSpan(ModelTrack track, const char* name,
   e.cat = "model";
   e.ph = 'X';
   e.pid = kModelPid;
-  e.tid = static_cast<int>(track);
+  e.tid = base + static_cast<int>(track);
   e.ts_us = ts_us;
   e.dur_us = dur_us;
   e.arg_name = arg_name;
@@ -208,6 +259,22 @@ std::vector<TraceEvent> TraceSession::Snapshot() {
   return events;
 }
 
+std::vector<std::pair<int, std::string>> TraceSession::ThreadNames() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::vector<std::pair<int, std::string>> names;
+  for (const auto& buffer : state.buffers) {
+    if (!buffer->name.empty()) names.emplace_back(buffer->tid, buffer->name);
+  }
+  return names;
+}
+
+std::vector<std::pair<int, std::string>> TraceSession::ModelTrackPrefixes() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return {state.model_prefixes.begin(), state.model_prefixes.end()};
+}
+
 std::size_t TraceSession::event_count() {
   TraceState& state = State();
   std::lock_guard<std::mutex> lock(state.mutex);
@@ -223,13 +290,39 @@ std::string TraceSession::ToChromeJson() {
   w.BeginObject();
   w.Key("displayTimeUnit");
   w.String("ms");
+  w.Key("traceId");
+  w.Uint(state.trace_id.load(std::memory_order_relaxed));
   w.Key("traceEvents");
   w.BeginArray();
   AppendMetadata(&w, "process_name", kWallPid, -1, "wall-clock");
   AppendMetadata(&w, "process_name", kModelPid, -1, "modelled platform");
+  // Name every model track in use: the slot-0 block always, registered
+  // slot blocks, plus any tid events actually landed on.
+  std::set<int> model_tids;
   for (int track = kTrackPreDescend; track <= kTrackCpuLeaf; ++track) {
-    AppendMetadata(&w, "thread_name", kModelPid, track,
-                   ModelTrackName(track));
+    model_tids.insert(track);
+    for (const auto& [base, prefix] : state.model_prefixes) {
+      model_tids.insert(base + track);
+    }
+  }
+  for (const auto& buffer : state.buffers) {
+    for (const TraceEvent& e : buffer->events) {
+      if (e.pid == kModelPid) model_tids.insert(e.tid);
+    }
+  }
+  for (const int tid : model_tids) {
+    const int track = tid % kModelTrackStride;
+    const int base = tid - track;
+    std::string label;
+    if (base != 0) {
+      const auto it = state.model_prefixes.find(base);
+      label = it != state.model_prefixes.end()
+                  ? it->second
+                  : "slot" + std::to_string(base / kModelTrackStride);
+      label += '/';
+    }
+    label += ModelTrackName(track);
+    AppendMetadata(&w, "thread_name", kModelPid, tid, label);
   }
   for (const auto& buffer : state.buffers) {
     char fallback[32];

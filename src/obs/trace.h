@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace hbtree::obs {
@@ -24,6 +25,11 @@ struct TraceEvent {
   double dur_us = 0;           // valid for 'X'
   const char* arg_name = nullptr;  // optional single numeric arg
   double arg_value = 0;
+  /// Nonzero links this span to histogram exemplars: exported as
+  /// `args.span_id`, matched against the `span_id` field of
+  /// `hbtree.metrics.v1` exemplars. Allocated via NextSpanId() only for
+  /// spans something may point at (bucket dispatches, update commits).
+  std::uint64_t span_id = 0;
 };
 
 /// Process-wide span recorder.
@@ -62,6 +68,13 @@ class TraceSession {
     kTrackCpuLeaf = 5,
   };
 
+  /// Each tree slot gets its own block of model tracks so multi-shard
+  /// traces are not interleaved on one set of resource tracks: slot
+  /// ordinal k records on tids `k * kModelTrackStride + ModelTrack`.
+  /// Base 0 (single un-sharded pipelines, direct bench runs) keeps the
+  /// bare `sim.*` track names.
+  static constexpr int kModelTrackStride = 8;
+
   static bool active() {
     return active_.load(std::memory_order_relaxed);
   }
@@ -75,15 +88,34 @@ class TraceSession {
   /// Microseconds since Start() on the wall clock.
   static double NowUs();
 
+  /// Identity of the current recording session, regenerated at Start()
+  /// and exported as the trace JSON's top-level `traceId`. Kept below
+  /// 2^48 so it round-trips through JSON doubles; 0 only before the
+  /// first Start(). Exemplars captured while this session records carry
+  /// this id, which is how a metrics file is matched to its trace file.
+  static std::uint64_t trace_id();
+
+  /// Allocates a span id (monotonic, never reused across sessions) for
+  /// spans that exemplars may reference. Cheap (one relaxed fetch_add)
+  /// but not free — only identified spans pay it.
+  static std::uint64_t NextSpanId();
+
   /// Names the calling thread's track in the exported trace. Unlike
   /// event names, the string is copied — dynamically built worker labels
   /// ("serve.shard0.read1") are fine.
   static void SetThreadName(const char* name);
 
+  /// Labels a block of model tracks (`base + ModelTrack` for every
+  /// track) in the export, e.g. RegisterModelTrackPrefix(8, "shard0/slotB")
+  /// names tid 10 "shard0/slotB/sim.h2d". Registrations persist across
+  /// Start()/Clear() (re-registering a base overwrites it). Unregistered
+  /// nonzero bases fall back to a "slot<k>/" prefix.
+  static void RegisterModelTrackPrefix(int base, const std::string& prefix);
+
   // -- Recording (no-ops unless active) -----------------------------------
   static void RecordComplete(const char* name, const char* cat, double ts_us,
                              double dur_us, const char* arg_name = nullptr,
-                             double arg_value = 0);
+                             double arg_value = 0, std::uint64_t span_id = 0);
   static void RecordInstant(const char* name, const char* cat);
   /// Emits a span on a simulated-resource track. `ts_us` is on the
   /// caller's chosen model timeline (the pipeline offsets each run by the
@@ -92,12 +124,25 @@ class TraceSession {
                               double ts_us, double dur_us,
                               const char* arg_name = nullptr,
                               double arg_value = 0);
+  /// Same, on the track block starting at `base` (a multiple of
+  /// kModelTrackStride — the slot's block, see RegisterModelTrackPrefix).
+  static void RecordModelSpanAt(int base, ModelTrack track, const char* name,
+                                double ts_us, double dur_us,
+                                const char* arg_name = nullptr,
+                                double arg_value = 0);
 
   // -- Export -------------------------------------------------------------
   /// All recorded events, in per-thread recording order. For tests and
   /// ad-hoc inspection; requires the session to be stopped.
   static std::vector<TraceEvent> Snapshot();
   static std::size_t event_count();
+
+  /// (tid, name) for every wall thread that named itself — lets the
+  /// stage aggregator attribute wall spans to shards without parsing the
+  /// exported JSON. Requires the session to be stopped.
+  static std::vector<std::pair<int, std::string>> ThreadNames();
+  /// (base, prefix) for every registered model track block.
+  static std::vector<std::pair<int, std::string>> ModelTrackPrefixes();
 
   /// Writes chrome://tracing / Perfetto-loadable JSON. Returns false if
   /// the session is still active or the file cannot be written.
@@ -130,7 +175,7 @@ class ScopedSpan {
     if (armed_) {
       TraceSession::RecordComplete(name_, cat_, start_us_,
                                    TraceSession::NowUs() - start_us_,
-                                   arg_name_, arg_value_);
+                                   arg_name_, arg_value_, span_id_);
     }
   }
   ScopedSpan(const ScopedSpan&) = delete;
@@ -142,6 +187,14 @@ class ScopedSpan {
     arg_value_ = value;
   }
 
+  /// Gives this span an identity that exemplars can reference; returns
+  /// it (0 when the span is unarmed, i.e. the session was inactive at
+  /// construction — callers can store the result unconditionally).
+  std::uint64_t EnsureSpanId() {
+    if (armed_ && span_id_ == 0) span_id_ = TraceSession::NextSpanId();
+    return span_id_;
+  }
+
  private:
   const char* name_;
   const char* cat_;
@@ -149,6 +202,7 @@ class ScopedSpan {
   double arg_value_ = 0;
   bool armed_;
   double start_us_ = 0;
+  std::uint64_t span_id_ = 0;
 };
 
 /// Null span with the ScopedSpan interface — the compiled-out policy for
@@ -157,6 +211,7 @@ class ScopedSpan {
 struct NullSpan {
   NullSpan(const char* /*name*/, const char* /*cat*/) {}
   void set_arg(const char* /*name*/, double /*value*/) {}
+  std::uint64_t EnsureSpanId() { return 0; }
 };
 
 }  // namespace hbtree::obs
@@ -204,12 +259,16 @@ struct NullSpan {
           static_cast<double>(dur_us), arg_name,                          \
           static_cast<double>(arg));                                      \
   } while (0)
-#define HBTREE_TRACE_MODEL_SPAN(track, name, ts_us, dur_us, arg_name, arg) \
-  do {                                                                     \
-    if (::hbtree::obs::TraceSession::active())                             \
-      ::hbtree::obs::TraceSession::RecordModelSpan(                        \
-          ::hbtree::obs::TraceSession::track, name, ts_us, dur_us,         \
-          arg_name, arg);                                                  \
+/// Model-resource span on the track block starting at `base` (a slot's
+/// kModelTrackStride multiple; 0 for the bare sim.* tracks). Arguments
+/// are NOT evaluated when tracing is compiled out.
+#define HBTREE_TRACE_MODEL_SPAN(base, track, name, ts_us, dur_us, arg_name, \
+                                arg)                                        \
+  do {                                                                      \
+    if (::hbtree::obs::TraceSession::active())                              \
+      ::hbtree::obs::TraceSession::RecordModelSpanAt(                       \
+          base, ::hbtree::obs::TraceSession::track, name, ts_us, dur_us,    \
+          arg_name, arg);                                                   \
   } while (0)
 #define HBTREE_TRACE_THREAD_NAME(name)                        \
   do {                                                        \
@@ -233,8 +292,9 @@ struct NullSpan {
 #define HBTREE_TRACE_COMPLETE(name, cat, ts_us, dur_us, arg_name, arg) \
   do {                                                                 \
   } while (0)
-#define HBTREE_TRACE_MODEL_SPAN(track, name, ts_us, dur_us, arg_name, arg) \
-  do {                                                                     \
+#define HBTREE_TRACE_MODEL_SPAN(base, track, name, ts_us, dur_us, arg_name, \
+                                arg)                                        \
+  do {                                                                      \
   } while (0)
 #define HBTREE_TRACE_THREAD_NAME(name) \
   do {                                 \

@@ -52,7 +52,19 @@ std::string ServeStats::ToString() const {
       static_cast<unsigned long long>(cpu_fallback_lookups),
       static_cast<unsigned long long>(shed_reads),
       static_cast<unsigned long long>(shed_updates));
-  return buffer;
+  std::string out = buffer;
+  for (const obs::SloStatus& slo : slos) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "\n  slo %-12s bad %.3f%% of budget %.1f%%, burn "
+                  "short %.2f / long %.2f over %llu window%s%s",
+                  slo.name.c_str(), slo.bad_fraction * 100.0,
+                  slo.budget * 100.0, slo.burn_short, slo.burn_long,
+                  static_cast<unsigned long long>(slo.windows),
+                  slo.windows == 1 ? "" : "s",
+                  slo.burning ? "  ** BURNING **" : "");
+    out += buffer;
+  }
+  return out;
 }
 
 }  // namespace hbtree::serve

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "obs/slo.h"
 #include "serve/latency_histogram.h"
 
 namespace hbtree::serve {
@@ -90,6 +92,11 @@ struct ServeStats {
 
   // Total faults the armed injectors produced (all sites, both slots).
   std::uint64_t faults_injected = 0;
+
+  // Burn-rate state of every tracked SLO (ServerOptions::slos), as of
+  // the last observed metrics window. Empty until a window has been
+  // observed (reporter tick or Shutdown's final flush).
+  std::vector<obs::SloStatus> slos;
 
   /// Human-readable multi-line report (used by bench/ and examples/).
   std::string ToString() const;

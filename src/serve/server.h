@@ -27,6 +27,7 @@
 #include "hybrid/bucket_pipeline.h"
 #include "hybrid/hb_regular.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "serve/admission_queue.h"
 #include "serve/latency_histogram.h"
@@ -35,6 +36,31 @@
 #include "sim/platform.h"
 
 namespace hbtree::serve {
+
+/// Default serving SLOs (see ServerOptions::slos): wall-clock read p99
+/// under 200 ms with a 1% error budget, and at most 1% of admitted
+/// operations shed. Deliberately loose — they are burn-rate baselines
+/// for dashboards, not this host's performance envelope; benches and
+/// deployments tighten them per workload.
+inline std::vector<obs::SloSpec> DefaultServeSlos() {
+  obs::SloSpec read_p99;
+  read_p99.name = "read_p99";
+  read_p99.kind = obs::SloSpec::Kind::kLatencyP99;
+  read_p99.histogram = "serve.read_latency";
+  read_p99.threshold_us = 200'000;
+  read_p99.budget = 0.01;
+
+  obs::SloSpec shed_ratio;
+  shed_ratio.name = "shed_ratio";
+  shed_ratio.kind = obs::SloSpec::Kind::kRatio;
+  shed_ratio.bad_counters = {"serve.shed_reads", "serve.shed_updates"};
+  shed_ratio.total_counters = {"serve.lookups",    "serve.ranges",
+                               "serve.updates",    "serve.shed_reads",
+                               "serve.shed_updates"};
+  shed_ratio.budget = 0.01;
+
+  return {read_p99, shed_ratio};
+}
 
 /// Serving-layer tuning knobs.
 struct ServerOptions {
@@ -115,6 +141,12 @@ struct ServerOptions {
   /// (or dumps it as text to stderr when no sink is set).
   std::chrono::milliseconds metrics_report_interval{0};
   std::function<void(const obs::MetricsSnapshot&)> metrics_report_sink;
+
+  /// Service-level objectives fed from the reporter's windowed snapshots
+  /// (and a final window at Shutdown()). Burn rates surface in
+  /// ServeStats::slos and as `slo.<name>.*` registry gauges. Clear to
+  /// disable tracking.
+  std::vector<obs::SloSpec> slos = DefaultServeSlos();
 
   // -- Fault tolerance ----------------------------------------------------
 
@@ -377,6 +409,7 @@ class Server {
       stats.faults_injected += shard->slot_a.injector.total_injected() +
                                shard->slot_b.injector.total_injected();
     }
+    stats.slos = slo_tracker_.Status();
     return stats;
   }
 
@@ -409,6 +442,24 @@ class Server {
     }
     reporter_cv_.notify_all();
     if (reporter_thread_.joinable()) reporter_thread_.join();
+    // Flush the tail window: a run shorter than the reporting interval
+    // would otherwise never report (or feed the SLO tracker) at all. The
+    // flush also runs with no reporter configured when SLOs are tracked,
+    // so Stats().slos reflects the run — silently to the tracker only,
+    // never to stderr (that channel belongs to an explicitly configured
+    // reporter).
+    if (options_.metrics_report_interval.count() > 0 ||
+        !options_.slos.empty()) {
+      const obs::MetricsSnapshot window = metrics_.CollectWindow();
+      slo_tracker_.Observe(window);
+      if (options_.metrics_report_sink) {
+        options_.metrics_report_sink(window);
+      } else if (options_.metrics_report_interval.count() > 0) {
+        std::fprintf(stderr, "[serve.metrics final window %.2fs]\n%s\n",
+                     window.window_seconds,
+                     obs::MetricsRegistry::ToText(window).c_str());
+      }
+    }
   }
 
  private:
@@ -434,11 +485,18 @@ class Server {
     /// dispatches hold shared, probe resyncs hold exclusive.
     std::shared_mutex gpu_mutex;
 
+    /// Model-track block this slot's pipeline spans render on (+1 keeps
+    /// block 0 for un-sharded direct pipeline runs); labelled
+    /// "shard<N>/slot<side>" in the trace export.
+    const int track_base;
+
     TreeSlot(const ServerOptions& options, std::uint64_t slot_index)
         : device(options.platform.gpu),
           transfer(&device, options.platform.pcie),
           tree(MakeTreeConfig(options), &registry, &device, &transfer),
-          injector(SlotFaultConfig(options.fault, slot_index)) {}
+          injector(SlotFaultConfig(options.fault, slot_index)),
+          track_base(static_cast<int>(slot_index + 1) *
+                     obs::TraceSession::kModelTrackStride) {}
 
     static typename HBRegularTree<K>::Config MakeTreeConfig(
         const ServerOptions& options) {
@@ -469,6 +527,16 @@ class Server {
     Clock::time_point admitted;
     Clock::time_point deadline = Clock::time_point::max();
     std::promise<UpdateResult> done;
+  };
+
+  /// What a bucket dispatch reports back for latency attribution: the
+  /// trace identity of its `bucket.dispatch` span (0 when tracing is off
+  /// or inactive) and the modelled device time the bucket was charged —
+  /// the fields tail exemplars carry (see obs::Exemplar).
+  struct DispatchInfo {
+    std::uint64_t span_id = 0;
+    double modelled_us = 0;
+    bool cpu_fallback = false;
   };
 
   /// One key-range shard: an independent snapshot pair with its own
@@ -603,6 +671,19 @@ class Server {
           obs::MetricsRegistry::ShardedName("serve", i, "breaker_opens"));
       shard->queue_wait = &metrics_.histogram(
           obs::MetricsRegistry::ShardedName("serve", i, "queue_wait"));
+      // Label each slot's model-track block so a multi-shard trace keeps
+      // one set of resource tracks per slot instead of interleaving
+      // every shard's pipeline on the shared sim.* tracks.
+      HBTREE_TRACE_ONLY(obs::TraceSession::RegisterModelTrackPrefix(
+                            shard->slot_a.track_base,
+                            "shard" + std::to_string(i) + "/slot0");
+                        obs::TraceSession::RegisterModelTrackPrefix(
+                            shard->slot_b.track_base,
+                            "shard" + std::to_string(i) + "/slot1");)
+    }
+
+    for (const obs::SloSpec& spec : options_.slos) {
+      slo_tracker_.AddTarget(spec);
     }
 
     started_at_ = Clock::now();
@@ -697,6 +778,36 @@ class Server {
             .count()));
   }
 
+  /// RecordLatency plus tail-exemplar capture: when tracing is compiled
+  /// in and the serving span has an identity, the sample carries a link
+  /// back to that span (p99+ buckets keep it; see
+  /// obs::Histogram::RecordWithExemplar). Compiled-out builds reduce to
+  /// plain RecordLatency — the hot path pays nothing for exemplars.
+  void RecordLatencyWithExemplar(obs::Histogram* histogram,
+                                 Clock::time_point start, int shard_index,
+                                 std::uint64_t span_id, double modelled_us) {
+    const std::uint64_t ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+#if HBTREE_OBS_TRACING
+    if (span_id != 0) {
+      obs::Exemplar exemplar;
+      exemplar.trace_id = obs::TraceSession::trace_id();
+      exemplar.span_id = span_id;
+      exemplar.shard = shard_index;
+      exemplar.modelled_us = modelled_us;
+      histogram->RecordWithExemplar(ns, exemplar);
+      return;
+    }
+#else
+    (void)shard_index;
+    (void)span_id;
+    (void)modelled_us;
+#endif
+    histogram->Record(ns);
+  }
+
   // -- Circuit breaker (shared by a shard's read workers) ------------------
 
   void OpenBreaker(Shard& shard, TreeSlot& slot) {
@@ -720,9 +831,11 @@ class Server {
   /// terminal device failure (results are then unreliable and the caller
   /// must re-serve the bucket on the CPU).
   bool TryGpuBucket(Shard& shard, TreeSlot& slot, const std::vector<K>& keys,
-                    std::vector<LookupResult<K>>* results) {
+                    std::vector<LookupResult<K>>* results,
+                    DispatchInfo* info) {
     PipelineStats ps;
     PipelineConfig config = options_.pipeline;
+    HBTREE_TRACE_ONLY(config.trace_track_base = slot.track_base;)
     // Effective depth shrinks for partial buckets so each sub-bucket keeps
     // at least min_sub_bucket keys (per-launch setup does not amortize
     // below that); full buckets still split pipeline_depth ways.
@@ -750,6 +863,7 @@ class Server {
     transfer_retries_.Add(ps.transfer_retries);
     kernel_retries_.Add(ps.kernel_retries);
     if (!status.ok()) return false;
+    if (info != nullptr) info->modelled_us = ps.total_us;
     std::lock_guard<std::mutex> lock(sim_mutex_);
     sim_pipeline_us_ += ps.total_us;
     shard.sim_pipeline_us += ps.total_us;
@@ -760,14 +874,14 @@ class Server {
   /// through the GPU path. The probe is not wasted work — on success its
   /// results serve the bucket. Caller holds the slot's exclusive lock.
   bool ProbeSlot(Shard& shard, TreeSlot& slot, const std::vector<K>& keys,
-                 std::vector<LookupResult<K>>* results) {
+                 std::vector<LookupResult<K>>* results, DispatchInfo* info) {
     probe_attempts_.Increment();
     HBTREE_TRACE_INSTANT("breaker.probe", "serve");
     if (!slot.tree.mirror_valid() &&
         !slot.tree.TrySyncISegment().ok()) {
       return false;
     }
-    return TryGpuBucket(shard, slot, keys, results);
+    return TryGpuBucket(shard, slot, keys, results, info);
   }
 
   /// Serves one bucket of point lookups, always filling `results`: the
@@ -777,9 +891,14 @@ class Server {
   /// silently return pre-update results.
   void DispatchBucket(Shard& shard, TreeSlot& slot,
                       const std::vector<K>& keys,
-                      std::vector<LookupResult<K>>* results) {
-    HBTREE_TRACE_SPAN_ARG("bucket.dispatch", "serve", "keys",
-                          static_cast<double>(keys.size()));
+                      std::vector<LookupResult<K>>* results,
+                      DispatchInfo* info = nullptr) {
+    // An identified span (not the plain macro): the ops this bucket
+    // serves attach tail exemplars pointing at its span_id.
+    HBTREE_TRACE_ONLY(
+        obs::ScopedSpan dispatch_span("bucket.dispatch", "serve", "keys",
+                                      static_cast<double>(keys.size()));
+        if (info != nullptr) info->span_id = dispatch_span.EnsureSpanId();)
     if (!slot.breaker_open.load(std::memory_order_relaxed) &&
         !slot.tree.mirror_valid()) {
       OpenBreaker(shard, slot);
@@ -789,7 +908,7 @@ class Server {
       bool ok;
       {
         std::shared_lock<std::shared_mutex> lock(slot.gpu_mutex);
-        ok = TryGpuBucket(shard, slot, keys, results);
+        ok = TryGpuBucket(shard, slot, keys, results, info);
       }
       if (ok) {
         slot.consecutive_failures.store(0, std::memory_order_relaxed);
@@ -810,7 +929,7 @@ class Server {
       // on probe) so concurrent workers keep the modulo cadence without a
       // CAS loop; OpenBreaker zeroes it on the open transition.
       std::unique_lock<std::shared_mutex> lock(slot.gpu_mutex);
-      if (ProbeSlot(shard, slot, keys, results)) {
+      if (ProbeSlot(shard, slot, keys, results, info)) {
         CloseBreaker(slot);
         return;
       }
@@ -823,6 +942,7 @@ class Server {
                     options_.cpu_fallback_depth, results->data());
     cpu_fallback_buckets_.Increment();
     cpu_fallback_lookups_.Add(keys.size());
+    if (info != nullptr) info->cpu_fallback = true;
   }
 
   void ReadLoop(Shard& shard, int worker_index) {
@@ -907,9 +1027,10 @@ class Server {
       }
 
       std::vector<ReadResult<K>> out(batch.size());
+      DispatchInfo dispatch_info;
       if (!keys.empty()) {
         results.assign(keys.size(), LookupResult<K>{});
-        DispatchBucket(shard, slot, keys, &results);
+        DispatchBucket(shard, slot, keys, &results, &dispatch_info);
         for (std::size_t i = 0; i < keys.size(); ++i) {
           out[key_op[i]].lookup = results[i];
         }
@@ -944,7 +1065,9 @@ class Server {
         for (std::size_t i = 0; i < batch.size(); ++i) {
           const bool is_range = batch[i].max_matches > 0;
           batch[i].done.set_value(std::move(out[i]));
-          RecordLatency(&read_latency_, batch[i].admitted);
+          RecordLatencyWithExemplar(&read_latency_, batch[i].admitted,
+                                    shard.index, dispatch_info.span_id,
+                                    dispatch_info.modelled_us);
           if (is_range) {
             ranges_done_.Increment();
           } else {
@@ -1020,9 +1143,14 @@ class Server {
       bool recorded = false;
       Status sync_status = Status::Ok();
       std::uint64_t sync_retries = 0;
+      std::uint64_t commit_span_id = 0;
       {
-        HBTREE_TRACE_SPAN_ARG("update.commit", "serve", "updates",
-                              static_cast<double>(batch.size()));
+        // Identified like bucket.dispatch: update-latency exemplars point
+        // at the commit span that published their batch.
+        HBTREE_TRACE_ONLY(
+            obs::ScopedSpan commit_span("update.commit", "serve", "updates",
+                                        static_cast<double>(batch.size()));
+            commit_span_id = commit_span.EnsureSpanId();)
         shard.snapshots.Publish([&](TreeSlot& slot) {
           BatchUpdateStats pass;
           const Status status =
@@ -1058,7 +1186,8 @@ class Server {
       for (std::size_t idx : live) {
         UpdateOp& op = ops[idx];
         op.done.set_value(UpdateResult{Status::Ok(), seq});
-        RecordLatency(&update_latency_, op.admitted);
+        RecordLatencyWithExemplar(&update_latency_, op.admitted, shard.index,
+                                  commit_span_id, first_pass.total_us);
         updates_done_.Increment();
       }
     }
@@ -1074,6 +1203,7 @@ class Server {
       }
       lock.unlock();
       const obs::MetricsSnapshot window = metrics_.CollectWindow();
+      slo_tracker_.Observe(window);
       if (options_.metrics_report_sink) {
         options_.metrics_report_sink(window);
       } else {
@@ -1142,6 +1272,10 @@ class Server {
       metrics_.counter("serve.cpu_fallback_buckets");
   obs::Counter& cpu_fallback_lookups_ =
       metrics_.counter("serve.cpu_fallback_lookups");
+
+  /// Burn-rate accounting over options_.slos, fed one window per
+  /// reporter tick plus the final window at Shutdown().
+  obs::SloTracker slo_tracker_{&metrics_};
 
   mutable std::mutex sim_mutex_;
   double sim_pipeline_us_ = 0;

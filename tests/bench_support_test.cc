@@ -126,7 +126,7 @@ TEST(BenchReport, AddServeStatsRowUsesCanonicalColumns) {
        {"fault_rate", "shards", "read_workers", "reads_per_s",
         "updates_per_s", "read_p50_us", "read_p99_us", "queue_wait_p99_us",
         "modelled_ops_per_s", "retries", "device_faults", "breaker_opens",
-        "breaker_closes", "cpu_fallback_buckets", "shed"}) {
+        "breaker_closes", "cpu_fallback_buckets", "shed", "slo_max_burn"}) {
     EXPECT_NE(json.find(std::string("\"") + column + "\":"),
               std::string::npos)
         << column;
@@ -135,6 +135,60 @@ TEST(BenchReport, AddServeStatsRowUsesCanonicalColumns) {
   EXPECT_NE(json.find("\"read_workers\":2"), std::string::npos);
   EXPECT_NE(json.find("\"retries\":7"), std::string::npos);  // 2 + 1 + 4
   EXPECT_NE(json.find("\"shed\":5"), std::string::npos);     // 3 + 2
+}
+
+TEST(BenchReport, SloMaxBurnReportsTheWorstObjective) {
+  serve::ServeStats stats;
+  obs::SloStatus mild;
+  mild.name = "a";
+  mild.burn_short = 0.5;
+  obs::SloStatus hot;
+  hot.name = "b";
+  hot.burn_short = 3.25;
+  stats.slos = {mild, hot};
+  BenchReport report("unit");
+  report.AddServeStatsRow(report.AddRow(), stats);
+  EXPECT_NE(report.ToJson().find("\"slo_max_burn\":3.25"),
+            std::string::npos);
+}
+
+TEST(BenchReport, SetStagesEmitsTheWaterfallSection) {
+  obs::StageWaterfall waterfall;
+  obs::StageStats kernel;
+  kernel.count = 10;
+  kernel.total_us = 300;
+  kernel.max_us = 50;
+  kernel.share = 0.75;
+  obs::StageStats h2d;
+  h2d.count = 10;
+  h2d.total_us = 100;
+  h2d.max_us = 20;
+  h2d.share = 0.25;
+  waterfall.total_us = 400;
+  waterfall.stages = {{"kernel", kernel}, {"h2d", h2d}};
+  obs::StageGroup group;
+  group.name = "shard0/slot1";
+  group.stages = {{"kernel", kernel}};
+  waterfall.groups = {group};
+
+  BenchReport report("unit");
+  report.AddRow().Num("x", 1, 0);
+  report.SetStages(waterfall);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"stages\":{\"total_us\":400"), std::string::npos);
+  EXPECT_NE(json.find("\"aggregate\":{\"kernel\":{\"count\":10,"
+                      "\"total_us\":300,\"mean_us\":30,\"max_us\":50,"
+                      "\"share\":0.75}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"groups\":{\"shard0/slot1\":{\"kernel\":"),
+            std::string::npos);
+
+  // An empty waterfall (e.g. tracing compiled out) emits no section at
+  // all rather than a zero-filled one.
+  BenchReport bare("unit");
+  bare.AddRow().Num("x", 1, 0);
+  bare.SetStages(obs::StageWaterfall{});
+  EXPECT_EQ(bare.ToJson().find("\"stages\""), std::string::npos);
 }
 
 TEST(BenchReport, EmbedsMetricsSnapshot) {

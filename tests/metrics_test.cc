@@ -186,6 +186,253 @@ TEST(MetricsRegistry, JsonIsFiniteAndNonFiniteBecomesNull) {
   EXPECT_EQ(json.find("nan"), std::string::npos);
 }
 
+TEST(LatencyHistogram, ExemplarReservoirIsBoundedAndKeepsTheTail) {
+  LatencyHistogram h;
+  // More distinct buckets than reservoir slots: 1us, 2us, 4us, ... The
+  // reservoir must stay bounded and keep the highest buckets.
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 2 * LatencyHistogram::kMaxExemplars; ++i) {
+    samples.push_back(std::uint64_t{1'000} << i);
+  }
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    Exemplar e;
+    e.trace_id = 7;
+    e.span_id = i + 1;
+    e.shard = static_cast<int>(i);
+    h.RecordWithExemplar(samples[i], e);
+  }
+  const std::vector<BucketExemplar> kept = h.Exemplars();
+  ASSERT_EQ(kept.size(),
+            static_cast<std::size_t>(LatencyHistogram::kMaxExemplars));
+  // Sorted by bucket ascending, and the largest sample survived eviction.
+  for (std::size_t i = 1; i < kept.size(); ++i) {
+    EXPECT_GT(kept[i].bucket, kept[i - 1].bucket);
+  }
+  EXPECT_EQ(kept.back().exemplar.wall_ns, samples.back());
+  EXPECT_EQ(kept.back().exemplar.span_id, samples.size());
+  // The evicted entries are the lowest buckets.
+  EXPECT_EQ(kept.front().exemplar.wall_ns,
+            samples[samples.size() - kept.size()]);
+}
+
+TEST(LatencyHistogram, ExemplarPerBucketKeepsTheMaxLatencySample) {
+  LatencyHistogram h;
+  // Same bucket (4 sub-buckets per octave: 1100 and 1250 both sit in
+  // [1024, 1280)): the slower sample must win the slot, arrival order
+  // irrelevant.
+  Exemplar fast;
+  fast.span_id = 1;
+  Exemplar slow;
+  slow.span_id = 2;
+  h.RecordWithExemplar(1'250, slow);
+  h.RecordWithExemplar(1'100, fast);
+  std::vector<BucketExemplar> kept = h.Exemplars();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].exemplar.span_id, 2u);
+  EXPECT_EQ(kept[0].exemplar.wall_ns, 1'250u);
+}
+
+TEST(LatencyHistogram, ExemplarThresholdFiltersTheBody) {
+  LatencyHistogram h;
+  h.SetExemplarThresholdNs(1'000'000);  // only ~1ms+ samples qualify
+  Exemplar e;
+  e.span_id = 1;
+  h.RecordWithExemplar(10'000, e);  // body sample: recorded, no exemplar
+  EXPECT_TRUE(h.Exemplars().empty());
+  e.span_id = 2;
+  h.RecordWithExemplar(2'000'000, e);
+  ASSERT_EQ(h.Exemplars().size(), 1u);
+  EXPECT_EQ(h.Exemplars()[0].exemplar.span_id, 2u);
+  EXPECT_EQ(h.Summarize().count, 2u);  // both samples still counted
+}
+
+TEST(LatencyHistogram, MergeFromCarriesExemplarsAndKeepsTheBound) {
+  // Shard-style reconciliation: per-shard histograms each carry a full
+  // reservoir; the merged histogram must stay bounded and prefer the
+  // global tail.
+  LatencyHistogram merged;
+  std::uint64_t span = 1;
+  std::uint64_t max_ns = 0;
+  for (int shard = 0; shard < 4; ++shard) {
+    LatencyHistogram h;
+    for (int i = 0; i < LatencyHistogram::kMaxExemplars; ++i) {
+      const std::uint64_t ns = std::uint64_t{1'000}
+                               << (shard + 2 * i % 16);
+      Exemplar e;
+      e.span_id = span++;
+      e.shard = shard;
+      h.RecordWithExemplar(ns, e);
+      max_ns = std::max(max_ns, ns);
+    }
+    merged.MergeFrom(h);
+  }
+  const std::vector<BucketExemplar> kept = merged.Exemplars();
+  ASSERT_LE(kept.size(),
+            static_cast<std::size_t>(LatencyHistogram::kMaxExemplars));
+  ASSERT_FALSE(kept.empty());
+  EXPECT_EQ(kept.back().exemplar.wall_ns, max_ns);
+  // Exemplars ride Summarize() and stay within the recorded range.
+  const LatencySummary s = merged.Summarize();
+  EXPECT_EQ(s.exemplars.size(), kept.size());
+  for (const BucketExemplar& be : kept) {
+    EXPECT_LE(be.exemplar.wall_ns / 1e3, s.max_us + 1e-9);
+  }
+}
+
+TEST(Histogram, RollWindowAdaptsExemplarThresholdToTheTail) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test.lat");
+  h.SetExemplarPercentile(0.99);
+  // First interval: body at 10us, a 10% tail at 10ms — big enough that
+  // the p99 rank lands inside the tail bucket. Threshold starts at 0,
+  // so the first window captures from everywhere.
+  for (int i = 0; i < 900; ++i) h.Record(10'000);
+  for (int i = 0; i < 100; ++i) h.Record(10'000'000);
+  (void)registry.CollectWindow();  // rolls the window, adapts threshold
+  // Second interval: the threshold now sits at the previous p99, so a
+  // body sample no longer takes an exemplar slot but a tail sample does.
+  Exemplar body;
+  body.span_id = 1;
+  h.RecordWithExemplar(10'000, body);
+  MetricsSnapshot after_body = registry.CollectWindow();
+  EXPECT_TRUE(after_body.histograms[0].second.exemplars.empty());
+  Exemplar tail;
+  tail.span_id = 2;
+  h.RecordWithExemplar(20'000'000, tail);
+  MetricsSnapshot after_tail = registry.CollectWindow();
+  ASSERT_EQ(after_tail.histograms[0].second.exemplars.size(), 1u);
+  EXPECT_EQ(after_tail.histograms[0].second.exemplars[0].exemplar.span_id,
+            2u);
+}
+
+TEST(MetricsRegistry, JsonCarriesExemplars) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test.lat");
+  Exemplar e;
+  e.trace_id = 123456;
+  e.span_id = 42;
+  e.shard = 3;
+  e.modelled_us = 17.5;
+  h.RecordWithExemplar(5'000'000, e);
+  const std::string json = MetricsRegistry::ToJson(registry.Collect());
+  EXPECT_NE(json.find("\"exemplars\":["), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":123456"), std::string::npos);
+  EXPECT_NE(json.find("\"span_id\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"shard\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"modelled_us\":17.5"), std::string::npos);
+}
+
+TEST(SloTracker, EstimateBadFractionInterpolatesTheSummary) {
+  LatencySummary s;
+  s.count = 1000;
+  s.p50_us = 10;
+  s.p90_us = 40;
+  s.p99_us = 100;
+  s.max_us = 500;
+  // Above the max: nothing is bad. At/below p50: pessimistic half.
+  EXPECT_DOUBLE_EQ(SloTracker::EstimateBadFraction(s, 600), 0.0);
+  EXPECT_DOUBLE_EQ(SloTracker::EstimateBadFraction(s, 5), 0.5);
+  // At the p99 point: ~1% above.
+  EXPECT_NEAR(SloTracker::EstimateBadFraction(s, 100), 0.01, 1e-9);
+  // Halfway between p90 and p99 in latency: between 10% and 1%.
+  const double mid = SloTracker::EstimateBadFraction(s, 70);
+  EXPECT_GT(mid, 0.01);
+  EXPECT_LT(mid, 0.10);
+  // Empty summaries are never bad.
+  EXPECT_DOUBLE_EQ(SloTracker::EstimateBadFraction(LatencySummary{}, 1), 0.0);
+}
+
+TEST(SloTracker, RatioTargetBurnsWhenBadCountersOutpaceTheBudget) {
+  MetricsRegistry registry;
+  Counter& shed = registry.counter("test.shed");
+  Counter& served = registry.counter("test.served");
+  SloTracker tracker(&registry);
+  SloSpec spec;
+  spec.name = "shed_ratio";
+  spec.kind = SloSpec::Kind::kRatio;
+  spec.bad_counters = {"test.shed"};
+  spec.total_counters = {"test.served", "test.shed"};
+  spec.budget = 0.01;
+  spec.long_windows = 3;
+  tracker.AddTarget(spec);
+
+  // Window 1: 5% shed — five times over a 1% budget.
+  served.Add(95);
+  shed.Add(5);
+  tracker.Observe(registry.CollectWindow());
+  std::vector<SloStatus> status = tracker.Status();
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_NEAR(status[0].bad_fraction, 0.05, 1e-9);
+  EXPECT_NEAR(status[0].burn_short, 5.0, 1e-9);
+  EXPECT_TRUE(status[0].burning);  // long window == the one bad window
+
+  // Two clean windows: the short burn clears; the long window still
+  // carries the earlier damage, so the page-worthy AND goes quiet.
+  for (int i = 0; i < 2; ++i) {
+    served.Add(100);
+    tracker.Observe(registry.CollectWindow());
+  }
+  status = tracker.Status();
+  EXPECT_DOUBLE_EQ(status[0].burn_short, 0.0);
+  EXPECT_GT(status[0].burn_long, 1.0);  // 5 bad of ~305 total / 1% budget
+  EXPECT_FALSE(status[0].burning);
+  EXPECT_EQ(status[0].windows, 3u);
+
+  // Burn gauges ride the registry for every exporter.
+  const MetricsSnapshot snap = registry.Collect();
+  bool found = false;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "slo.shed_ratio.burn_long") {
+      found = true;
+      EXPECT_GT(value, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SloTracker, LatencyTargetReadsTheWindowHistogram) {
+  MetricsRegistry registry;
+  Histogram& lat = registry.histogram("test.lat");
+  SloTracker tracker(&registry);
+  SloSpec spec;
+  spec.name = "p99";
+  spec.kind = SloSpec::Kind::kLatencyP99;
+  spec.histogram = "test.lat";
+  spec.threshold_us = 100.0;
+  spec.budget = 0.01;
+  tracker.AddTarget(spec);
+
+  // A window comfortably under the threshold: no burn.
+  for (int i = 0; i < 1000; ++i) lat.Record(10'000);  // 10us
+  tracker.Observe(registry.CollectWindow());
+  EXPECT_DOUBLE_EQ(tracker.Status()[0].burn_short, 0.0);
+
+  // A window whose tail blows through 100us: the estimated bad fraction
+  // exceeds the 1% budget and the short burn lights up.
+  for (int i = 0; i < 900; ++i) lat.Record(10'000);
+  for (int i = 0; i < 100; ++i) lat.Record(1'000'000);  // 1ms tail
+  tracker.Observe(registry.CollectWindow());
+  const SloStatus status = tracker.Status()[0];
+  EXPECT_GT(status.bad_fraction, 0.01);
+  EXPECT_GT(status.burn_short, 1.0);
+}
+
+TEST(ServeStats, ToStringReportsSloBurnState) {
+  serve::ServeStats stats;
+  SloStatus slo;
+  slo.name = "read_p99";
+  slo.budget = 0.01;
+  slo.bad_fraction = 0.05;
+  slo.burn_short = 5.0;
+  slo.burn_long = 2.0;
+  slo.windows = 4;
+  slo.burning = true;
+  stats.slos.push_back(slo);
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("slo read_p99"), std::string::npos);
+  EXPECT_NE(text.find("** BURNING **"), std::string::npos);
+}
+
 TEST(ServeStats, DefaultStatsHaveFiniteRates) {
   // The serving layer guards wall_seconds == 0; the struct itself must
   // start finite so an immediately-collected Stats() never reports NaN.

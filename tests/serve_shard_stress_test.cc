@@ -21,6 +21,7 @@
 
 #include "core/workload.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/server.h"
 
 namespace hbtree {
@@ -396,6 +397,115 @@ TEST(ServeShardStress, MetricsReporterDeliversWindowedSnapshots) {
   // Windows are deltas: summed, they cover every lookup the run served
   // up to the last collection (never more than were submitted).
   EXPECT_LE(lookups_seen.load(), submitted);
+}
+
+// Tail exemplars across a concurrent sharded run: with a live trace
+// session, every shard's read workers offer their slow dispatches to the
+// shared serve.read_latency reservoir. After the run the reservoir must
+// be bounded, stamped with this session's trace id, carry resolvable
+// span ids, and name real shards. This TU compiles with
+// HBTREE_OBS_TRACING=1 (see CMakeLists), so under TSan this is the
+// exemplar path's concurrency test.
+TEST(ServeShardStress, ExemplarsReconcileAcrossShards) {
+  constexpr int kShards = 4;
+  constexpr int kClients = 4;
+  constexpr int kLookupsPerClient = 1500;
+
+  obs::TraceSession::Start();
+  auto data = BootstrapDataset();
+  Status status;
+  auto server_ptr =
+      serve::Server<Key64>::Create(ShardedOptions(kShards), data, &status);
+  ASSERT_NE(server_ptr, nullptr) << status.message();
+  serve::Server<Key64>& server = *server_ptr;
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937_64 rng(200 + c);
+      std::vector<std::future<serve::ReadResult<Key64>>> window;
+      for (int i = 0; i < kLookupsPerClient; ++i) {
+        window.push_back(server.SubmitLookup(2 * (1 + rng() % kBootstrap)));
+        if (window.size() == 256) {
+          for (auto& f : window) ASSERT_TRUE(f.get().status.ok());
+          window.clear();
+        }
+      }
+      for (auto& f : window) ASSERT_TRUE(f.get().status.ok());
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.Shutdown();
+  obs::TraceSession::Stop();
+
+  const obs::MetricsSnapshot snapshot = server.metrics().Collect();
+  const obs::LatencySummary* read_latency = nullptr;
+  for (const auto& [name, summary] : snapshot.histograms) {
+    if (name == "serve.read_latency") read_latency = &summary;
+  }
+  ASSERT_NE(read_latency, nullptr);
+  ASSERT_FALSE(read_latency->exemplars.empty())
+      << "no exemplar captured despite live tracing";
+  ASSERT_LE(read_latency->exemplars.size(),
+            static_cast<std::size_t>(obs::LatencyHistogram::kMaxExemplars));
+  for (const obs::BucketExemplar& be : read_latency->exemplars) {
+    EXPECT_EQ(be.exemplar.trace_id, obs::TraceSession::trace_id());
+    EXPECT_NE(be.exemplar.span_id, 0u);
+    EXPECT_GE(be.exemplar.shard, 0);
+    EXPECT_LT(be.exemplar.shard, kShards);
+    EXPECT_GT(be.exemplar.wall_ns, 0u);
+    EXPECT_LE(be.exemplar.wall_ns / 1e3, read_latency->max_us + 1e-9);
+    // The span id resolves to a recorded dispatch span.
+    bool resolved = false;
+    for (const obs::TraceEvent& e : obs::TraceSession::Snapshot()) {
+      if (e.span_id == be.exemplar.span_id) resolved = true;
+    }
+    EXPECT_TRUE(resolved) << "span " << be.exemplar.span_id;
+  }
+  obs::TraceSession::Clear();
+}
+
+// Shutdown() flushes one final CollectWindow() to the sink even when the
+// reporter interval never elapsed, so short-lived servers still deliver
+// their last (only) window — the SLO tracker and any exporter see the
+// whole run.
+TEST(ServeShardStress, ShutdownFlushesTheFinalMetricsWindow) {
+  constexpr int kLookups = 600;
+
+  auto data = BootstrapDataset();
+  serve::ServerOptions options = ShardedOptions(/*shards=*/2);
+  // An interval far beyond the test's lifetime: every op lands in the
+  // final flush, none in a periodic tick.
+  options.metrics_report_interval = std::chrono::seconds(3600);
+  std::atomic<int> windows{0};
+  std::atomic<std::uint64_t> lookups_seen{0};
+  options.metrics_report_sink = [&](const obs::MetricsSnapshot& window) {
+    windows.fetch_add(1);
+    lookups_seen.fetch_add(window.counter_or("serve.lookups"));
+  };
+
+  Status status;
+  auto server_ptr = serve::Server<Key64>::Create(options, data, &status);
+  ASSERT_NE(server_ptr, nullptr) << status.message();
+  serve::Server<Key64>& server = *server_ptr;
+
+  for (int i = 0; i < kLookups; ++i) {
+    ASSERT_TRUE(
+        server.SubmitLookup(2 * (1 + i % kBootstrap)).get().status.ok());
+  }
+  EXPECT_EQ(windows.load(), 0) << "interval should never have elapsed";
+  server.Shutdown();
+  EXPECT_EQ(windows.load(), 1) << "Shutdown() must flush the final window";
+  EXPECT_EQ(lookups_seen.load(), static_cast<std::uint64_t>(kLookups));
+
+  // The flushed window fed the SLO tracker: every configured objective
+  // reports exactly one observed window.
+  const serve::ServeStats stats = server.Stats();
+  ASSERT_FALSE(stats.slos.empty());
+  for (const obs::SloStatus& slo : stats.slos) {
+    EXPECT_EQ(slo.windows, 1u) << slo.name;
+    EXPECT_FALSE(slo.burning) << slo.name;
+  }
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/span_aggregator.h"
 #include "obs/trace.h"
 
 namespace hbtree::obs {
@@ -108,8 +109,9 @@ TEST_F(TraceTest, SpanArgAndInstantAreRecorded) {
 }
 
 TEST_F(TraceTest, ModelSpansLandOnFixedResourceTracks) {
-  HBTREE_TRACE_MODEL_SPAN(kTrackH2D, "bucket.h2d", 10.0, 5.0, "bucket", 0);
-  HBTREE_TRACE_MODEL_SPAN(kTrackKernel, "bucket.kernel", 15.0, 7.0,
+  HBTREE_TRACE_MODEL_SPAN(0, kTrackH2D, "bucket.h2d", 10.0, 5.0, "bucket",
+                          0);
+  HBTREE_TRACE_MODEL_SPAN(0, kTrackKernel, "bucket.kernel", 15.0, 7.0,
                           "bucket", 0);
   TraceSession::Stop();
   const auto events = TraceSession::Snapshot();
@@ -122,6 +124,120 @@ TEST_F(TraceTest, ModelSpansLandOnFixedResourceTracks) {
   EXPECT_EQ(h2d[0].ts_us, 10.0);
   EXPECT_EQ(h2d[0].dur_us, 5.0);
   EXPECT_EQ(kernel[0].tid, TraceSession::kTrackKernel);
+}
+
+TEST_F(TraceTest, SlotTrackBasesSeparateAndLabelModelTracks) {
+  const int base = 2 * TraceSession::kModelTrackStride;
+  TraceSession::RegisterModelTrackPrefix(base, "shard0/slot1");
+  HBTREE_TRACE_MODEL_SPAN(base, kTrackKernel, "bucket.kernel", 1.0, 2.0,
+                          "bucket", 0);
+  HBTREE_TRACE_MODEL_SPAN(3 * TraceSession::kModelTrackStride, kTrackH2D,
+                          "bucket.h2d", 1.0, 2.0, "bucket", 0);
+  TraceSession::Stop();
+  const auto kernel =
+      EventsNamed(TraceSession::Snapshot(), "bucket.kernel");
+  ASSERT_EQ(kernel.size(), 1u);
+  EXPECT_EQ(kernel[0].tid, base + TraceSession::kTrackKernel);
+  const std::string json = TraceSession::ToChromeJson();
+  // Registered prefix names the block's tracks; an unregistered base
+  // still gets a distinguishable fallback label.
+  EXPECT_NE(json.find("shard0/slot1/sim.kernel"), std::string::npos);
+  EXPECT_NE(json.find("slot3/sim.h2d"), std::string::npos);
+  // The slot-0 block keeps its bare names.
+  EXPECT_NE(json.find("\"name\":\"sim.kernel\""), std::string::npos);
+}
+
+TEST_F(TraceTest, SpanIdsReachTheExportAndTraceIdIsStable) {
+  const std::uint64_t trace_id = TraceSession::trace_id();
+  ASSERT_NE(trace_id, 0u);
+  // Below 2^53: survives a round trip through a JSON double.
+  EXPECT_LT(trace_id, 1ull << 53);
+  std::uint64_t span_id = 0;
+  {
+    ScopedSpan span("bucket.dispatch", "serve", "keys", 512.0);
+    span_id = span.EnsureSpanId();
+    EXPECT_EQ(span.EnsureSpanId(), span_id);  // idempotent
+  }
+  ASSERT_NE(span_id, 0u);
+  EXPECT_EQ(TraceSession::trace_id(), trace_id);  // stable until restart
+  TraceSession::Stop();
+  const auto spans =
+      EventsNamed(TraceSession::Snapshot(), "bucket.dispatch");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].span_id, span_id);
+  const std::string json = TraceSession::ToChromeJson();
+  EXPECT_NE(json.find("\"traceId\":" + std::to_string(trace_id)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"span_id\":" + std::to_string(span_id)),
+            std::string::npos);
+  // A fresh session gets a fresh identity.
+  TraceSession::Start();
+  EXPECT_NE(TraceSession::trace_id(), trace_id);
+}
+
+TEST_F(TraceTest, UnarmedSpansDoNotAllocateIds) {
+  TraceSession::Stop();
+  ScopedSpan span("ghost", "test");
+  EXPECT_EQ(span.EnsureSpanId(), 0u);
+}
+
+TEST_F(TraceTest, SpanAggregatorBuildsStageWaterfalls) {
+  const int slot_base = TraceSession::kModelTrackStride;
+  TraceSession::RegisterModelTrackPrefix(slot_base, "shard0/slot0");
+  HBTREE_TRACE_THREAD_NAME("serve.shard0.read0");
+  HBTREE_TRACE_COMPLETE("queue.wait", "serve", 0.0, 40.0, "ops", 3);
+  HBTREE_TRACE_MODEL_SPAN(slot_base, kTrackH2D, "bucket.h2d", 0.0, 10.0,
+                          "bucket", 0);
+  HBTREE_TRACE_MODEL_SPAN(slot_base, kTrackKernel, "bucket.kernel", 10.0,
+                          30.0, "bucket", 0);
+  HBTREE_TRACE_MODEL_SPAN(slot_base, kTrackD2H, "bucket.d2h", 40.0, 10.0,
+                          "bucket", 0);
+  HBTREE_TRACE_MODEL_SPAN(slot_base, kTrackCpuLeaf, "bucket.cpu_leaf", 50.0,
+                          10.0, "bucket", 0);
+  HBTREE_TRACE_INSTANT("breaker.open", "serve");  // not a stage: ignored
+  TraceSession::Stop();
+
+  const StageWaterfall w = SpanAggregator::FromSession();
+  ASSERT_FALSE(w.empty());
+  EXPECT_DOUBLE_EQ(w.total_us, 100.0);
+  // Pipeline order, and shares sum to 1 over the aggregate.
+  std::vector<std::string> order;
+  double share_sum = 0;
+  for (const auto& [stage, stats] : w.stages) {
+    order.push_back(stage);
+    share_sum += stats.share;
+  }
+  const std::vector<std::string> expected = {"admission_wait", "h2d",
+                                             "kernel", "d2h", "merge"};
+  EXPECT_EQ(order, expected);
+  EXPECT_NEAR(share_sum, 1.0, 1e-9);
+  for (const auto& [stage, stats] : w.stages) {
+    if (stage == "kernel") {
+      EXPECT_EQ(stats.count, 1u);
+      EXPECT_DOUBLE_EQ(stats.total_us, 30.0);
+      EXPECT_DOUBLE_EQ(stats.share, 0.30);
+    }
+  }
+
+  // Groups: the wall span folds under its shard, the model spans under
+  // their slot's registered prefix.
+  ASSERT_EQ(w.groups.size(), 2u);
+  bool saw_shard = false;
+  bool saw_slot = false;
+  for (const StageGroup& g : w.groups) {
+    if (g.name == "shard0") {
+      saw_shard = true;
+      ASSERT_EQ(g.stages.size(), 1u);
+      EXPECT_EQ(g.stages[0].first, "admission_wait");
+      EXPECT_DOUBLE_EQ(g.stages[0].second.share, 1.0);
+    }
+    if (g.name == "shard0/slot0") {
+      saw_slot = true;
+      EXPECT_EQ(g.stages.size(), 4u);
+    }
+  }
+  EXPECT_TRUE(saw_shard);
+  EXPECT_TRUE(saw_slot);
 }
 
 TEST_F(TraceTest, NothingRecordsWhileStopped) {
@@ -146,7 +262,7 @@ TEST_F(TraceTest, ChromeJsonIsWellFormed) {
     HBTREE_TRACE_SPAN_ARG("outer", "test", "n", 3);
     HBTREE_TRACE_INSTANT("mark", "test");
   }
-  HBTREE_TRACE_MODEL_SPAN(kTrackD2H, "bucket.d2h", 1.0, 2.0, "bucket", 1);
+  HBTREE_TRACE_MODEL_SPAN(0, kTrackD2H, "bucket.d2h", 1.0, 2.0, "bucket", 1);
   TraceSession::Stop();
   const std::string json = TraceSession::ToChromeJson();
 
