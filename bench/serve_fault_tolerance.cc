@@ -26,6 +26,7 @@
 
 #include "bench_support/args.h"
 #include "bench_support/report.h"
+#include "bench_support/seeds.h"
 #include "bench_support/serve_runner.h"
 #include "bench_support/table.h"
 #include "core/workload.h"
@@ -55,14 +56,13 @@ int Main(int argc, char** argv) {
   const int retries = static_cast<int>(args.GetInt("retries", 3));
   const auto deadline =
       std::chrono::microseconds(args.GetInt("deadline_us", 0));
-  const std::uint64_t seed =
-      static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  const SeedPlan seeds(static_cast<std::uint64_t>(args.GetInt("seed", 1)));
 
   std::printf("building %zu-key tree and calibrating on %s...\n", n,
               platform.name.c_str());
-  auto data = GenerateDataset<Key64>(n, seed);
+  auto data = GenerateDataset<Key64>(n, seeds.dataset);
   serve::ServerOptions base_options =
-      CalibratedServerOptions(platform, data, seed + 1, bucket);
+      CalibratedServerOptions(platform, data, seeds.calibrate, bucket);
   base_options.pipeline.max_device_retries = retries;
   base_options.pipeline_depth =
       static_cast<int>(args.GetInt("pipeline_depth", 4));
@@ -70,9 +70,9 @@ int Main(int argc, char** argv) {
   base_options.num_shards = static_cast<int>(args.GetInt("shards", 1));
   base_options.num_read_workers =
       static_cast<int>(args.GetInt("read_workers", 1));
-  auto queries = MakeLookupQueries(data, seed + 2);
+  auto queries = MakeLookupQueries(data, seeds.queries);
   auto updates = MakeUpdateBatch(data, total_updates,
-                                 /*insert_fraction=*/0.7, seed + 3);
+                                 /*insert_fraction=*/0.7, seeds.updates);
 
   const double rates[] = {0.0, 0.01, 0.10};
   std::vector<RateResult> results;
@@ -85,7 +85,7 @@ int Main(int argc, char** argv) {
     obs::TraceSession::Start();
     serve::ServerOptions options = base_options;
     if (rate > 0) {
-      options.fault = fault::FaultConfig::Transfers(rate, seed + 17);
+      options.fault = fault::FaultConfig::Transfers(rate, seeds.faults);
       options.fault.site(fault::Site::kKernel).probability = rate / 2;
     }
     Status status;
@@ -151,7 +151,7 @@ int Main(int argc, char** argv) {
   report.MetaNum("clients", clients);
   report.MetaNum("retries", retries);
   report.MetaNum("deadline_us", static_cast<double>(deadline.count()));
-  report.MetaNum("seed", static_cast<double>(seed));
+  seeds.Record(report);
   for (const RateResult& r : results) {
     BenchReport::Row& row = report.AddRow();
     row.Num("fault_rate", r.fault_rate, 2);

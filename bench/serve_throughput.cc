@@ -44,6 +44,7 @@
 
 #include "bench_support/args.h"
 #include "bench_support/report.h"
+#include "bench_support/seeds.h"
 #include "bench_support/serve_runner.h"
 #include "bench_support/table.h"
 #include "core/workload.h"
@@ -164,22 +165,21 @@ int Main(int argc, char** argv) {
   const int bucket = 1 << args.GetInt("bucket_log2", 14);
   const std::size_t in_flight =
       static_cast<std::size_t>(args.GetInt("pipeline_async", 4096));
-  const std::uint64_t seed =
-      static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  const SeedPlan seeds(static_cast<std::uint64_t>(args.GetInt("seed", 1)));
   const int fixed_shards = static_cast<int>(args.GetInt("shards", 0));
   const int read_workers = static_cast<int>(args.GetInt("read_workers", 2));
 
   std::printf("building %zu-key tree and calibrating on %s...\n", n,
               platform.name.c_str());
-  auto data = GenerateDataset<Key64>(n, seed);
+  auto data = GenerateDataset<Key64>(n, seeds.dataset);
   serve::ServerOptions base_options =
-      CalibratedServerOptions(platform, data, seed + 1, bucket);
+      CalibratedServerOptions(platform, data, seeds.calibrate, bucket);
   base_options.pipeline_depth =
       static_cast<int>(args.GetInt("pipeline_depth", 4));
 
-  auto queries = MakeLookupQueries(data, seed + 2);
+  auto queries = MakeLookupQueries(data, seeds.queries);
   auto updates = MakeUpdateBatch(data, total_updates,
-                                 /*insert_fraction=*/0.7, seed + 3);
+                                 /*insert_fraction=*/0.7, seeds.updates);
 
   std::vector<std::pair<int, int>> sweep;  // (shards, read_workers)
   if (fixed_shards > 0) {
@@ -200,7 +200,7 @@ int Main(int argc, char** argv) {
   report.MetaNum("lookups_per_client", static_cast<double>(lookups_per_client));
   report.MetaNum("updates", static_cast<double>(total_updates));
   report.MetaNum("bucket", bucket);
-  report.MetaNum("seed", static_cast<double>(seed));
+  seeds.Record(report);
 
   RunResult last;
   double baseline_agg = 0;

@@ -35,6 +35,10 @@ import sys
 HIGHER_BETTER = {
     "reads_per_s", "updates_per_s", "modelled_ops_per_s", "mqps",
     "hit_rate", "vs_baseline", "modelled_vs_baseline",
+    # ycsb_workloads columns: wall throughput plus the op-shape counts,
+    # which are deterministic given the seeded op streams — a drop means
+    # the workload harness changed behaviour, not that the host was slow.
+    "wall_ops_per_s", "scans", "scan_items", "inserts",
 }
 # Columns that are workload/topology identity or noisy bookkeeping, not
 # performance: never compared.
@@ -44,7 +48,13 @@ SKIP = {
     "breaker_closes", "cpu_fallback_buckets", "shed", "slo_max_burn",
 }
 META_IDENTITY = ("platform", "n", "clients", "lookups_per_client",
-                 "updates", "bucket", "seed", "retries", "deadline_us")
+                 "updates", "bucket", "seed", "retries", "deadline_us",
+                 # ycsb_workloads identity: the scenario name, its mix and
+                 # skew knobs, the dataset kind, and the per-purpose seeds
+                 # (a baseline from one op stream must not gate a run of
+                 # another).
+                 "scenario", "dataset", "mix", "chooser", "ops_per_client",
+                 "seed_dataset", "seed_workload")
 
 
 def load(path):

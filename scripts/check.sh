@@ -13,6 +13,10 @@
 #                               #   serving bench at the checked-in
 #                               #   baseline's workload and diff against
 #                               #   BENCH_serve.json with bench_compare.py
+#   scripts/check.sh workloads  # + YCSB scenario matrix: run every
+#                               #   workload through the serving layer,
+#                               #   validate the reports, diff against
+#                               #   the BENCH_workloads/ baselines
 #   scripts/check.sh all        # all of the above
 #
 # The release pass is the acceptance gate every change must keep green;
@@ -45,8 +49,9 @@ run_tsan() {
   # Only the concurrent suites matter under TSan; building just those
   # targets keeps the pass affordable on small machines.
   cmake --build --preset tsan -j "$jobs" --target serve_stress_test \
-      serve_shard_stress_test serve_fault_test metrics_test trace_export_test
-  (cd build-tsan && ctest -R 'serve_(stress|shard_stress|fault)_test|metrics_test|trace_export_test' --output-on-failure)
+      serve_shard_stress_test serve_fault_test serve_workload_test \
+      metrics_test trace_export_test
+  (cd build-tsan && ctest -R 'serve_(stress|shard_stress|fault|workload)_test|metrics_test|trace_export_test' --output-on-failure)
 }
 
 run_shard() {
@@ -113,6 +118,40 @@ print('build/OBS_fault_trace.json: OK (%d events)' % len(d['traceEvents']))"
   python3 scripts/validate_metrics.py build/OBS_overhead.json
 }
 
+run_workloads() {
+  echo "==> YCSB workload matrix (reports + per-workload regression gate)"
+  cmake --preset release >/dev/null
+  cmake --build --preset release -j "$jobs" --target ycsb_workloads
+  # Default flags reproduce the checked-in baselines' workloads exactly
+  # (bench_compare.py's meta check enforces scenario/mix/seed identity).
+  ./build/bench/ycsb_workloads --out_dir=build/WORKLOADS
+  for base in BENCH_workloads/*.json; do
+    cand="build/WORKLOADS/$(basename "$base")"
+    python3 scripts/validate_metrics.py \
+        --require-counter serve.lookups \
+        --require-counter serve.shard0.read_buckets \
+        "$cand"
+    # The op streams are seeded, so the workload-shape columns (scans,
+    # scan_items, inserts, hit_rate) are near-deterministic and get
+    # tight bands — they catch harness/semantic drift. The timing
+    # columns on these sub-second open-loop runs swing with host load
+    # (bucket fill is arrival-timing-driven), so wall/modelled/latency
+    # bands are wide and only catch order-of-magnitude collapses; tight
+    # perf tracking stays with `check.sh regress`.
+    python3 scripts/bench_compare.py \
+        --tolerance 0.85 \
+        --stage-tolerance 0.25 \
+        --metric-tolerance hit_rate=0.05 \
+        --metric-tolerance scans=0.01 \
+        --metric-tolerance scan_items=0.05 \
+        --metric-tolerance inserts=0.01 \
+        --metric-tolerance read_p50_us=4.0 \
+        --metric-tolerance read_p99_us=4.0 \
+        --metric-tolerance queue_wait_p99_us=6.0 \
+        "$base" "$cand"
+  done
+}
+
 run_regress() {
   echo "==> bench regression sentinel (serve_throughput vs BENCH_serve.json)"
   cmake --preset release >/dev/null
@@ -155,8 +194,9 @@ case "$mode" in
   obs)     run_release; run_obs ;;
   shard)   run_release; run_shard ;;
   regress) run_release; run_regress ;;
-  all)     run_release; run_asan; run_tsan; run_fault; run_obs; run_shard; run_regress ;;
-  *) echo "usage: scripts/check.sh [release|asan|tsan|fault|obs|shard|regress|all]" >&2; exit 2 ;;
+  workloads) run_release; run_workloads ;;
+  all)     run_release; run_asan; run_tsan; run_fault; run_obs; run_shard; run_regress; run_workloads ;;
+  *) echo "usage: scripts/check.sh [release|asan|tsan|fault|obs|shard|regress|workloads|all]" >&2; exit 2 ;;
 esac
 
 echo "==> all requested checks passed"

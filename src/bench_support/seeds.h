@@ -1,0 +1,63 @@
+#ifndef HBTREE_BENCH_SUPPORT_SEEDS_H_
+#define HBTREE_BENCH_SUPPORT_SEEDS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "bench_support/report.h"
+#include "core/random.h"
+
+namespace hbtree::bench {
+
+/// Every named sub-seed a serving bench needs, derived from the one
+/// --seed flag by a fixed SplitMix64 chain. Before this existed each
+/// bench hand-rolled its own offsets (seed+1, seed+2, seed+17, ...), so
+/// two benches given the same --seed silently drew correlated streams and
+/// a bench adding one more consumer reshuffled everything after it. The
+/// chain gives every purpose an independent, order-stable seed, and
+/// Record() writes the effective values into the report's meta so a rerun
+/// can be checked against the exact streams the report used.
+struct SeedPlan {
+  explicit SeedPlan(std::uint64_t master_seed) : master(master_seed) {
+    std::uint64_t state = master_seed ^ 0x73656564706c616eull;  // "seedplan"
+    dataset = SplitMix64(state);
+    calibrate = SplitMix64(state);
+    queries = SplitMix64(state);
+    updates = SplitMix64(state);
+    workload = SplitMix64(state);
+    faults = SplitMix64(state);
+  }
+
+  std::uint64_t master;     // the --seed flag value
+  std::uint64_t dataset;    // bootstrap key/value generation
+  std::uint64_t calibrate;  // platform cost calibration probes
+  std::uint64_t queries;    // lookup query stream
+  std::uint64_t updates;    // update stream
+  std::uint64_t workload;   // YCSB op streams (per-client seeds derive
+                            // from this inside workload::OpStream)
+  std::uint64_t faults;     // fault-injection schedules
+
+  /// Records the master seed (numeric, part of the report's identity)
+  /// and the derived seeds (exact hex strings) under meta.
+  void Record(BenchReport& report) const {
+    report.MetaNum("seed", static_cast<double>(master));
+    report.Meta("seed_dataset", Hex(dataset));
+    report.Meta("seed_calibrate", Hex(calibrate));
+    report.Meta("seed_queries", Hex(queries));
+    report.Meta("seed_updates", Hex(updates));
+    report.Meta("seed_workload", Hex(workload));
+    report.Meta("seed_faults", Hex(faults));
+  }
+
+  static std::string Hex(std::uint64_t v) {
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return std::string(buf);
+  }
+};
+
+}  // namespace hbtree::bench
+
+#endif  // HBTREE_BENCH_SUPPORT_SEEDS_H_

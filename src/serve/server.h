@@ -296,14 +296,15 @@ class Server {
         deadline.count() != 0 ? deadline : options_.default_deadline;
     if (budget.count() != 0) op.deadline = op.admitted + budget;
     std::future<UpdateResult> result = op.done.get_future();
-    AdmissionQueue<UpdateOp>& queue =
-        shards_[ShardFor(update.pair.key)]->update_queue;
+    Shard& shard = *shards_[ShardFor(update.pair.key)];
+    AdmissionQueue<UpdateOp>& queue = shard.update_queue;
     if (op.deadline != Clock::time_point::max()) {
       switch (queue.PushUntil(std::move(op), op.deadline)) {
         case PushResult::kOk:
           break;
         case PushResult::kTimeout:
           shed_updates_.Increment();
+          shard.shed_updates->Increment();
           op.done.set_value(UpdateResult{
               Status::DeadlineExceeded("update shed at admission"), 0});
           break;
@@ -558,6 +559,8 @@ class Server {
     obs::Counter* read_buckets = nullptr;
     obs::Counter* update_batches = nullptr;
     obs::Counter* breaker_opens = nullptr;
+    obs::Counter* shed_reads = nullptr;
+    obs::Counter* shed_updates = nullptr;
     obs::Histogram* queue_wait = nullptr;
 
     // Modelled busy time of this shard's device (guarded by the server's
@@ -669,6 +672,10 @@ class Server {
           obs::MetricsRegistry::ShardedName("serve", i, "update_batches"));
       shard->breaker_opens = &metrics_.counter(
           obs::MetricsRegistry::ShardedName("serve", i, "breaker_opens"));
+      shard->shed_reads = &metrics_.counter(
+          obs::MetricsRegistry::ShardedName("serve", i, "shed_reads"));
+      shard->shed_updates = &metrics_.counter(
+          obs::MetricsRegistry::ShardedName("serve", i, "shed_updates"));
       shard->queue_wait = &metrics_.histogram(
           obs::MetricsRegistry::ShardedName("serve", i, "queue_wait"));
       // Label each slot's model-track block so a multi-shard trace keeps
@@ -740,13 +747,15 @@ class Server {
         deadline.count() != 0 ? deadline : options_.default_deadline;
     if (budget.count() != 0) op.deadline = op.admitted + budget;
     std::future<ReadResult<K>> result = op.done.get_future();
-    AdmissionQueue<ReadOp>& queue = shards_[ShardFor(op.key)]->read_queue;
+    Shard& shard = *shards_[ShardFor(op.key)];
+    AdmissionQueue<ReadOp>& queue = shard.read_queue;
     if (op.deadline != Clock::time_point::max()) {
       switch (queue.PushUntil(std::move(op), op.deadline)) {
         case PushResult::kOk:
           break;
         case PushResult::kTimeout: {
           shed_reads_.Increment();
+          shard.shed_reads->Increment();
           ReadResult<K> shed;
           shed.status = Status::DeadlineExceeded("read shed at admission");
           op.done.set_value(std::move(shed));
@@ -986,6 +995,7 @@ class Server {
       for (std::size_t i = 0; i < batch.size(); ++i) {
         if (now > batch[i].deadline) {
           shed_reads_.Increment();
+          shard.shed_reads->Increment();
           ReadResult<K> shed;
           shed.status =
               Status::DeadlineExceeded("read deadline passed in queue");
@@ -1116,6 +1126,7 @@ class Server {
       for (std::size_t i = 0; i < ops.size(); ++i) {
         if (now > ops[i].deadline) {
           shed_updates_.Increment();
+          shard.shed_updates->Increment();
           ops[i].done.set_value(UpdateResult{
               Status::DeadlineExceeded("update deadline passed in queue"),
               0});

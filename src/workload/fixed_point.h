@@ -1,0 +1,121 @@
+#ifndef HBTREE_WORKLOAD_FIXED_POINT_H_
+#define HBTREE_WORKLOAD_FIXED_POINT_H_
+
+#include <cstdint>
+
+namespace hbtree::workload {
+
+/// Unsigned Q32.32 fixed-point arithmetic for the skewed key generators.
+///
+/// The YCSB-style Zipf draw needs zeta sums, x^theta, and log/exp — and a
+/// workload stream must be bit-identical across platforms so a seed in a
+/// bench report reproduces the exact same operation sequence everywhere.
+/// libm's pow/log are NOT that (results differ across libcs and
+/// -ffast-math settings), so everything here is integer math: 64-bit
+/// Q32.32 values, 128-bit intermediates, a bit-by-bit binary logarithm,
+/// and a table-driven exp2. Precision is ~2^-30 relative, far below what
+/// a key distribution can observe; determinism is exact.
+
+using Q32 = std::uint64_t;  // unsigned Q32.32: value = raw / 2^32
+
+inline constexpr Q32 kQ32One = Q32{1} << 32;
+
+inline constexpr Q32 MulQ32(Q32 a, Q32 b) {
+  return static_cast<Q32>(
+      (static_cast<unsigned __int128>(a) * b) >> 32);
+}
+
+inline constexpr Q32 DivQ32(Q32 a, Q32 b) {
+  return static_cast<Q32>((static_cast<unsigned __int128>(a) << 32) / b);
+}
+
+/// Converts a small non-negative double (a spec parameter like theta =
+/// 0.99) to Q32.32 once, at generator construction. The double literal
+/// itself is a fixed bit pattern, so this conversion is deterministic.
+inline constexpr Q32 ToQ32(double x) {
+  return static_cast<Q32>(x * 4294967296.0 + 0.5);
+}
+
+inline constexpr double FromQ32(Q32 x) { return x / 4294967296.0; }
+
+/// floor(log2(x)) for x > 0 (raw Q32.32, so the integer-part bias of 32
+/// is already removed: Log2Floor(kQ32One) == 0).
+inline constexpr int Log2FloorQ32(Q32 x) {
+  int k = -33;
+  while (x != 0) {
+    x >>= 1;
+    ++k;
+  }
+  return k;
+}
+
+/// Binary logarithm, bit by bit: normalize x into [1, 2), then square 32
+/// times, shifting out one fraction bit per squaring. Requires x >= 1
+/// (i.e. x >= kQ32One); callers take log2(1/x) for arguments below one.
+inline constexpr Q32 Log2Q32(Q32 x) {
+  const int k = Log2FloorQ32(x);
+  // Normalize the mantissa into [one, 2*one).
+  Q32 m = k >= 0 ? x >> k : x << -k;
+  Q32 frac = 0;
+  for (int bit = 31; bit >= 0; --bit) {
+    m = MulQ32(m, m);
+    if (m >= 2 * kQ32One) {
+      m >>= 1;
+      frac |= Q32{1} << bit;
+    }
+  }
+  return (static_cast<Q32>(k) << 32) | frac;
+}
+
+/// 2^(2^-j) for j = 1..32, in Q32.32 (precomputed to half-even rounding).
+inline constexpr Q32 kExp2FracTable[32] = {
+    0x000000016a09e668ull, 0x00000001306fe0a3ull, 0x00000001172b83c8ull,
+    0x000000010b5586d0ull, 0x00000001059b0d31ull, 0x0000000102c9a3e7ull,
+    0x000000010163daa0ull, 0x0000000100b1afa6ull, 0x000000010058c86eull,
+    0x00000001002c605eull, 0x0000000100162f39ull, 0x00000001000b175full,
+    0x0000000100058ba0ull, 0x000000010002c5ccull, 0x00000001000162e5ull,
+    0x000000010000b172ull, 0x00000001000058b9ull, 0x0000000100002c5dull,
+    0x000000010000162eull, 0x0000000100000b17ull, 0x000000010000058cull,
+    0x00000001000002c6ull, 0x0000000100000163ull, 0x00000001000000b1ull,
+    0x0000000100000059ull, 0x000000010000002cull, 0x0000000100000016ull,
+    0x000000010000000bull, 0x0000000100000006ull, 0x0000000100000003ull,
+    0x0000000100000001ull, 0x0000000100000001ull,
+};
+
+/// 2^x for x in [0, 31): integer part shifts, fractional part multiplies
+/// the table constants for each set fraction bit.
+inline constexpr Q32 Exp2Q32(Q32 x) {
+  const int k = static_cast<int>(x >> 32);
+  Q32 result = kQ32One;
+  for (int j = 1; j <= 32; ++j) {
+    if ((x >> (32 - j)) & 1) {
+      result = MulQ32(result, kExp2FracTable[j - 1]);
+    }
+  }
+  return result << k;
+}
+
+/// i^-theta for an integer rank i >= 1 and theta in (0, 2): the zeta-sum
+/// term. Exact 1 for i == 1; otherwise 2^(-theta * log2(i)).
+inline constexpr Q32 InvPowQ32(std::uint64_t i, Q32 theta) {
+  if (i <= 1) return kQ32One;
+  const Q32 e = MulQ32(theta, Log2Q32(static_cast<Q32>(i) << 32));
+  if (e >= Q32{31} << 32) return 0;
+  return DivQ32(kQ32One, Exp2Q32(e));
+}
+
+/// x^p for x in (0, 1], p >= 0 (the Zipf draw's (eta*u - eta + 1)^alpha).
+inline constexpr Q32 PowFracQ32(Q32 x, Q32 p) {
+  if (x == 0) return 0;
+  if (x >= kQ32One) return kQ32One;
+  // x < 1, so log2(x) = -log2(1/x).
+  const Q32 neg_log = Log2Q32(DivQ32(kQ32One, x));
+  const unsigned __int128 e128 =
+      (static_cast<unsigned __int128>(p) * neg_log) >> 32;
+  if (e128 >= (static_cast<unsigned __int128>(31) << 32)) return 0;
+  return DivQ32(kQ32One, Exp2Q32(static_cast<Q32>(e128)));
+}
+
+}  // namespace hbtree::workload
+
+#endif  // HBTREE_WORKLOAD_FIXED_POINT_H_

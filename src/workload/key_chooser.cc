@@ -1,0 +1,137 @@
+#include "workload/key_chooser.h"
+
+#include "core/macros.h"
+
+namespace hbtree::workload {
+
+Q32 ZipfGenerator::Zeta(std::uint64_t n, Q32 theta) {
+  Q32 sum = 0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += InvPowQ32(i, theta);
+  }
+  return sum;
+}
+
+ZipfGenerator::ZipfGenerator(std::uint64_t items, double theta)
+    : items_(items) {
+  HBTREE_CHECK_MSG(items >= 1, "ZipfGenerator needs at least one item");
+  HBTREE_CHECK_MSG(theta > 0.0 && theta < 1.0,
+                   "zipf theta must lie in (0, 1)");
+  const Q32 theta_q = ToQ32(theta);
+  zetan_ = Zeta(items, theta_q);
+  alpha_ = DivQ32(kQ32One, kQ32One - theta_q);
+  // eta = (1 - (2/n)^(1-theta)) / (1 - zeta(2)/zeta(n)).
+  const Q32 zeta2 = Zeta(2, theta_q);
+  if (items <= 2) {
+    eta_ = 0;
+  } else {
+    const Q32 two_over_n = DivQ32(Q32{2} << 32, static_cast<Q32>(items) << 32);
+    const Q32 num = kQ32One - PowFracQ32(two_over_n, kQ32One - theta_q);
+    const Q32 den = kQ32One - DivQ32(zeta2, zetan_);
+    eta_ = den == 0 ? 0 : DivQ32(num, den);
+  }
+  cut1_ = kQ32One;
+  cut2_ = kQ32One + InvPowQ32(2, theta_q);
+}
+
+std::uint64_t ZipfGenerator::Next(Rng& rng) const {
+  // u uniform in [0, 1) as a Q32 fraction: the top 32 bits of one draw.
+  const Q32 u = rng.Next() >> 32;
+  const Q32 uz = MulQ32(u, zetan_);
+  if (uz < cut1_ || items_ == 1) return 0;
+  if (uz < cut2_) return 1;
+  // rank = floor(n * (eta*u - eta + 1)^alpha); base stays in (0, 1].
+  const Q32 base = kQ32One - eta_ + MulQ32(eta_, u);
+  const Q32 frac = PowFracQ32(base, alpha_);
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(items_) * frac) >> 32);
+  if (rank >= items_) rank = items_ - 1;
+  return rank;
+}
+
+const char* KeyChooserKindName(KeyChooserKind kind) {
+  switch (kind) {
+    case KeyChooserKind::kUniform:
+      return "uniform";
+    case KeyChooserKind::kZipfian:
+      return "zipfian";
+    case KeyChooserKind::kScrambledZipfian:
+      return "scrambled_zipfian";
+    case KeyChooserKind::kLatest:
+      return "latest";
+    case KeyChooserKind::kHotspot:
+      return "hotspot";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool NeedsZipf(KeyChooserKind kind) {
+  return kind == KeyChooserKind::kZipfian ||
+         kind == KeyChooserKind::kScrambledZipfian ||
+         kind == KeyChooserKind::kLatest;
+}
+
+// Maps a 64-bit hash onto [0, n) without modulo bias (Lemire's method,
+// same as Rng::NextBounded but over an existing hash value).
+std::uint64_t ScaleHash(std::uint64_t hash, std::uint64_t n) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(hash) * n) >> 64);
+}
+
+}  // namespace
+
+KeyChooser::KeyChooser(const Params& params, std::uint64_t items)
+    : params_(params),
+      items_(items),
+      zipf_(NeedsZipf(params.kind) ? items : 1, params.zipf_theta) {
+  HBTREE_CHECK_MSG(items >= 1, "KeyChooser needs at least one item");
+  if (params_.kind == KeyChooserKind::kHotspot) {
+    HBTREE_CHECK_MSG(params_.hot_key_fraction > 0.0 &&
+                         params_.hot_key_fraction <= 1.0,
+                     "hot_key_fraction must lie in (0, 1]");
+    HBTREE_CHECK_MSG(params_.hot_op_fraction >= 0.0 &&
+                         params_.hot_op_fraction <= 1.0,
+                     "hot_op_fraction must lie in [0, 1]");
+    hot_items_ = static_cast<std::uint64_t>(
+        params_.hot_key_fraction * static_cast<double>(items) + 0.5);
+    if (hot_items_ < 1) hot_items_ = 1;
+    if (hot_items_ > items) hot_items_ = items;
+    hot_op_bp_ = static_cast<std::uint64_t>(
+        params_.hot_op_fraction * 10000.0 + 0.5);
+  }
+}
+
+std::uint64_t KeyChooser::Next(Rng& rng, std::uint64_t inserted) const {
+  switch (params_.kind) {
+    case KeyChooserKind::kUniform:
+      return rng.NextBounded(items_ + inserted);
+    case KeyChooserKind::kZipfian:
+      return zipf_.Next(rng);
+    case KeyChooserKind::kScrambledZipfian: {
+      // Scatter the rank order over the index space; the hash keeps the
+      // rank→index map stable as inserts grow the domain (a hot rank
+      // stays the same hot record for the whole run).
+      std::uint64_t rank = zipf_.Next(rng);
+      return ScaleHash(SplitMix64(rank), items_);
+    }
+    case KeyChooserKind::kLatest: {
+      // rank 0 = newest record. Ranks larger than the newest-insert
+      // window fall back into the bootstrap set's high end.
+      const std::uint64_t total = items_ + inserted;
+      const std::uint64_t rank = zipf_.Next(rng);
+      return total - 1 - (rank < total ? rank : total - 1);
+    }
+    case KeyChooserKind::kHotspot: {
+      if (rng.NextBounded(10000) < hot_op_bp_) {
+        return rng.NextBounded(hot_items_);
+      }
+      if (hot_items_ == items_) return rng.NextBounded(items_);
+      return hot_items_ + rng.NextBounded(items_ - hot_items_);
+    }
+  }
+  return 0;
+}
+
+}  // namespace hbtree::workload

@@ -1,0 +1,94 @@
+#ifndef HBTREE_WORKLOAD_KEY_CHOOSER_H_
+#define HBTREE_WORKLOAD_KEY_CHOOSER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/random.h"
+#include "workload/fixed_point.h"
+
+namespace hbtree::workload {
+
+/// Zipf-distributed ranks over [0, items), rank 0 hottest — the standard
+/// YCSB generator (Gray et al.'s "Quickly generating billion-record
+/// synthetic databases" rejection-free draw), computed entirely in Q32.32
+/// fixed point so identical seeds produce identical rank streams on every
+/// platform (see fixed_point.h).
+///
+/// theta must lie in (0, 1); YCSB's default is 0.99. Construction costs
+/// one O(items) zeta sum.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t items, double theta = 0.99);
+
+  /// Next rank in [0, items). Consumes exactly one Rng draw.
+  std::uint64_t Next(Rng& rng) const;
+
+  std::uint64_t items() const { return items_; }
+
+  /// zeta(n, theta) = sum_{i=1..n} i^-theta in Q32.32 (exposed for the
+  /// golden determinism tests).
+  static Q32 Zeta(std::uint64_t n, Q32 theta);
+
+ private:
+  std::uint64_t items_;
+  Q32 zetan_;       // zeta(items, theta)
+  Q32 alpha_;       // 1 / (1 - theta)
+  Q32 eta_;         // YCSB eta, in [0, 1)
+  Q32 cut1_;        // uz below this -> rank 0 (== one)
+  Q32 cut2_;        // uz below this -> rank 1 (== one + 2^-theta)
+};
+
+/// How a workload picks the record an operation targets.
+enum class KeyChooserKind {
+  kUniform,
+  /// Zipf ranks map directly onto the sorted key order: the hot set is a
+  /// contiguous low-key range, which concentrates load on one key-range
+  /// shard (the skew regime the elastic-sharding roadmap item targets).
+  kZipfian,
+  /// Zipf ranks scattered across the key space by a 64-bit mixer —
+  /// YCSB's default, hot keys spread over all shards.
+  kScrambledZipfian,
+  /// Skew toward the most recently inserted records (YCSB workload D):
+  /// rank r from the Zipf generator selects the (r+1)-th newest record.
+  kLatest,
+  /// hot_op_fraction of operations target the hot_key_fraction coldest-
+  /// index prefix of the key space, the rest are uniform over the tail.
+  kHotspot,
+};
+
+const char* KeyChooserKindName(KeyChooserKind kind);
+
+/// Draws record indices for one client's operation stream. The index
+/// domain is [0, items + inserted): indices below `items` are bootstrap
+/// records, indices at or above it are the client's own inserts, newest
+/// last (only kLatest ever returns those).
+class KeyChooser {
+ public:
+  struct Params {
+    KeyChooserKind kind = KeyChooserKind::kScrambledZipfian;
+    double zipf_theta = 0.99;
+    double hot_key_fraction = 0.2;
+    double hot_op_fraction = 0.8;
+  };
+
+  KeyChooser(const Params& params, std::uint64_t items);
+
+  /// Next index in [0, items + inserted). `inserted` is how many records
+  /// this client has appended after the bootstrap set so far.
+  std::uint64_t Next(Rng& rng, std::uint64_t inserted = 0) const;
+
+  std::uint64_t items() const { return items_; }
+
+ private:
+  Params params_;
+  std::uint64_t items_;
+  std::uint64_t hot_items_ = 0;   // kHotspot: size of the hot prefix
+  std::uint64_t hot_op_bp_ = 0;   // kHotspot: basis points of hot ops
+  // Lazily absent for kUniform/kHotspot (no zeta sum needed).
+  ZipfGenerator zipf_;
+};
+
+}  // namespace hbtree::workload
+
+#endif  // HBTREE_WORKLOAD_KEY_CHOOSER_H_
