@@ -39,6 +39,10 @@ HIGHER_BETTER = {
     # which are deterministic given the seeded op streams — a drop means
     # the workload harness changed behaviour, not that the host was slow.
     "wall_ops_per_s", "scans", "scan_items", "inserts",
+    # serve_overload per-tenant columns: goodput is the QoS deliverable
+    # (served ops per second under overload) — a drop means the fair
+    # scheduler stopped protecting the tenant.
+    "goodput_per_s", "served",
 }
 # Columns that are workload/topology identity or noisy bookkeeping, not
 # performance: never compared.
@@ -54,7 +58,14 @@ META_IDENTITY = ("platform", "n", "clients", "lookups_per_client",
                  # (a baseline from one op stream must not gate a run of
                  # another).
                  "scenario", "dataset", "mix", "chooser", "ops_per_client",
-                 "seed_dataset", "seed_workload")
+                 "seed_dataset", "seed_workload",
+                 # serve_overload identity: the tenant/priority topology
+                 # and load model. A baseline taken under one weight or
+                 # deadline layout must not silently gate a run of a
+                 # different one — that's an exit-2 mismatch, not a pass.
+                 "tenants", "tenant_weights", "tenant_priorities",
+                 "tenant_deadlines_us", "tenant_shares", "multipliers",
+                 "pacing", "queue_capacity", "slo_us", "seconds")
 
 
 def load(path):
@@ -72,6 +83,14 @@ def load(path):
 
 
 def row_key(row, index):
+    # serve_overload rows: the load multiplier keys the sweep point, and
+    # the tenant index distinguishes the per-tenant rows from the
+    # aggregate row (which carries shards/read_workers and no tenant).
+    if "load_x" in row:
+        key = f"load_x={row['load_x']:g}"
+        if "tenant" in row:
+            key += f",tenant={row['tenant']:g}"
+        return key
     if "shards" in row and "read_workers" in row:
         return f"shards={row['shards']:g},workers={row['read_workers']:g}"
     if "fault_rate" in row:

@@ -17,6 +17,10 @@
 #                               #   workload through the serving layer,
 #                               #   validate the reports, diff against
 #                               #   the BENCH_workloads/ baselines
+#   scripts/check.sh qos        # + multi-tenant QoS gate: overload sweep
+#                               #   to 10x modelled capacity, per-tenant
+#                               #   metrics/exemplar validation, diff
+#                               #   against BENCH_overload.json
 #   scripts/check.sh all        # all of the above
 #
 # The release pass is the acceptance gate every change must keep green;
@@ -50,8 +54,8 @@ run_tsan() {
   # targets keeps the pass affordable on small machines.
   cmake --build --preset tsan -j "$jobs" --target serve_stress_test \
       serve_shard_stress_test serve_fault_test serve_workload_test \
-      metrics_test trace_export_test
-  (cd build-tsan && ctest -R 'serve_(stress|shard_stress|fault|workload)_test|metrics_test|trace_export_test' --output-on-failure)
+      admission_queue_test metrics_test trace_export_test
+  (cd build-tsan && ctest -R 'serve_(stress|shard_stress|fault|workload)_test|admission_queue_test|metrics_test|trace_export_test' --output-on-failure)
 }
 
 run_shard() {
@@ -186,6 +190,39 @@ run_regress() {
       BENCH_serve.json build/REGRESS_serve.json
 }
 
+run_qos() {
+  echo "==> multi-tenant QoS gate (serve_overload vs BENCH_overload.json)"
+  cmake --preset release >/dev/null
+  cmake --build --preset release -j "$jobs" --target serve_overload
+  # Fixed seed plus model pacing make the sweep reproducible across
+  # hosts; the bench itself exits 1 when a QoS invariant breaks (any
+  # high-priority shed, high-priority p99 over its SLO, hostile tenant
+  # locked out, or hostile shed ratio under 0.5 at the 10x point).
+  ./build/bench/serve_overload --n_log2=16 --probe_ops=8192 --seconds=1 \
+      --pacing=1500 --seed=1 \
+      --metrics_json=build/QOS_overload.json \
+      --trace_out=build/QOS_trace.json
+  python3 scripts/validate_metrics.py \
+      --require-counter serve.tenant0.lookups \
+      --require-counter serve.tenant2.shed_reads \
+      --require-exemplars serve.read_latency \
+      --require-exemplars serve.tenant0.read_latency \
+      --trace build/QOS_trace.json \
+      build/QOS_overload.json
+  # The hard guarantees are gated inside the bench; the compare bands
+  # catch drift in the per-tenant goodput split and the latency shape.
+  # Open-loop arrival timing makes served/goodput and the modelled
+  # makespan host-sensitive, hence the wide bands.
+  python3 scripts/bench_compare.py \
+      --tolerance 0.6 \
+      --stage-tolerance 0.25 \
+      --metric-tolerance read_p50_us=2.0 \
+      --metric-tolerance read_p99_us=2.0 \
+      --metric-tolerance queue_wait_p99_us=3.0 \
+      --metric-tolerance modelled_ops_per_s=0.9 \
+      BENCH_overload.json build/QOS_overload.json
+}
+
 case "$mode" in
   release) run_release ;;
   asan)    run_release; run_asan; run_obs ;;
@@ -195,8 +232,9 @@ case "$mode" in
   shard)   run_release; run_shard ;;
   regress) run_release; run_regress ;;
   workloads) run_release; run_workloads ;;
-  all)     run_release; run_asan; run_tsan; run_fault; run_obs; run_shard; run_regress; run_workloads ;;
-  *) echo "usage: scripts/check.sh [release|asan|tsan|fault|obs|shard|regress|workloads|all]" >&2; exit 2 ;;
+  qos)     run_release; run_qos ;;
+  all)     run_release; run_asan; run_tsan; run_fault; run_obs; run_shard; run_regress; run_workloads; run_qos ;;
+  *) echo "usage: scripts/check.sh [release|asan|tsan|fault|obs|shard|regress|workloads|qos|all]" >&2; exit 2 ;;
 esac
 
 echo "==> all requested checks passed"

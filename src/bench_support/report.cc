@@ -77,6 +77,23 @@ BenchReport::Row& BenchReport::AddServeStatsRow(
   return row;
 }
 
+BenchReport::Row& BenchReport::AddTenantStatsRow(
+    Row& row, int tenant, const serve::TenantServeStats& stats,
+    double wall_seconds) {
+  row.Num("tenant", tenant, 0)
+      .Text("name", stats.name)
+      .Text("priority", serve::PriorityName(stats.priority))
+      .Num("weight", stats.weight, 0)
+      .Num("served", static_cast<double>(stats.served()), 0)
+      .Num("shed", static_cast<double>(stats.shed()), 0)
+      .Num("shed_pct", stats.shed_ratio() * 100.0, 2)
+      .Num("goodput_per_s",
+           wall_seconds > 0 ? stats.served() / wall_seconds : 0, 0)
+      .Num("read_p50_us", stats.read_latency.p50_us, 1)
+      .Num("read_p99_us", stats.read_latency.p99_us, 1);
+  return row;
+}
+
 void BenchReport::SetStages(const obs::StageWaterfall& stages) {
   stages_ = stages;
 }

@@ -62,6 +62,16 @@ class BenchReport {
   /// and append extra columns after.
   Row& AddServeStatsRow(Row& row, const serve::ServeStats& stats);
 
+  /// The canonical per-tenant column set for multi-tenant serving
+  /// benches, one row per tenant: tenant (index), name, priority,
+  /// weight, served, shed, shed_pct, goodput_per_s (served ops over the
+  /// stats' wall seconds — HIGHER_BETTER in regression gates),
+  /// read_p50_us, read_p99_us. Callers prepend their sweep variable
+  /// before calling, exactly like AddServeStatsRow.
+  Row& AddTenantStatsRow(Row& row, int tenant,
+                         const serve::TenantServeStats& stats,
+                         double wall_seconds);
+
   /// Attaches a stage waterfall (obs::SpanAggregator::FromSession() of a
   /// traced run), emitted as the JSON's "stages" section: where the ops'
   /// time went per pipeline stage, aggregate and per shard/slot. A

@@ -171,6 +171,16 @@ class MetricsRegistry {
     return subsystem + ".shard" + std::to_string(shard) + "." + what;
   }
 
+  /// Canonical per-tenant label for multi-tenant subsystems:
+  /// `<subsystem>.tenant<T>.<what>`, e.g. `serve.tenant0.read_latency`.
+  /// Same aggregation convention as ShardedName: prefix-match
+  /// `<subsystem>.tenant*` for a per-tenant breakdown, use the flat
+  /// `<subsystem>.<what>` name for the global total.
+  static std::string TenantName(const std::string& subsystem, int tenant,
+                                const std::string& what) {
+    return subsystem + ".tenant" + std::to_string(tenant) + "." + what;
+  }
+
   /// Human-readable multi-line dump (sorted by name).
   static std::string ToText(const MetricsSnapshot& snapshot);
   /// Stable machine-readable dump — schema `hbtree.metrics.v1`, validated

@@ -31,7 +31,11 @@ enum class PushResult {
 template <typename T>
 class AdmissionQueue {
  public:
-  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+  /// A zero capacity would make every Push() wait forever (the predicate
+  /// `size < 0` can never hold), so it clamps to 1: the smallest queue
+  /// that still moves items.
+  explicit AdmissionQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
 
   AdmissionQueue(const AdmissionQueue&) = delete;
   AdmissionQueue& operator=(const AdmissionQueue&) = delete;
@@ -56,6 +60,15 @@ class AdmissionQueue {
   /// cheaper than shedding it after it aged in the queue. On kClosed and
   /// kTimeout `item` is left untouched.
   PushResult PushUntil(T&& item, std::chrono::steady_clock::time_point deadline) {
+    // An already-expired deadline sheds at the door, full queue or not:
+    // admitting it would only waste a bucket slot on a request that must
+    // resolve kDeadlineExceeded anyway, and the condition-variable wait
+    // path must not run at all (wait_until with a past deadline still
+    // checks the predicate, which would ADMIT the expired request
+    // whenever the queue happens to have space).
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return PushResult::kTimeout;
+    }
     std::unique_lock<std::mutex> lock(mutex_);
     if (!not_full_.wait_until(lock, deadline, [this] {
           return closed_ || items_.size() < capacity_;
@@ -86,12 +99,20 @@ class AdmissionQueue {
     std::size_t popped = 0;
     const auto deadline = std::chrono::steady_clock::now() + fill_wait;
     for (;;) {
+      const bool drained = !items_.empty();
       while (popped < max && !items_.empty()) {
         out->push_back(std::move(items_.front()));
         items_.pop_front();
         ++popped;
       }
       if (popped >= max || closed_) break;
+      // Wake producers before waiting for more: with capacity smaller
+      // than the batch (worst case capacity 1), producers are blocked on
+      // not_full_ while the consumer would otherwise sit on not_empty_
+      // until the whole fill window expired — a livelock that turns
+      // every batch into a full fill_wait stall. Draining and notifying
+      // inside the loop lets the batch fill incrementally.
+      if (drained) not_full_.notify_all();
       if (!not_empty_.wait_until(lock, deadline,
                                  [this] { return closed_ || !items_.empty(); })) {
         break;  // fill window expired: ship the partial bucket

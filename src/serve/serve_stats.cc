@@ -23,7 +23,9 @@ std::string ServeStats::ToString() const {
       "retries %llu/%llu/%llu (transfer/kernel/sync)\n"
       "  breaker: %llu opens, %llu closes, %llu probes; cpu fallback "
       "%llu buckets / %llu lookups\n"
-      "  shed: %llu reads, %llu updates",
+      "  shed: %llu reads, %llu updates (%.2f%% of resolved ops; %llu "
+      "degraded low-priority)\n"
+      "  adaptive bucket: %llu shrinks, %llu grows",
       static_cast<unsigned long long>(lookups),
       static_cast<unsigned long long>(ranges),
       static_cast<unsigned long long>(updates), wall_seconds, num_shards,
@@ -51,8 +53,27 @@ std::string ServeStats::ToString() const {
       static_cast<unsigned long long>(cpu_fallback_buckets),
       static_cast<unsigned long long>(cpu_fallback_lookups),
       static_cast<unsigned long long>(shed_reads),
-      static_cast<unsigned long long>(shed_updates));
+      static_cast<unsigned long long>(shed_updates), shed_ratio() * 100.0,
+      static_cast<unsigned long long>(degraded_sheds),
+      static_cast<unsigned long long>(bucket_shrinks),
+      static_cast<unsigned long long>(bucket_grows));
   std::string out = buffer;
+  // One line per tenant only when a real topology is configured — the
+  // implicit single default tenant would just repeat the totals.
+  if (tenants.size() > 1) {
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      const TenantServeStats& tenant = tenants[t];
+      std::snprintf(
+          buffer, sizeof(buffer),
+          "\n  tenant %zu %-10s (%s, w%d): %llu served, %llu shed "
+          "(%.2f%%), read p99 %.1f us",
+          t, tenant.name.c_str(), PriorityName(tenant.priority),
+          tenant.weight, static_cast<unsigned long long>(tenant.served()),
+          static_cast<unsigned long long>(tenant.shed()),
+          tenant.shed_ratio() * 100.0, tenant.read_latency.p99_us);
+      out += buffer;
+    }
+  }
   for (const obs::SloStatus& slo : slos) {
     std::snprintf(buffer, sizeof(buffer),
                   "\n  slo %-12s bad %.3f%% of budget %.1f%%, burn "

@@ -7,8 +7,34 @@
 
 #include "obs/slo.h"
 #include "serve/latency_histogram.h"
+#include "serve/tenant.h"
 
 namespace hbtree::serve {
+
+/// Per-tenant slice of the serving stats (one entry per configured
+/// TenantSpec, same order). Counts are completed/shed operations
+/// attributed to the tenant; the latency summary is the tenant's own
+/// wall read-latency distribution.
+struct TenantServeStats {
+  std::string name;
+  int weight = 1;
+  Priority priority = Priority::kNormal;
+  std::uint64_t lookups = 0;
+  std::uint64_t ranges = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t shed_reads = 0;
+  std::uint64_t shed_updates = 0;
+  LatencySummary read_latency;
+
+  std::uint64_t served() const { return lookups + ranges + updates; }
+  std::uint64_t shed() const { return shed_reads + shed_updates; }
+  /// Shed operations over everything the tenant submitted that resolved
+  /// (served + shed); 0 when the tenant was idle.
+  double shed_ratio() const {
+    const std::uint64_t total = served() + shed();
+    return total > 0 ? static_cast<double>(shed()) / total : 0;
+  }
+};
 
 /// Aggregate serving-layer statistics, exposed by Server::Stats().
 ///
@@ -72,6 +98,27 @@ struct ServeStats {
   std::uint64_t shed_reads = 0;
   std::uint64_t shed_updates = 0;
 
+  // Priority-aware degradation: low-priority reads dropped (kUnavailable)
+  // because the pinned slot's breaker was open when their bucket was
+  // assembled. A subset of shed_reads.
+  std::uint64_t degraded_sheds = 0;
+
+  /// Shed operations as a fraction of everything that resolved (served +
+  /// shed); the aggregate load-shedding rate.
+  double shed_ratio() const {
+    const std::uint64_t total =
+        lookups + ranges + updates + shed_reads + shed_updates;
+    return total > 0
+               ? static_cast<double>(shed_reads + shed_updates) / total
+               : 0;
+  }
+
+  // Adaptive bucket sizing: controller decisions summed over shards; the
+  // current per-shard effective M lives in the registry as
+  // serve.shard<N>.bucket_m.
+  std::uint64_t bucket_shrinks = 0;
+  std::uint64_t bucket_grows = 0;
+
   // Device-fault handling in the read/update paths.
   std::uint64_t transfer_retries = 0;  // transient transfer faults retried
   std::uint64_t kernel_retries = 0;    // transient kernel faults retried
@@ -97,6 +144,10 @@ struct ServeStats {
   // the last observed metrics window. Empty until a window has been
   // observed (reporter tick or Shutdown's final flush).
   std::vector<obs::SloStatus> slos;
+
+  // Per-tenant breakdown (ServerOptions::tenants order; a single default
+  // entry when no topology was configured).
+  std::vector<TenantServeStats> tenants;
 
   /// Human-readable multi-line report (used by bench/ and examples/).
   std::string ToString() const;

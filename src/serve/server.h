@@ -30,9 +30,11 @@
 #include "obs/slo.h"
 #include "obs/trace.h"
 #include "serve/admission_queue.h"
+#include "serve/fair_queue.h"
 #include "serve/latency_histogram.h"
 #include "serve/serve_stats.h"
 #include "serve/snapshot.h"
+#include "serve/tenant.h"
 #include "sim/platform.h"
 
 namespace hbtree::serve {
@@ -60,6 +62,50 @@ inline std::vector<obs::SloSpec> DefaultServeSlos() {
   shed_ratio.budget = 0.01;
 
   return {read_p99, shed_ratio};
+}
+
+/// Per-tenant SLO targets over the `serve.tenant<T>.*` metric series:
+/// for every tenant, a wall read-p99 objective against its own latency
+/// histogram and a shed-ratio objective over its own shed/served
+/// counters. Append these to ServerOptions::slos (alongside or instead
+/// of DefaultServeSlos) so the SloTracker burns per-tenant budgets —
+/// under overload the hostile tenant's shed SLO burns while the
+/// high-priority tenant's stays green, and that asymmetry is the whole
+/// QoS story in one dashboard row.
+inline std::vector<obs::SloSpec> TenantServeSlos(
+    const std::vector<TenantSpec>& tenants) {
+  std::vector<obs::SloSpec> slos;
+  slos.reserve(tenants.size() * 2);
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const TenantSpec& spec = tenants[t];
+    const int id = static_cast<int>(t);
+    const std::string prefix = "t" + std::to_string(t) + "_";
+
+    obs::SloSpec p99;
+    p99.name = prefix + "read_p99";
+    p99.kind = obs::SloSpec::Kind::kLatencyP99;
+    p99.histogram = obs::MetricsRegistry::TenantName("serve", id,
+                                                     "read_latency");
+    p99.threshold_us = spec.read_p99_slo_us;
+    p99.budget = spec.slo_budget;
+    slos.push_back(p99);
+
+    obs::SloSpec shed;
+    shed.name = prefix + "shed";
+    shed.kind = obs::SloSpec::Kind::kRatio;
+    shed.bad_counters = {
+        obs::MetricsRegistry::TenantName("serve", id, "shed_reads"),
+        obs::MetricsRegistry::TenantName("serve", id, "shed_updates")};
+    shed.total_counters = {
+        obs::MetricsRegistry::TenantName("serve", id, "lookups"),
+        obs::MetricsRegistry::TenantName("serve", id, "ranges"),
+        obs::MetricsRegistry::TenantName("serve", id, "updates"),
+        obs::MetricsRegistry::TenantName("serve", id, "shed_reads"),
+        obs::MetricsRegistry::TenantName("serve", id, "shed_updates")};
+    shed.budget = spec.slo_budget;
+    slos.push_back(shed);
+  }
+  return slos;
 }
 
 /// Serving-layer tuning knobs.
@@ -171,6 +217,47 @@ struct ServerOptions {
   /// request whose deadline passes before it is dispatched resolves with
   /// kDeadlineExceeded instead of occupying the pipeline (load shedding).
   std::chrono::microseconds default_deadline{0};
+
+  // -- Multi-tenant QoS ----------------------------------------------------
+
+  /// Tenant topology: every request carries a TenantId indexing this
+  /// vector, each tenant gets its own bounded admission lane per shard
+  /// (queue_capacity each), and bucket windows drain the lanes by
+  /// deficit round-robin over the weights (see FairAdmissionQueue).
+  /// Empty means DefaultTenants(): one default tenant, weight 1, normal
+  /// priority, blocking admission — exactly the pre-QoS single-FIFO
+  /// behaviour.
+  std::vector<TenantSpec> tenants;
+
+  /// Adaptive bucket sizing: a per-shard controller lowers the effective
+  /// admission bucket M when fill windows repeatedly expire less than
+  /// half full with the queue drained (true light load — a short window
+  /// with backlog left behind just means a co-worker took the other
+  /// half), or when a quarter of a batch is near its deadline (smaller
+  /// buckets ship sooner, trading per-op fixed cost for latency), and
+  /// restores it under sustained full windows. Decisions surface as
+  /// serve.shard<N>.bucket_m / m_shrinks / m_grows and as
+  /// bucket.m_shrink / bucket.m_grow trace instants. The effective M
+  /// only ever shrinks below pipeline.bucket_size, so the bucket
+  /// buffers validated at startup always suffice.
+  bool adaptive_bucket = true;
+  /// Consecutive half-empty (or deadline-tight) windows before a shrink.
+  int adapt_shrink_after = 4;
+  /// Consecutive full windows before growing back toward the configured M.
+  int adapt_grow_after = 2;
+  /// Smallest effective M the controller may reach; 0 derives
+  /// max(min_sub_bucket, bucket_size/16), clamped to bucket_size.
+  int adapt_min_bucket = 0;
+
+  /// When positive, each read worker sleeps after dispatching a bucket
+  /// until the bucket's wall time is at least `modelled_us x
+  /// model_pacing` — serving throughput then tracks the simulated
+  /// platform's capacity instead of this host's, which makes "N x
+  /// capacity" overload experiments deterministic (the modelled time is
+  /// deterministic; host speed is not). 0 disables pacing. The sleep
+  /// happens before the bucket's futures resolve, so client-observed
+  /// latency includes the modelled service time.
+  double model_pacing = 0;
 };
 
 /// Result of one read operation (point lookup or range query). `status`
@@ -253,14 +340,18 @@ class Server {
 
   // -- Client API ---------------------------------------------------------
 
-  /// Admits a point lookup; blocks if the owning shard's read lane is
-  /// full (until the deadline, if one applies). `deadline` overrides
-  /// options.default_deadline for this request; zero keeps the default.
+  /// Admits a point lookup on behalf of `tenant` (an index into
+  /// ServerOptions::tenants; 0 is always valid). Blocks if the tenant's
+  /// lane on the owning shard is full (until the deadline, if one
+  /// applies) unless the tenant is configured shed_on_full. `deadline`
+  /// overrides options.default_deadline for this request; zero keeps the
+  /// default.
   std::future<ReadResult<K>> SubmitLookup(
-      K key, std::chrono::microseconds deadline = {}) {
+      K key, std::chrono::microseconds deadline = {}, TenantId tenant = 0) {
     ReadOp op;
     op.key = key;
     op.max_matches = 0;
+    op.tenant = tenant;
     return AdmitRead(std::move(op), deadline);
   }
 
@@ -268,10 +359,12 @@ class Server {
   /// A non-positive `max_matches` resolves the future immediately with
   /// kInvalidArgument (a malformed request must not crash the server).
   std::future<ReadResult<K>> SubmitRange(
-      K key, int max_matches, std::chrono::microseconds deadline = {}) {
+      K key, int max_matches, std::chrono::microseconds deadline = {},
+      TenantId tenant = 0) {
     ReadOp op;
     op.key = key;
     op.max_matches = max_matches;
+    op.tenant = tenant;
     if (max_matches <= 0) {
       std::future<ReadResult<K>> result = op.done.get_future();
       ReadResult<K> rejected;
@@ -288,23 +381,38 @@ class Server {
   /// converged); shed or rejected updates carry a non-ok status and were
   /// NOT applied.
   std::future<UpdateResult> SubmitUpdate(
-      UpdateQuery<K> update, std::chrono::microseconds deadline = {}) {
+      UpdateQuery<K> update, std::chrono::microseconds deadline = {},
+      TenantId tenant = 0) {
     UpdateOp op;
     op.query = update;
+    op.tenant = tenant;
     op.admitted = Clock::now();
+    std::future<UpdateResult> result = op.done.get_future();
+    if (!ValidTenant(tenant)) {
+      op.done.set_value(UpdateResult{
+          Status::InvalidArgument("unknown tenant id"), 0});
+      return result;
+    }
+    const TenantSpec& spec = tenants_[static_cast<std::size_t>(tenant)];
+    op.priority = spec.priority;
     const std::chrono::microseconds budget =
         deadline.count() != 0 ? deadline : options_.default_deadline;
     if (budget.count() != 0) op.deadline = op.admitted + budget;
-    std::future<UpdateResult> result = op.done.get_future();
     Shard& shard = *shards_[ShardFor(update.pair.key)];
-    AdmissionQueue<UpdateOp>& queue = shard.update_queue;
-    if (op.deadline != Clock::time_point::max()) {
-      switch (queue.PushUntil(std::move(op), op.deadline)) {
+    FairAdmissionQueue<UpdateOp>& queue = shard.update_queue;
+    const std::size_t lane = static_cast<std::size_t>(tenant);
+    const bool bounded = op.deadline != Clock::time_point::max();
+    if (bounded || spec.shed_on_full) {
+      // A shed_on_full tenant without a deadline still takes the bounded
+      // path: PushUntil sheds immediately on a full lane and otherwise
+      // admits without waiting, so the far-out limit is never waited on.
+      const Clock::time_point limit =
+          bounded ? op.deadline : op.admitted + std::chrono::hours(1);
+      switch (queue.PushUntil(lane, std::move(op), limit)) {
         case PushResult::kOk:
           break;
         case PushResult::kTimeout:
-          shed_updates_.Increment();
-          shard.shed_updates->Increment();
+          CountShedUpdate(shard, tenant);
           op.done.set_value(UpdateResult{
               Status::DeadlineExceeded("update shed at admission"), 0});
           break;
@@ -314,7 +422,7 @@ class Server {
               0});
           break;
       }
-    } else if (!queue.Push(std::move(op))) {
+    } else if (!queue.Push(lane, std::move(op))) {
       // Benign race with Shutdown(): reject via the future instead of
       // aborting the process.
       op.done.set_value(UpdateResult{
@@ -396,6 +504,24 @@ class Server {
 
     stats.shed_reads = shed_reads_.value();
     stats.shed_updates = shed_updates_.value();
+    stats.degraded_sheds = degraded_sheds_.value();
+    stats.bucket_shrinks = m_shrinks_.value();
+    stats.bucket_grows = m_grows_.value();
+    stats.tenants.reserve(tenant_metrics_.size());
+    for (std::size_t t = 0; t < tenant_metrics_.size(); ++t) {
+      const TenantHandles& handles = tenant_metrics_[t];
+      TenantServeStats tenant;
+      tenant.name = tenants_[t].name;
+      tenant.weight = tenants_[t].weight;
+      tenant.priority = tenants_[t].priority;
+      tenant.lookups = handles.lookups->value();
+      tenant.ranges = handles.ranges->value();
+      tenant.updates = handles.updates->value();
+      tenant.shed_reads = handles.shed_reads->value();
+      tenant.shed_updates = handles.shed_updates->value();
+      tenant.read_latency = handles.read_latency->LifetimeSummary();
+      stats.tenants.push_back(std::move(tenant));
+    }
     stats.transfer_retries = transfer_retries_.value();
     stats.kernel_retries = kernel_retries_.value();
     stats.sync_retries = sync_retries_.value();
@@ -421,6 +547,10 @@ class Server {
   /// for interval rates.
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The resolved tenant topology (ServerOptions::tenants, or the
+  /// implicit single default tenant).
+  const std::vector<TenantSpec>& tenants() const { return tenants_; }
 
   /// Stops admission, drains every shard's lanes, and joins the workers.
   /// Safe to call more than once.
@@ -518,6 +648,8 @@ class Server {
   struct ReadOp {
     K key;
     int max_matches = 0;  // 0 = point lookup
+    TenantId tenant = 0;
+    Priority priority = Priority::kNormal;  // resolved from the tenant spec
     Clock::time_point admitted;
     Clock::time_point deadline = Clock::time_point::max();
     std::promise<ReadResult<K>> done;
@@ -525,6 +657,8 @@ class Server {
 
   struct UpdateOp {
     UpdateQuery<K> query;
+    TenantId tenant = 0;
+    Priority priority = Priority::kNormal;
     Clock::time_point admitted;
     Clock::time_point deadline = Clock::time_point::max();
     std::promise<UpdateResult> done;
@@ -540,14 +674,25 @@ class Server {
     bool cpu_fallback = false;
   };
 
+  /// Hot-path handles into the tenant's serve.tenant<T>.* metric series,
+  /// bound once in Init (indexed by TenantId).
+  struct TenantHandles {
+    obs::Counter* lookups = nullptr;
+    obs::Counter* ranges = nullptr;
+    obs::Counter* updates = nullptr;
+    obs::Counter* shed_reads = nullptr;
+    obs::Counter* shed_updates = nullptr;
+    obs::Histogram* read_latency = nullptr;
+  };
+
   /// One key-range shard: an independent snapshot pair with its own
   /// admission lanes and workers. Shards never touch each other's trees
   /// or devices; the only cross-shard read is a range scan continuing
   /// into the next shard's pinned snapshot.
   struct Shard {
     const int index;
-    AdmissionQueue<ReadOp> read_queue;
-    AdmissionQueue<UpdateOp> update_queue;
+    FairAdmissionQueue<ReadOp> read_queue;
+    FairAdmissionQueue<UpdateOp> update_queue;
     TreeSlot slot_a;
     TreeSlot slot_b;
     SnapshotPair<TreeSlot> snapshots;
@@ -562,6 +707,18 @@ class Server {
     obs::Counter* shed_reads = nullptr;
     obs::Counter* shed_updates = nullptr;
     obs::Histogram* queue_wait = nullptr;
+    obs::Counter* m_shrinks = nullptr;
+    obs::Counter* m_grows = nullptr;
+    obs::Gauge* bucket_m = nullptr;
+
+    // Adaptive bucket controller (see ServerOptions::adaptive_bucket):
+    // shared by the shard's read workers, guarded by adapt_mutex.
+    // effective_bucket is the current admission bucket M; the streaks
+    // count consecutive windows voting to shrink/grow.
+    std::mutex adapt_mutex;
+    int effective_bucket = 0;  // set in Init
+    int shrink_streak = 0;
+    int grow_streak = 0;
 
     // Modelled busy time of this shard's device (guarded by the server's
     // sim_mutex_): read-pipeline and update-path µs on the simulated
@@ -575,11 +732,24 @@ class Server {
 
     Shard(const ServerOptions& options, int shard_index)
         : index(shard_index),
-          read_queue(options.queue_capacity),
-          update_queue(options.queue_capacity),
+          read_queue(options.queue_capacity, Lanes(options)),
+          update_queue(options.queue_capacity, Lanes(options)),
           slot_a(options, static_cast<std::uint64_t>(shard_index) * 2),
           slot_b(options, static_cast<std::uint64_t>(shard_index) * 2 + 1),
           snapshots(&slot_a, &slot_b) {}
+
+    /// One admission lane per tenant, sharing the tenant's weight and
+    /// full-lane policy between the read and update queues.
+    static std::vector<LaneConfig> Lanes(const ServerOptions& options) {
+      const std::vector<TenantSpec> tenants =
+          options.tenants.empty() ? DefaultTenants() : options.tenants;
+      std::vector<LaneConfig> lanes;
+      lanes.reserve(tenants.size());
+      for (const TenantSpec& spec : tenants) {
+        lanes.push_back(LaneConfig{spec.weight, spec.shed_on_full});
+      }
+      return lanes;
+    }
   };
 
   explicit Server(const ServerOptions& options) : options_(options) {}
@@ -611,6 +781,28 @@ class Server {
     }
     if (options_.num_read_workers < 1) {
       return Status::InvalidArgument("num_read_workers must be >= 1");
+    }
+    tenants_ = options_.tenants.empty() ? DefaultTenants()
+                                        : options_.tenants;
+    for (const TenantSpec& spec : tenants_) {
+      if (spec.weight < 1) {
+        return Status::InvalidArgument("tenant weight must be >= 1");
+      }
+      if (spec.name.empty()) {
+        return Status::InvalidArgument("tenant name must be non-empty");
+      }
+    }
+    if (options_.adaptive_bucket) {
+      if (options_.adapt_shrink_after < 1 || options_.adapt_grow_after < 1) {
+        return Status::InvalidArgument(
+            "adaptive bucket streak thresholds must be >= 1");
+      }
+      adapt_floor_ = options_.adapt_min_bucket > 0
+                         ? options_.adapt_min_bucket
+                         : std::max(options_.min_sub_bucket,
+                                    options_.pipeline.bucket_size / 16);
+      adapt_floor_ =
+          std::clamp(adapt_floor_, 1, options_.pipeline.bucket_size);
     }
     const int num_shards = options_.num_shards;
     const std::size_t n = sorted_pairs.size();
@@ -678,6 +870,15 @@ class Server {
           obs::MetricsRegistry::ShardedName("serve", i, "shed_updates"));
       shard->queue_wait = &metrics_.histogram(
           obs::MetricsRegistry::ShardedName("serve", i, "queue_wait"));
+      shard->m_shrinks = &metrics_.counter(
+          obs::MetricsRegistry::ShardedName("serve", i, "m_shrinks"));
+      shard->m_grows = &metrics_.counter(
+          obs::MetricsRegistry::ShardedName("serve", i, "m_grows"));
+      shard->bucket_m = &metrics_.gauge(
+          obs::MetricsRegistry::ShardedName("serve", i, "bucket_m"));
+      shard->effective_bucket = options_.pipeline.bucket_size;
+      shard->bucket_m->Set(
+          static_cast<double>(options_.pipeline.bucket_size));
       // Label each slot's model-track block so a multi-shard trace keeps
       // one set of resource tracks per slot instead of interleaving
       // every shard's pipeline on the shared sim.* tracks.
@@ -687,6 +888,26 @@ class Server {
                         obs::TraceSession::RegisterModelTrackPrefix(
                             shard->slot_b.track_base,
                             "shard" + std::to_string(i) + "/slot1");)
+    }
+
+    // Per-tenant metric series (serve.tenant<T>.*), bound before the
+    // workers start so the hot paths never touch the registry maps.
+    tenant_metrics_.resize(tenants_.size());
+    for (std::size_t t = 0; t < tenants_.size(); ++t) {
+      const int id = static_cast<int>(t);
+      TenantHandles& handles = tenant_metrics_[t];
+      handles.lookups = &metrics_.counter(
+          obs::MetricsRegistry::TenantName("serve", id, "lookups"));
+      handles.ranges = &metrics_.counter(
+          obs::MetricsRegistry::TenantName("serve", id, "ranges"));
+      handles.updates = &metrics_.counter(
+          obs::MetricsRegistry::TenantName("serve", id, "updates"));
+      handles.shed_reads = &metrics_.counter(
+          obs::MetricsRegistry::TenantName("serve", id, "shed_reads"));
+      handles.shed_updates = &metrics_.counter(
+          obs::MetricsRegistry::TenantName("serve", id, "shed_updates"));
+      handles.read_latency = &metrics_.histogram(
+          obs::MetricsRegistry::TenantName("serve", id, "read_latency"));
     }
 
     for (const obs::SloSpec& spec : options_.slos) {
@@ -740,22 +961,58 @@ class Server {
     return Status::Ok();
   }
 
+  bool ValidTenant(TenantId tenant) const {
+    return tenant >= 0 &&
+           static_cast<std::size_t>(tenant) < tenants_.size();
+  }
+
+  // Shed attribution, one call per shed op: the global counter feeds the
+  // aggregate SLO, the shard counter the imbalance view, the tenant
+  // counter the per-tenant QoS view.
+  void CountShedRead(Shard& shard, TenantId tenant) {
+    shed_reads_.Increment();
+    shard.shed_reads->Increment();
+    tenant_metrics_[static_cast<std::size_t>(tenant)].shed_reads
+        ->Increment();
+  }
+  void CountShedUpdate(Shard& shard, TenantId tenant) {
+    shed_updates_.Increment();
+    shard.shed_updates->Increment();
+    tenant_metrics_[static_cast<std::size_t>(tenant)].shed_updates
+        ->Increment();
+  }
+
   std::future<ReadResult<K>> AdmitRead(ReadOp op,
                                        std::chrono::microseconds deadline) {
     op.admitted = Clock::now();
+    std::future<ReadResult<K>> result = op.done.get_future();
+    if (!ValidTenant(op.tenant)) {
+      ReadResult<K> rejected;
+      rejected.status = Status::InvalidArgument("unknown tenant id");
+      op.done.set_value(std::move(rejected));
+      return result;
+    }
+    const TenantSpec& spec = tenants_[static_cast<std::size_t>(op.tenant)];
+    op.priority = spec.priority;
     const std::chrono::microseconds budget =
         deadline.count() != 0 ? deadline : options_.default_deadline;
     if (budget.count() != 0) op.deadline = op.admitted + budget;
-    std::future<ReadResult<K>> result = op.done.get_future();
     Shard& shard = *shards_[ShardFor(op.key)];
-    AdmissionQueue<ReadOp>& queue = shard.read_queue;
-    if (op.deadline != Clock::time_point::max()) {
-      switch (queue.PushUntil(std::move(op), op.deadline)) {
+    FairAdmissionQueue<ReadOp>& queue = shard.read_queue;
+    const std::size_t lane = static_cast<std::size_t>(op.tenant);
+    const TenantId tenant = op.tenant;
+    const bool bounded = op.deadline != Clock::time_point::max();
+    if (bounded || spec.shed_on_full) {
+      // shed_on_full without a deadline also routes here: PushUntil sheds
+      // a full lane immediately and admits a non-full one without
+      // waiting, so the far-out limit is never actually waited on.
+      const Clock::time_point limit =
+          bounded ? op.deadline : op.admitted + std::chrono::hours(1);
+      switch (queue.PushUntil(lane, std::move(op), limit)) {
         case PushResult::kOk:
           break;
         case PushResult::kTimeout: {
-          shed_reads_.Increment();
-          shard.shed_reads->Increment();
+          CountShedRead(shard, tenant);
           ReadResult<K> shed;
           shed.status = Status::DeadlineExceeded("read shed at admission");
           op.done.set_value(std::move(shed));
@@ -769,7 +1026,7 @@ class Server {
           break;
         }
       }
-    } else if (!queue.Push(std::move(op))) {
+    } else if (!queue.Push(lane, std::move(op))) {
       // Benign race with Shutdown(): reject via the future instead of
       // aborting the process.
       ReadResult<K> rejected;
@@ -960,8 +1217,6 @@ class Server {
                           ".read" + std::to_string(worker_index);)
     HBTREE_TRACE_THREAD_NAME(worker_name.c_str());
     (void)worker_index;
-    const std::size_t bucket_size =
-        static_cast<std::size_t>(options_.pipeline.bucket_size);
     // Per-shard arrival rate is ~1/num_shards of the aggregate, and
     // co-workers on the same queue split that stream again; scale the
     // fill window to match (see ServerOptions::max_batch_delay).
@@ -973,6 +1228,13 @@ class Server {
     std::vector<std::size_t> key_op;  // bucket position of keys[i]
     std::vector<LookupResult<K>> results;
     for (;;) {
+      // The adaptive controller may resize the shard's effective M
+      // between windows; each window reads the current value once.
+      std::size_t bucket_size;
+      {
+        std::lock_guard<std::mutex> lock(shard.adapt_mutex);
+        bucket_size = static_cast<std::size_t>(shard.effective_bucket);
+      }
       batch.clear();
       std::size_t n;
       {
@@ -989,23 +1251,37 @@ class Server {
       }
 
       // Load shedding: an op whose deadline passed while it queued gets a
-      // typed timeout now instead of a stale-but-late answer.
+      // typed timeout now instead of a stale-but-late answer. Ops whose
+      // remaining budget is under the fill window count as
+      // deadline-tight: they made it, but another window of batching
+      // would have shed them — a shrink signal for the controller.
       const Clock::time_point now = Clock::now();
       std::size_t live = 0;
+      std::size_t tight = 0;
       for (std::size_t i = 0; i < batch.size(); ++i) {
         if (now > batch[i].deadline) {
-          shed_reads_.Increment();
-          shard.shed_reads->Increment();
+          CountShedRead(shard, batch[i].tenant);
           ReadResult<K> shed;
           shed.status =
               Status::DeadlineExceeded("read deadline passed in queue");
           batch[i].done.set_value(std::move(shed));
           continue;
         }
+        if (batch[i].deadline != Clock::time_point::max() &&
+            batch[i].deadline - now < fill_wait) {
+          ++tight;
+        }
         if (live != i) batch[live] = std::move(batch[i]);
         ++live;
       }
       batch.resize(live);
+      // Backlog left behind after this pop: a half-empty window with
+      // ops still queued means a co-worker drained the other half (or
+      // arrivals outpace this worker), not light load — only a window
+      // that expired with the queue drained votes shrink.
+      const std::size_t backlog =
+          options_.adaptive_bucket ? shard.read_queue.size() : 0;
+      AdaptBucket(shard, n, bucket_size, tight, live, backlog);
       if (batch.empty()) continue;
 
       // Queue wait (push -> dispatch), per op: the shard-imbalance
@@ -1027,6 +1303,32 @@ class Server {
       auto guard = shard.snapshots.Acquire();
       TreeSlot& slot = guard.slot();
 
+      // Priority-ordered graceful degradation: when the pinned slot's
+      // breaker is open the shard is in CPU-fallback mode with a
+      // fraction of its normal capacity, so low-priority ops are dropped
+      // up front (kUnavailable — the request was not served and the
+      // client should back off) to keep the remaining capacity for
+      // normal/high traffic. Normal priority still sheds only by its own
+      // deadline; high priority is never shed by policy.
+      if (slot.breaker_open.load(std::memory_order_relaxed)) {
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          if (batch[i].priority == Priority::kLow) {
+            CountShedRead(shard, batch[i].tenant);
+            degraded_sheds_.Increment();
+            ReadResult<K> shed;
+            shed.status = Status::Unavailable(
+                "low-priority read shed in degraded mode");
+            batch[i].done.set_value(std::move(shed));
+            continue;
+          }
+          if (kept != i) batch[kept] = std::move(batch[i]);
+          ++kept;
+        }
+        batch.resize(kept);
+        if (batch.empty()) continue;
+      }
+
       keys.clear();
       key_op.clear();
       for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -1039,8 +1341,20 @@ class Server {
       std::vector<ReadResult<K>> out(batch.size());
       DispatchInfo dispatch_info;
       if (!keys.empty()) {
+        const Clock::time_point dispatch_start = Clock::now();
         results.assign(keys.size(), LookupResult<K>{});
         DispatchBucket(shard, slot, keys, &results, &dispatch_info);
+        if (options_.model_pacing > 0 && dispatch_info.modelled_us > 0) {
+          // Model pacing: hold the bucket until its wall time covers the
+          // modelled device time, so serving capacity tracks the
+          // simulated platform (see ServerOptions::model_pacing). The
+          // futures resolve after the sleep — clients observe the paced
+          // service time.
+          std::this_thread::sleep_until(
+              dispatch_start +
+              std::chrono::microseconds(static_cast<std::int64_t>(
+                  dispatch_info.modelled_us * options_.model_pacing)));
+        }
         for (std::size_t i = 0; i < keys.size(); ++i) {
           out[key_op[i]].lookup = results[i];
         }
@@ -1074,14 +1388,21 @@ class Server {
                               static_cast<double>(batch.size()));
         for (std::size_t i = 0; i < batch.size(); ++i) {
           const bool is_range = batch[i].max_matches > 0;
+          TenantHandles& tenant = tenant_metrics_[static_cast<std::size_t>(
+              batch[i].tenant)];
           batch[i].done.set_value(std::move(out[i]));
           RecordLatencyWithExemplar(&read_latency_, batch[i].admitted,
                                     shard.index, dispatch_info.span_id,
                                     dispatch_info.modelled_us);
+          RecordLatencyWithExemplar(tenant.read_latency, batch[i].admitted,
+                                    shard.index, dispatch_info.span_id,
+                                    dispatch_info.modelled_us);
           if (is_range) {
             ranges_done_.Increment();
+            tenant.ranges->Increment();
           } else {
             lookups_done_.Increment();
+            tenant.lookups->Increment();
           }
         }
       }
@@ -1125,8 +1446,7 @@ class Server {
       batch.reserve(ops.size());
       for (std::size_t i = 0; i < ops.size(); ++i) {
         if (now > ops[i].deadline) {
-          shed_updates_.Increment();
-          shard.shed_updates->Increment();
+          CountShedUpdate(shard, ops[i].tenant);
           ops[i].done.set_value(UpdateResult{
               Status::DeadlineExceeded("update deadline passed in queue"),
               0});
@@ -1200,7 +1520,57 @@ class Server {
         RecordLatencyWithExemplar(&update_latency_, op.admitted, shard.index,
                                   commit_span_id, first_pass.total_us);
         updates_done_.Increment();
+        tenant_metrics_[static_cast<std::size_t>(op.tenant)]
+            .updates->Increment();
       }
+    }
+  }
+
+  /// Adaptive bucket controller, one vote per fill window. `popped` is
+  /// what the window actually shipped against an effective M of
+  /// `window_m`; `tight`/`live` count deadline-tight vs dispatched ops.
+  /// Repeated half-empty or deadline-tight windows halve M (bounded by
+  /// the adapt floor) — a bucket the arrival rate cannot fill only adds
+  /// fill-window latency and per-op fixed cost; repeated full windows
+  /// double it back (bounded by the configured M, so the startup bucket
+  /// buffers always suffice).
+  void AdaptBucket(Shard& shard, std::size_t popped, std::size_t window_m,
+                   std::size_t tight, std::size_t live,
+                   std::size_t backlog) {
+    if (!options_.adaptive_bucket) return;
+    std::lock_guard<std::mutex> lock(shard.adapt_mutex);
+    if (static_cast<std::size_t>(shard.effective_bucket) != window_m) {
+      return;  // a co-worker resized mid-window; this vote is stale
+    }
+    const bool half_empty = popped * 2 < window_m && backlog == 0;
+    const bool deadline_tight = live > 0 && tight * 4 >= live;
+    if (half_empty || deadline_tight) {
+      shard.grow_streak = 0;
+      if (++shard.shrink_streak >= options_.adapt_shrink_after &&
+          shard.effective_bucket > adapt_floor_) {
+        shard.effective_bucket =
+            std::max(adapt_floor_, shard.effective_bucket / 2);
+        shard.shrink_streak = 0;
+        m_shrinks_.Increment();
+        shard.m_shrinks->Increment();
+        shard.bucket_m->Set(static_cast<double>(shard.effective_bucket));
+        HBTREE_TRACE_INSTANT("bucket.m_shrink", "serve");
+      }
+    } else if (popped >= window_m) {
+      shard.shrink_streak = 0;
+      if (++shard.grow_streak >= options_.adapt_grow_after &&
+          shard.effective_bucket < options_.pipeline.bucket_size) {
+        shard.effective_bucket = std::min(options_.pipeline.bucket_size,
+                                          shard.effective_bucket * 2);
+        shard.grow_streak = 0;
+        m_grows_.Increment();
+        shard.m_grows->Increment();
+        shard.bucket_m->Set(static_cast<double>(shard.effective_bucket));
+        HBTREE_TRACE_INSTANT("bucket.m_grow", "serve");
+      }
+    } else {
+      shard.shrink_streak = 0;
+      shard.grow_streak = 0;
     }
   }
 
@@ -1233,6 +1603,14 @@ class Server {
   /// device memory, which updates the used-bytes gauge, so the registry
   /// must outlive them.
   obs::MetricsRegistry metrics_;
+
+  /// Resolved tenant topology (options_.tenants, or DefaultTenants()
+  /// when none was configured) and the matching metric handles.
+  /// Immutable after Init.
+  std::vector<TenantSpec> tenants_ = DefaultTenants();
+  std::vector<TenantHandles> tenant_metrics_;
+  /// Smallest effective bucket the adaptive controller may reach.
+  int adapt_floor_ = 1;
 
   /// Key-range shards (stable addresses: workers hold references).
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -1270,6 +1648,9 @@ class Server {
 
   obs::Counter& shed_reads_ = metrics_.counter("serve.shed_reads");
   obs::Counter& shed_updates_ = metrics_.counter("serve.shed_updates");
+  obs::Counter& degraded_sheds_ = metrics_.counter("serve.degraded_sheds");
+  obs::Counter& m_shrinks_ = metrics_.counter("serve.m_shrinks");
+  obs::Counter& m_grows_ = metrics_.counter("serve.m_grows");
   obs::Counter& transfer_retries_ =
       metrics_.counter("serve.transfer_retries");
   obs::Counter& kernel_retries_ = metrics_.counter("serve.kernel_retries");

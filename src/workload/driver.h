@@ -23,6 +23,10 @@ struct ReplayOptions {
   /// harvested when full (same cadence as bench/serve_throughput).
   std::size_t in_flight = 1024;
   std::uint64_t seed = 1;
+  /// Per-request deadline budget passed to every Submit*; zero keeps the
+  /// server's default_deadline. Overload runs give low-priority tenants
+  /// tight budgets here so their requests shed instead of queueing.
+  std::chrono::microseconds deadline{0};
 };
 
 struct ReplayTotals {
@@ -114,11 +118,16 @@ inline ReplayTotals ReplayWorkload(serve::Server<Key64>& server,
         update_window.push_back(std::move(future));
       };
 
+      // Every op carries the stream's tenant identity and the replay's
+      // deadline budget into admission (see WorkloadSpec::tenant).
+      const serve::TenantId tenant = spec.tenant;
+      const std::chrono::microseconds deadline = options.deadline;
       for (const Op& op : plans[c]) {
         switch (op.kind) {
           case OpKind::kRead:
             ++local_reads;
-            push_read(server.SubmitLookup(op.key), /*is_scan=*/false);
+            push_read(server.SubmitLookup(op.key, deadline, tenant),
+                      /*is_scan=*/false);
             break;
           case OpKind::kUpdate:
           case OpKind::kInsert: {
@@ -126,17 +135,19 @@ inline ReplayTotals ReplayWorkload(serve::Server<Key64>& server,
             UpdateQuery<Key64> update;
             update.kind = UpdateQuery<Key64>::Kind::kInsert;
             update.pair = {op.key, op.value};
-            push_update(server.SubmitUpdate(update));
+            push_update(server.SubmitUpdate(update, deadline, tenant));
             break;
           }
           case OpKind::kScan:
             ++local_scans;
-            push_read(server.SubmitRange(op.key, op.scan_len),
+            push_read(server.SubmitRange(op.key, op.scan_len, deadline,
+                                         tenant),
                       /*is_scan=*/true);
             break;
           case OpKind::kReadModifyWrite: {
             ++local_rmws;
-            serve::ReadResult<Key64> read = server.SubmitLookup(op.key).get();
+            serve::ReadResult<Key64> read =
+                server.SubmitLookup(op.key, deadline, tenant).get();
             if (!read.status.ok()) {
               ++local_rejected;
             } else {
@@ -145,7 +156,7 @@ inline ReplayTotals ReplayWorkload(serve::Server<Key64>& server,
             UpdateQuery<Key64> update;
             update.kind = UpdateQuery<Key64>::Kind::kInsert;
             update.pair = {op.key, op.value};
-            push_update(server.SubmitUpdate(update));
+            push_update(server.SubmitUpdate(update, deadline, tenant));
             break;
           }
         }

@@ -32,6 +32,13 @@ struct WorkloadSpec {
   /// Scan lengths are uniform in [1, max_scan_len] (YCSB E's default).
   int max_scan_len = 100;
 
+  /// Tenant this stream submits as (index into ServerOptions::tenants;
+  /// see serve/tenant.h). Every op the stream generates carries it
+  /// through admission, dispatch and the per-tenant serve.tenant<T>.*
+  /// stats. 0 — the always-present default tenant — keeps single-tenant
+  /// workloads tenant-oblivious.
+  int tenant = 0;
+
   bool HasMutations() const {
     return update_bp + insert_bp + rmw_bp > 0;
   }

@@ -306,5 +306,148 @@ TEST(ServeFault, ExpiredDeadlinesShedTyped) {
   EXPECT_EQ(stats.faults_injected, 0u);
 }
 
+// Two-tenant QoS under sustained faults: with 15% injected transfer
+// faults cycling the breaker, low-priority reads are shed in degraded
+// mode (kUnavailable) while the high-priority tenant is never shed —
+// i.e. every shed that happens is a low-priority shed, so low sheds
+// strictly precede any high shed. Both tenants' served results stay
+// differentially exact against the std::map reference.
+TEST(ServeFault, DegradedModeShedsLowPriorityBeforeHigh) {
+  auto data = StableDataset();
+  serve::ServerOptions options = FaultOptions();
+  options.fault = fault::FaultConfig::Transfers(0.15, 13);
+  options.pipeline.max_device_retries = 0;
+  options.breaker_failure_threshold = 2;
+  options.breaker_probe_interval = 4;
+  serve::TenantSpec high;
+  high.name = "interactive";
+  high.weight = 4;
+  high.priority = serve::Priority::kHigh;
+  serve::TenantSpec low;
+  low.name = "besteffort";
+  low.weight = 1;
+  low.priority = serve::Priority::kLow;
+  low.shed_on_full = true;
+  options.tenants = {high, low};
+
+  Status create_status;
+  auto server_ptr =
+      serve::Server<Key64>::Create(options, data, &create_status);
+  ASSERT_NE(server_ptr, nullptr) << create_status.message();
+  serve::Server<Key64>& server = *server_ptr;
+
+  std::map<std::uint64_t, std::uint64_t> reference;
+  for (const auto& kv : data) reference[kv.key] = kv.value;
+
+  std::mt19937_64 rng(17);
+  constexpr int kMaxRounds = 200;
+  int rounds = 0;
+  std::uint64_t low_served = 0, low_shed = 0;
+  for (; rounds < kMaxRounds; ++rounds) {
+    // Concurrent phase: both tenants read the never-mutated stable
+    // region (served results must be exact regardless of racing
+    // updates); the high tenant also commits updates in the dynamic
+    // region to exercise the oracle through the tenant-tagged path.
+    std::vector<std::future<serve::ReadResult<Key64>>> high_reads;
+    std::vector<std::future<serve::ReadResult<Key64>>> low_reads;
+    std::vector<std::uint64_t> high_keys, low_keys;
+    std::vector<std::future<serve::UpdateResult>> writes;
+    std::vector<UpdateQuery<Key64>> submitted;
+    for (int j = 0; j < 128; ++j) {
+      const std::uint64_t hk = 1 + rng() % kStable;
+      high_keys.push_back(hk);
+      high_reads.push_back(server.SubmitLookup(hk, {}, /*tenant=*/0));
+      const std::uint64_t lk = 1 + rng() % kStable;
+      low_keys.push_back(lk);
+      low_reads.push_back(server.SubmitLookup(lk, {}, /*tenant=*/1));
+      if (j % 4 == 0) {
+        const std::uint64_t key = kDynBase + rng() % kDynSpan;
+        const UpdateQuery<Key64> update =
+            rng() % 2 == 0 ? Insert(key) : Delete(key);
+        submitted.push_back(update);
+        writes.push_back(server.SubmitUpdate(update, {}, /*tenant=*/0));
+      }
+    }
+    for (auto& f : writes) {
+      const serve::UpdateResult committed = f.get();
+      ASSERT_TRUE(committed.status.ok()) << committed.status.message();
+    }
+    for (const auto& update : submitted) {
+      if (update.kind == UpdateQuery<Key64>::Kind::kInsert) {
+        reference[update.pair.key] = update.pair.value;
+      } else {
+        reference.erase(update.pair.key);
+      }
+    }
+    // High-priority reads are NEVER shed: no deadline was set and high
+    // priority is exempt from degraded-mode shedding.
+    for (std::size_t i = 0; i < high_reads.size(); ++i) {
+      const serve::ReadResult<Key64> result = high_reads[i].get();
+      ASSERT_TRUE(result.status.ok()) << result.status.message();
+      ASSERT_TRUE(result.lookup.found);
+      ASSERT_EQ(result.lookup.value, StableValue(high_keys[i]));
+    }
+    // Low-priority reads either serve exactly or shed kUnavailable
+    // (degraded mode) — never a wrong answer, never a silent drop.
+    for (std::size_t i = 0; i < low_reads.size(); ++i) {
+      const serve::ReadResult<Key64> result = low_reads[i].get();
+      if (result.status.ok()) {
+        ++low_served;
+        ASSERT_TRUE(result.lookup.found);
+        ASSERT_EQ(result.lookup.value, StableValue(low_keys[i]));
+      } else {
+        ASSERT_EQ(result.status.code(), StatusCode::kUnavailable)
+            << result.status.message();
+        ++low_shed;
+      }
+    }
+    const serve::ServeStats stats = server.Stats();
+    if (stats.breaker_opens >= 1 && stats.tenants[1].shed_reads >= 1 &&
+        rounds >= 3) {
+      break;
+    }
+  }
+
+  // Quiescent differential sweep over the dynamic region through the
+  // high tenant (whose reads are never shed).
+  std::vector<std::future<serve::ReadResult<Key64>>> sweep;
+  std::vector<std::uint64_t> sweep_keys;
+  for (int j = 0; j < 384; ++j) {
+    const std::uint64_t key = kDynBase + rng() % kDynSpan;
+    sweep_keys.push_back(key);
+    sweep.push_back(server.SubmitLookup(key, {}, /*tenant=*/0));
+  }
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const serve::ReadResult<Key64> result = sweep[i].get();
+    ASSERT_TRUE(result.status.ok()) << result.status.message();
+    const auto it = reference.find(sweep_keys[i]);
+    if (it == reference.end()) {
+      ASSERT_FALSE(result.lookup.found) << "key " << sweep_keys[i];
+    } else {
+      ASSERT_TRUE(result.lookup.found) << "key " << sweep_keys[i];
+      ASSERT_EQ(result.lookup.value, it->second);
+    }
+  }
+
+  server.Shutdown();
+  const serve::ServeStats stats = server.Stats();
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  // Strict precedence: some low-priority sheds happened, zero
+  // high-priority sheds ever did.
+  EXPECT_GE(stats.tenants[1].shed_reads, 1u)
+      << "breaker opened " << stats.breaker_opens
+      << " times in " << rounds << " rounds without a degraded shed";
+  EXPECT_EQ(stats.tenants[0].shed_reads, 0u);
+  EXPECT_EQ(stats.tenants[0].shed_updates, 0u);
+  // Every read shed in this run was a degraded-mode (priority) shed:
+  // no deadlines were configured.
+  EXPECT_EQ(stats.degraded_sheds, stats.shed_reads);
+  EXPECT_EQ(stats.tenants[1].shed_reads, stats.shed_reads);
+  EXPECT_EQ(low_shed, stats.tenants[1].shed_reads);
+  EXPECT_EQ(low_served, stats.tenants[1].lookups);
+  EXPECT_GT(stats.tenants[0].lookups, 0u);
+  EXPECT_GT(stats.tenants[0].updates, 0u);
+}
+
 }  // namespace
 }  // namespace hbtree

@@ -303,6 +303,44 @@ TEST(ServeStress, CreateRejectsInvalidOptions) {
 // to new read buckets before the update futures fire. Several writer
 // threads each own a disjoint key lane and verify their own writes while
 // the others churn.
+// The adaptive controller must halve the effective bucket M under
+// sustained half-empty fill windows and restore it under sustained full
+// ones (ServerOptions::adaptive_bucket); both decision counters surface
+// in ServeStats.
+TEST(ServeStress, AdaptiveBucketShrinksAndRecovers) {
+  serve::ServerOptions options = StressOptions();
+  options.pipeline.bucket_size = 4096;
+  options.min_sub_bucket = 64;
+  options.adapt_min_bucket = 64;
+  options.adapt_shrink_after = 2;
+  options.adapt_grow_after = 2;
+  auto data = StableDataset();
+  auto server_ptr = serve::Server<Key64>::Create(options, data);
+  ASSERT_NE(server_ptr, nullptr);
+  serve::Server<Key64>& server = *server_ptr;
+
+  // Trickle: each lookup is waited on, so every fill window ships with
+  // a single op — far below M/2 — and votes shrink.
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    const auto r = server.SubmitLookup(1 + (i % kStable)).get();
+    ASSERT_TRUE(r.status.ok());
+  }
+  const serve::ServeStats mid = server.Stats();
+  EXPECT_GT(mid.bucket_shrinks, 0u);
+  EXPECT_EQ(mid.bucket_grows, 0u);
+
+  // Flood: a deep closed-loop backlog keeps the queue fuller than the
+  // (now shrunken) effective M, so windows ship full and M grows back.
+  std::vector<std::future<serve::ReadResult<Key64>>> pending;
+  pending.reserve(64 * 1024);
+  for (std::uint64_t i = 0; i < 64 * 1024; ++i) {
+    pending.push_back(server.SubmitLookup(1 + (i % kStable)));
+  }
+  for (auto& f : pending) ASSERT_TRUE(f.get().status.ok());
+  const serve::ServeStats end = server.Stats();
+  EXPECT_GT(end.bucket_grows, 0u);
+}
+
 TEST(ServeStress, ReadYourWrites) {
   constexpr int kWriters = 4;
   constexpr int kOpsPerWriter = 300;
