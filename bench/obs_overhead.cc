@@ -14,6 +14,20 @@
 //   enabled       obs::ScopedSpan recording into an active session (two
 //                 clock reads + a thread-local vector push)
 //
+// A second pair of modes bounds the heat-observability hooks (obs/heat.h)
+// the same way:
+//
+//   heat_compiled_out  the exact expansion of the heat hooks when
+//                      HBTREE_OBS_HEAT=0: TraceNodeTouch against a
+//                      NullTracer (if-constexpr'd away) and an
+//                      HBTREE_HEAT_ONLY record site deleted by the
+//                      preprocessor — identical machine code to baseline,
+//                      same <2% budget, same exit-1 gate
+//   heat_enabled       one KeyRangeSketch::Record (bin multiply + relaxed
+//                      add) plus an OnNodeTouch into a LevelHeatTracer and
+//                      the pool's touch counter per iteration — the
+//                      serving dispatch path's per-op heat cost
+//
 // Times are min-of-reps ns/op with the modes interleaved round-robin
 // (so frequency ramp or a noisy neighbour hits every mode equally); the
 // compiled_out vs baseline delta is measurement noise on identical
@@ -23,6 +37,7 @@
 // rows; no metrics snapshot — this bench exercises no devices).
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -30,6 +45,8 @@
 
 #include "bench_support/args.h"
 #include "bench_support/report.h"
+#include "core/trace.h"
+#include "obs/heat.h"
 #include "obs/trace.h"
 
 namespace hbtree::bench {
@@ -74,6 +91,52 @@ struct NoSpan {
   NoSpan(const char* /*name*/, const char* /*cat*/) {}
 };
 
+/// Stand-in for a PairedPool in the heat loops: the same NoteTouch shape
+/// (one relaxed add) without dragging tree storage into the microbench.
+struct PoolStub {
+  mutable std::atomic<std::uint64_t> touches{0};
+  void NoteTouch(std::uint32_t /*idx*/) const {
+    touches.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+/// The hot loop with the heat hooks in their compiled-out shape: a
+/// NullTracer has no OnNodeTouch, so TraceNodeTouch is if-constexpr'd to
+/// nothing and the sketch record site is deleted outright — this must
+/// time identical to baseline.
+std::uint64_t HeatCompiledOutLoop(const std::vector<std::uint64_t>& keys,
+                                  std::size_t iters, const PoolStub& pool) {
+  std::uint64_t sink = 0;
+  std::uint64_t state = 1;
+  NullTracer tracer;
+  for (std::size_t i = 0; i < iters; ++i) {
+    state = Mix(state);
+    TraceNodeTouch(&tracer, pool, 0, NodeClass::kBigLeaf, 0u);
+    const auto it = std::lower_bound(keys.begin(), keys.end(), state);
+    sink += static_cast<std::uint64_t>(it - keys.begin());
+  }
+  return sink;
+}
+
+/// The hot loop paying the full per-op heat cost: one sketch record (the
+/// serving dispatch hook) plus a traced node touch (tracer cell update +
+/// pool touch counter).
+std::uint64_t HeatEnabledLoop(const std::vector<std::uint64_t>& keys,
+                              std::size_t iters, const PoolStub& pool,
+                              obs::KeyRangeSketch* sketch,
+                              obs::LevelHeatTracer* tracer) {
+  std::uint64_t sink = 0;
+  std::uint64_t state = 1;
+  for (std::size_t i = 0; i < iters; ++i) {
+    state = Mix(state);
+    sketch->Record(state);
+    TraceNodeTouch(tracer, pool, 0, NodeClass::kBigLeaf, 0u);
+    const auto it = std::lower_bound(keys.begin(), keys.end(), state);
+    sink += static_cast<std::uint64_t>(it - keys.begin());
+  }
+  return sink;
+}
+
 /// One timed run of `loop`, returning ns/op.
 template <typename LoopFn>
 double TimeNs(LoopFn&& loop, std::size_t iters, std::uint64_t* sink) {
@@ -94,13 +157,24 @@ int Main(int argc, char** argv) {
   const auto keys = MakeNode(4096);
   std::uint64_t sink = 0;
 
+  PoolStub pool;
+  obs::KeyRangeSketch::Options sketch_options;
+  obs::KeyRangeSketch sketch(0, ~0ull, sketch_options);
+  // The heat loops never call OnAccess, so one token cache level is
+  // enough to construct the tracer.
+  sim::CacheHierarchy caches({{"L1", 32 * 1024, 8, 64}});
+  obs::LevelHeatTracer heat_tracer(&caches);
+
   // Warm up caches and the branch predictor before any timed rep.
   sink ^= LoopOnce<NoSpan>(keys, iters);
   sink ^= LoopOnce<obs::NullSpan>(keys, iters);
   sink ^= LoopOnce<obs::ScopedSpan>(keys, iters);
+  sink ^= HeatCompiledOutLoop(keys, iters, pool);
+  sink ^= HeatEnabledLoop(keys, iters, pool, &sketch, &heat_tracer);
 
   double baseline_ns = 1e300, compiled_out_ns = 1e300;
   double disabled_ns = 1e300, enabled_ns = 1e300;
+  double heat_compiled_out_ns = 1e300, heat_enabled_ns = 1e300;
   for (int r = 0; r < reps; ++r) {
     obs::TraceSession::Stop();  // make "disabled" explicit
     baseline_ns = std::min(
@@ -117,6 +191,18 @@ int Main(int argc, char** argv) {
         TimeNs(
             [&](std::size_t n) {
               return LoopOnce<obs::ScopedSpan>(keys, n);
+            },
+            iters, &sink));
+    heat_compiled_out_ns = std::min(
+        heat_compiled_out_ns,
+        TimeNs(
+            [&](std::size_t n) { return HeatCompiledOutLoop(keys, n, pool); },
+            iters, &sink));
+    heat_enabled_ns = std::min(
+        heat_enabled_ns,
+        TimeNs(
+            [&](std::size_t n) {
+              return HeatEnabledLoop(keys, n, pool, &sketch, &heat_tracer);
             },
             iters, &sink));
     obs::TraceSession::Start();  // also clears the event buffers
@@ -152,6 +238,14 @@ int Main(int argc, char** argv) {
       .Text("mode", "enabled")
       .Num("ns_per_op", enabled_ns, 2)
       .Num("overhead_pct", pct(enabled_ns), 2);
+  report.AddRow()
+      .Text("mode", "heat_compiled_out")
+      .Num("ns_per_op", heat_compiled_out_ns, 2)
+      .Num("overhead_pct", pct(heat_compiled_out_ns), 2);
+  report.AddRow()
+      .Text("mode", "heat_enabled")
+      .Num("ns_per_op", heat_enabled_ns, 2)
+      .Num("overhead_pct", pct(heat_enabled_ns), 2);
   report.PrintTable("tracing overhead per instrumented op");
 
   if (args.Has("metrics_json")) {
@@ -159,9 +253,13 @@ int Main(int argc, char** argv) {
   }
 
   const double compiled_out_pct = pct(compiled_out_ns);
-  const bool ok = compiled_out_pct < 2.0;
+  const double heat_compiled_out_pct = pct(heat_compiled_out_ns);
+  const bool ok = compiled_out_pct < 2.0 && heat_compiled_out_pct < 2.0;
   std::printf("compiled-out overhead: %.2f%% (budget 2%%) — %s\n",
-              compiled_out_pct, ok ? "PASS" : "FAIL");
+              compiled_out_pct, compiled_out_pct < 2.0 ? "PASS" : "FAIL");
+  std::printf("heat compiled-out overhead: %.2f%% (budget 2%%) — %s\n",
+              heat_compiled_out_pct,
+              heat_compiled_out_pct < 2.0 ? "PASS" : "FAIL");
   std::printf("(sink %llu)\n", static_cast<unsigned long long>(sink));
   return ok ? 0 : 1;
 }

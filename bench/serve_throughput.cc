@@ -61,6 +61,7 @@ struct RunResult {
   double hit_rate = 0;
   obs::MetricsSnapshot metrics;
   obs::StageWaterfall stages;
+  obs::HeatSection heat;
 };
 
 /// Runs the whole client workload against one server configuration.
@@ -148,6 +149,7 @@ bool RunOne(const serve::ServerOptions& options,
                   (static_cast<double>(clients) * lookups_per_client);
   out->metrics = server.metrics().Collect();
   out->stages = obs::SpanAggregator::FromSession();
+  out->heat = server.Heat();
   return true;
 }
 
@@ -245,6 +247,7 @@ int Main(int argc, char** argv) {
 
   MaybeWriteTrace(args);  // last run's session; RunOne already stopped it
   report.SetStages(last.stages);
+  report.SetHeat(last.heat);
   report.PrintTable("serving throughput (canonical columns)");
   const std::string json_path =
       args.GetString("metrics_json", "BENCH_serve.json");

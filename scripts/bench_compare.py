@@ -13,7 +13,10 @@ regress when they DROP; latency-like columns (any *_us) regress when
 they RISE. Improvements are reported but never fail the run. Stage
 waterfall shares are compared by absolute difference (a share moving
 from 0.30 to 0.45 means the pipeline's shape changed, whatever the
-totals did).
+totals did). When both reports carry a "heat" section its shape is
+banded the same way: hot-range concentration (top-1/top-8 share of
+sketched accesses), per-stage level-traffic byte shares, and the top
+range's hot flag (--heat-tolerance, absolute, default 0.15).
 
 Rows are matched by (shards, read_workers) when both reports carry those
 columns, else by index. Meta keys describing the workload (n, clients,
@@ -163,6 +166,84 @@ def compare_rows(cmp, baseline, candidate):
             cmp.check(key, column, base_value, cand_row[column])
 
 
+def heat_concentration(heat, k):
+    """Share of all sketched accesses landing in the top-k ranges."""
+    keyspace = heat.get("keyspace", {})
+    total = keyspace.get("total", 0)
+    if not total:
+        return None
+    ranges = keyspace.get("ranges", [])
+    return sum(r.get("count", 0) for r in ranges[:k]) / total
+
+
+def heat_level_shares(heat):
+    """Per-stage map of cell -> share of that stage's modelled bytes."""
+    shares = {}
+    for stage, cells in heat.get("levels", {}).items():
+        stage_bytes = sum(c.get("bytes", 0) for c in cells.values())
+        if stage_bytes == 0:
+            continue
+        shares[stage] = {cell: c.get("bytes", 0) / stage_bytes
+                         for cell, c in cells.items()}
+    return shares
+
+
+def compare_heat(cmp, baseline, candidate):
+    """Heat-shape drift bands: the workload's access pattern fingerprint.
+
+    Hot-range concentration (top-1 / top-8 share of sketched accesses)
+    and per-stage level-traffic shares are compared by absolute
+    difference, like stage shares: a zipfian run whose top range share
+    drops from 0.50 to 0.30 changed skew handling even if throughput
+    held. Hot-flag disagreement on the baseline's top range is flagged
+    too — the negative control (uniform) must stay cold and the skewed
+    scenarios must stay hot.
+    """
+    base = baseline.get("heat")
+    cand = candidate.get("heat")
+    if base is None or cand is None:
+        return
+    for k in (1, 8):
+        b = heat_concentration(base, k)
+        c = heat_concentration(cand, k)
+        if b is None or c is None:
+            continue
+        cmp.compared += 1
+        diff = abs(c - b)
+        if diff > cmp.args.heat_tolerance:
+            cmp.regressions.append(
+                f"heat.keyspace.top{k}_share: {b:.3f} -> {c:.3f} "
+                f"(moved {diff:.3f}, tolerance "
+                f"{cmp.args.heat_tolerance:.2f})")
+    base_ranges = base.get("keyspace", {}).get("ranges", [])
+    cand_ranges = cand.get("keyspace", {}).get("ranges", [])
+    if base_ranges and cand_ranges:
+        cmp.compared += 1
+        if base_ranges[0].get("hot") != cand_ranges[0].get("hot"):
+            cmp.regressions.append(
+                f"heat.keyspace.ranges[0].hot: "
+                f"{base_ranges[0].get('hot')} -> "
+                f"{cand_ranges[0].get('hot')} (the top range changed "
+                f"temperature class)")
+    base_shares = heat_level_shares(base)
+    cand_shares = heat_level_shares(cand)
+    for stage, cells in base_shares.items():
+        if stage not in cand_shares:
+            cmp.regressions.append(
+                f"heat.levels.{stage}: carried traffic in the baseline, "
+                f"none in the candidate")
+            continue
+        for cell, b in cells.items():
+            c = cand_shares[stage].get(cell, 0.0)
+            cmp.compared += 1
+            diff = abs(c - b)
+            if diff > cmp.args.heat_tolerance:
+                cmp.regressions.append(
+                    f"heat.levels.{stage}.{cell}.bytes_share: "
+                    f"{b:.3f} -> {c:.3f} (moved {diff:.3f}, tolerance "
+                    f"{cmp.args.heat_tolerance:.2f})")
+
+
 def compare_stages(cmp, baseline, candidate):
     base = baseline.get("stages")
     cand = candidate.get("stages")
@@ -189,6 +270,10 @@ def main():
     parser.add_argument("--stage-tolerance", type=float, default=0.10,
                         help="absolute band for aggregate stage shares "
                              "(default 0.10)")
+    parser.add_argument("--heat-tolerance", type=float, default=0.15,
+                        help="absolute band for heat-shape drift: hot-"
+                             "range concentration and per-stage level "
+                             "traffic shares (default 0.15)")
     parser.add_argument("--metric-tolerance", action="append", default=[],
                         metavar="COLUMN=TOL",
                         help="per-metric override, e.g. read_p99_us=0.5")
@@ -226,6 +311,7 @@ def main():
     cmp = Comparison(args)
     compare_rows(cmp, baseline, candidate)
     compare_stages(cmp, baseline, candidate)
+    compare_heat(cmp, baseline, candidate)
 
     for line in cmp.improvements:
         print(f"  improved   {line}")

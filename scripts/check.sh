@@ -21,6 +21,10 @@
 #                               #   to 10x modelled capacity, per-tenant
 #                               #   metrics/exemplar validation, diff
 #                               #   against BENCH_overload.json
+#   scripts/check.sh heat       # + heat observability gate: fixed-seed
+#                               #   zipfian/hotspot/uniform runs, heat
+#                               #   section validation, hot-range
+#                               #   attribution assertions
 #   scripts/check.sh all        # all of the above
 #
 # The release pass is the acceptance gate every change must keep green;
@@ -54,8 +58,8 @@ run_tsan() {
   # targets keeps the pass affordable on small machines.
   cmake --build --preset tsan -j "$jobs" --target serve_stress_test \
       serve_shard_stress_test serve_fault_test serve_workload_test \
-      admission_queue_test metrics_test trace_export_test
-  (cd build-tsan && ctest -R 'serve_(stress|shard_stress|fault|workload)_test|admission_queue_test|metrics_test|trace_export_test' --output-on-failure)
+      admission_queue_test metrics_test trace_export_test heat_test
+  (cd build-tsan && ctest -R 'serve_(stress|shard_stress|fault|workload)_test|admission_queue_test|metrics_test|trace_export_test|heat_test' --output-on-failure)
 }
 
 run_shard() {
@@ -223,6 +227,25 @@ run_qos() {
       BENCH_overload.json build/QOS_overload.json
 }
 
+run_heat() {
+  echo "==> heat observability gate (hot-range attribution on skewed scenarios)"
+  cmake --preset release >/dev/null
+  cmake --build --preset release -j "$jobs" --target ycsb_workloads
+  # Fixed-seed runs of the two skewed scenarios plus the uniform negative
+  # control. Every report must carry a heat section whose internals
+  # reconcile (validate_metrics.py), and the keyspace heatmap must
+  # attribute >= 90% of the modelled hot mass to the injected hot prefix
+  # — with no false hot range on the flat workload (check_heat.py).
+  for s in zipfian hotspot uniform; do
+    ./build/bench/ycsb_workloads --scenario="$s" --out_dir=build/HEAT
+  done
+  python3 scripts/validate_metrics.py --require-heat \
+      --require-counter serve.lookups \
+      build/HEAT/zipfian.json build/HEAT/hotspot.json build/HEAT/uniform.json
+  python3 scripts/check_heat.py \
+      build/HEAT/zipfian.json build/HEAT/hotspot.json build/HEAT/uniform.json
+}
+
 case "$mode" in
   release) run_release ;;
   asan)    run_release; run_asan; run_obs ;;
@@ -233,8 +256,9 @@ case "$mode" in
   regress) run_release; run_regress ;;
   workloads) run_release; run_workloads ;;
   qos)     run_release; run_qos ;;
-  all)     run_release; run_asan; run_tsan; run_fault; run_obs; run_shard; run_regress; run_workloads; run_qos ;;
-  *) echo "usage: scripts/check.sh [release|asan|tsan|fault|obs|shard|regress|workloads|qos|all]" >&2; exit 2 ;;
+  heat)    run_release; run_heat ;;
+  all)     run_release; run_asan; run_tsan; run_fault; run_obs; run_shard; run_regress; run_workloads; run_qos; run_heat ;;
+  *) echo "usage: scripts/check.sh [release|asan|tsan|fault|obs|shard|regress|workloads|qos|heat|all]" >&2; exit 2 ;;
 esac
 
 echo "==> all requested checks passed"

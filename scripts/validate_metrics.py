@@ -11,7 +11,11 @@ Fails (exit 1) on: unparseable JSON, unknown schema, missing required
 keys, non-finite numbers (the C++ JSON writer turns NaN/inf into null,
 so any null value is a poisoned metric), negative counters, malformed
 histogram summaries (percentiles above the max, p50 > p99, ...),
-malformed exemplars, or a malformed bench "stages" waterfall.
+malformed exemplars, a malformed bench "stages" waterfall, or a
+malformed "heat" section (mis-sorted top-K ranges, shard totals that
+don't reconcile with the merged total, tenant counts that don't sum to
+their range, hit-level bytes that don't sum back to a cell's bytes,
+pool temperature classes that don't sum to the segment count).
 
 With --trace TRACE.json the exemplars are cross-checked against the
 exported Chrome trace: every exemplar stamped with the trace's session
@@ -37,6 +41,13 @@ REQUIRED_HISTOGRAM_KEYS = ("count", "p50_us", "p90_us", "p99_us",
 REQUIRED_EXEMPLAR_KEYS = ("bucket_us", "trace_id", "span_id", "shard",
                           "wall_us", "modelled_us")
 REQUIRED_STAGE_KEYS = ("count", "total_us", "mean_us", "max_us", "share")
+REQUIRED_HEAT_RANGE_KEYS = ("lo", "hi", "shard", "count", "share", "hot",
+                            "tenants")
+# hit_bytes[HitLevel] split of each cell's bytes — must sum back exactly.
+REQUIRED_HEAT_CELL_KEYS = ("touches", "bytes", "l1_bytes", "l2_bytes",
+                           "l3_bytes", "dram_bytes")
+REQUIRED_HEAT_POOL_KEYS = ("segments", "hot", "warm", "cold",
+                           "cold_fraction")
 # LatencyHistogram::kMaxExemplars — the reservoir is bounded per
 # histogram, so more than this in a serialized summary means the bound
 # was lost somewhere (e.g. a MergeFrom that concatenates).
@@ -144,6 +155,131 @@ def validate_stages(path, stages):
             f"{len(stages['groups'])} groups")
 
 
+def validate_heat_keyspace(path, keyspace):
+    for key in ("total", "bins", "hot_threshold_share", "shard_totals",
+                "ranges"):
+        if key not in keyspace:
+            fail(path, f"heat.keyspace missing key {key}")
+    check_finite_number(path, "heat.keyspace.total", keyspace["total"])
+    check_finite_number(path, "heat.keyspace.bins", keyspace["bins"])
+    check_finite_number(path, "heat.keyspace.hot_threshold_share",
+                        keyspace["hot_threshold_share"])
+    if keyspace["bins"] <= 0:
+        fail(path, f"heat.keyspace.bins must be positive: {keyspace['bins']}")
+    if not isinstance(keyspace["shard_totals"], list):
+        fail(path, "heat.keyspace.shard_totals is not an array")
+    for i, total in enumerate(keyspace["shard_totals"]):
+        check_finite_number(path, f"heat.keyspace.shard_totals[{i}]", total)
+        if total < 0:
+            fail(path, f"heat.keyspace.shard_totals[{i}] is negative")
+    # Bin totals are derived as per-tenant sums, so the shard merge must
+    # reconcile exactly — any drift means a sketch lost or double-counted.
+    merged = sum(keyspace["shard_totals"])
+    if merged != keyspace["total"]:
+        fail(path, f"heat.keyspace shard_totals sum to {merged}, not the "
+                   f"merged total {keyspace['total']}")
+    ranges = keyspace["ranges"]
+    if not isinstance(ranges, list):
+        fail(path, "heat.keyspace.ranges is not an array")
+    prev_count = None
+    for i, r in enumerate(ranges):
+        ctx = f"heat.keyspace.ranges[{i}]"
+        if not isinstance(r, dict):
+            fail(path, f"{ctx} is not an object")
+        for key in REQUIRED_HEAT_RANGE_KEYS:
+            if key not in r:
+                fail(path, f"{ctx} missing key {key}")
+            if key not in ("hot", "tenants"):
+                check_finite_number(path, f"{ctx}.{key}", r[key])
+        if r["lo"] > r["hi"]:
+            fail(path, f"{ctx} has lo {r['lo']} > hi {r['hi']}")
+        if not 0 <= r["shard"] < max(1, len(keyspace["shard_totals"])):
+            fail(path, f"{ctx}.shard {r['shard']} out of range")
+        if r["count"] < 0:
+            fail(path, f"{ctx}.count is negative")
+        if not 0 <= r["share"] <= 1 + 1e-9:
+            fail(path, f"{ctx}.share out of [0,1]: {r['share']}")
+        if not isinstance(r["hot"], bool):
+            fail(path, f"{ctx}.hot is not a boolean")
+        # Top-K report must come ranked; a mis-sorted list means the
+        # merge heap dropped the wrong bins.
+        if prev_count is not None and r["count"] > prev_count:
+            fail(path, f"{ctx} breaks the non-increasing count order "
+                       f"({r['count']} after {prev_count})")
+        prev_count = r["count"]
+        if not isinstance(r["tenants"], dict):
+            fail(path, f"{ctx}.tenants is not an object")
+        tenant_sum = 0
+        for tenant, count in r["tenants"].items():
+            check_finite_number(path, f"{ctx}.tenants.{tenant}", count)
+            if count < 0:
+                fail(path, f"{ctx}.tenants.{tenant} is negative")
+            tenant_sum += count
+        if tenant_sum != r["count"]:
+            fail(path, f"{ctx} tenant counts sum to {tenant_sum}, not the "
+                       f"range count {r['count']}")
+    return len(ranges)
+
+
+def validate_heat_levels(path, levels):
+    if not isinstance(levels, dict):
+        fail(path, "heat.levels is not an object")
+    cells = 0
+    for stage, stage_cells in levels.items():
+        if not isinstance(stage_cells, dict):
+            fail(path, f"heat.levels.{stage} is not an object")
+        for cell, traffic in stage_cells.items():
+            ctx = f"heat.levels.{stage}.{cell}"
+            if not isinstance(traffic, dict):
+                fail(path, f"{ctx} is not an object")
+            for key in REQUIRED_HEAT_CELL_KEYS:
+                if key not in traffic:
+                    fail(path, f"{ctx} missing key {key}")
+                check_finite_number(path, f"{ctx}.{key}", traffic[key])
+                if traffic[key] < 0:
+                    fail(path, f"{ctx}.{key} is negative")
+            split = (traffic["l1_bytes"] + traffic["l2_bytes"] +
+                     traffic["l3_bytes"] + traffic["dram_bytes"])
+            if split != traffic["bytes"]:
+                fail(path, f"{ctx} hit-level bytes sum to {split}, not "
+                           f"bytes {traffic['bytes']}")
+            cells += 1
+    return cells
+
+
+def validate_heat_pools(path, pools):
+    if not isinstance(pools, dict):
+        fail(path, "heat.pools is not an object")
+    for pool, temp in pools.items():
+        ctx = f"heat.pools.{pool}"
+        if not isinstance(temp, dict):
+            fail(path, f"{ctx} is not an object")
+        for key in REQUIRED_HEAT_POOL_KEYS:
+            if key not in temp:
+                fail(path, f"{ctx} missing key {key}")
+            check_finite_number(path, f"{ctx}.{key}", temp[key])
+            if temp[key] < 0:
+                fail(path, f"{ctx}.{key} is negative")
+        if temp["hot"] + temp["warm"] + temp["cold"] != temp["segments"]:
+            fail(path, f"{ctx} temperature classes sum to "
+                       f"{temp['hot'] + temp['warm'] + temp['cold']}, not "
+                       f"segments {temp['segments']}")
+        if not 0 <= temp["cold_fraction"] <= 1 + 1e-9:
+            fail(path, f"{ctx}.cold_fraction out of [0,1]: "
+                       f"{temp['cold_fraction']}")
+    return len(pools)
+
+
+def validate_heat(path, heat):
+    for key in ("keyspace", "levels", "pools"):
+        if key not in heat:
+            fail(path, f"heat section missing key {key}")
+    ranges = validate_heat_keyspace(path, heat["keyspace"])
+    cells = validate_heat_levels(path, heat["levels"])
+    pools = validate_heat_pools(path, heat["pools"])
+    return f"{ranges} ranges, {cells} level cells, {pools} pools"
+
+
 def validate_metrics_v1(path, doc):
     for key in ("schema", "windowed", "window_seconds", "counters",
                 "gauges", "histograms"):
@@ -180,6 +316,8 @@ def validate_bench_v1(path, doc):
     detail = f"{len(doc['rows'])} rows"
     if "stages" in doc:
         detail += "; stages: " + validate_stages(path, doc["stages"])
+    if "heat" in doc:
+        detail += "; heat: " + validate_heat(path, doc["heat"])
     if "metrics" in doc:
         detail += "; metrics: " + validate_metrics_v1(path, doc["metrics"])
     return detail
@@ -261,6 +399,9 @@ def validate_file(path, args, trace):
     elif schema == "hbtree.bench.v1":
         detail = validate_bench_v1(path, doc)
         counters = doc.get("metrics", {}).get("counters", {})
+        if args.require_heat and "heat" not in doc:
+            fail(path, "bench report has no heat section (--require-heat; "
+                       "was the binary built with HBTREE_OBS_TRACING?)")
     else:
         fail(path, f"unknown schema: {schema!r}")
     for name in args.require_counter:
@@ -291,6 +432,10 @@ def main():
                         metavar="NAME",
                         help="fail unless this histogram carries at least "
                              "one tail exemplar (>= 80%% of its p99)")
+    parser.add_argument("--require-heat", action="store_true",
+                        help="fail any bench report that lacks a heat "
+                             "section (keyspace heatmap + level traffic + "
+                             "pool temperatures)")
     parser.add_argument("--trace", metavar="TRACE_JSON",
                         help="Chrome trace export to resolve exemplar "
                              "trace_id/span_id pairs against")

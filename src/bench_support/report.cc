@@ -98,6 +98,8 @@ void BenchReport::SetStages(const obs::StageWaterfall& stages) {
   stages_ = stages;
 }
 
+void BenchReport::SetHeat(const obs::HeatSection& heat) { heat_ = heat; }
+
 void BenchReport::PrintTable(const std::string& title,
                              int column_width) const {
   // Column set: union over rows, in first-appearance order.
@@ -214,6 +216,10 @@ std::string BenchReport::ToJson(const obs::MetricsSnapshot* metrics) const {
     }
     w.EndObject();
     w.EndObject();
+  }
+  if (!heat_.empty()) {
+    w.Key("heat");
+    obs::AppendHeatJson(w, heat_);
   }
   if (metrics != nullptr) {
     w.Key("metrics");

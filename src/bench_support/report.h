@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bench_support/args.h"
+#include "obs/heat.h"
 #include "obs/metrics.h"
 #include "obs/span_aggregator.h"
 #include "serve/serve_stats.h"
@@ -79,6 +80,12 @@ class BenchReport {
   /// (largest-topology) run, matching the embedded metrics snapshot.
   void SetStages(const obs::StageWaterfall& stages);
 
+  /// Attaches a heat section (serve::Server::Heat() of a heat-enabled
+  /// run), emitted as the JSON's "heat" section: the keyspace hot-range
+  /// report, per-stage tree-level traffic, and pool temperatures. An
+  /// empty section (heat compiled out) is silently dropped from the JSON.
+  void SetHeat(const obs::HeatSection& heat);
+
   /// Console table over the union of row columns (first-appearance
   /// order); missing cells print "-".
   void PrintTable(const std::string& title, int column_width = 10) const;
@@ -96,6 +103,7 @@ class BenchReport {
   std::vector<std::pair<std::string, Cell>> meta_;
   std::deque<Row> rows_;  // deque: AddRow must not invalidate references
   obs::StageWaterfall stages_;
+  obs::HeatSection heat_;
 };
 
 // -- Shared observability flags ---------------------------------------------

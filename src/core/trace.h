@@ -2,6 +2,7 @@
 #define HBTREE_CORE_TRACE_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace hbtree {
 
@@ -22,6 +23,26 @@ struct NullTracer {
   void OnQueryStart() {}
   void OnQueryEnd() {}
 };
+
+/// Structural node classes for traffic attribution (DESIGN.md Section 13).
+/// `kInner` nodes live in the inner pool (I-segment hot fragments);
+/// `kLastInner` is the lowest inner level, paired one-to-one with its
+/// `kBigLeaf` (both share a leaf-pool slot, Section 4.1).
+enum class NodeClass { kInner = 0, kLastInner = 1, kBigLeaf = 2 };
+
+/// Optional per-node tracer hook: tracers that additionally implement
+/// `OnNodeTouch(level, cls, node)` get one call per structural node a
+/// traversal touches, and the owning pool records the touch for
+/// segment-temperature tracking. For tracers without the hook (NullTracer,
+/// the cost-model CpuTracer) this compiles away entirely.
+template <typename Tracer, typename Pool>
+inline void TraceNodeTouch(Tracer* t, const Pool& pool, int level,
+                           NodeClass cls, std::uint32_t node) {
+  if constexpr (requires { t->OnNodeTouch(level, cls, node); }) {
+    pool.NoteTouch(node);
+    t->OnNodeTouch(level, cls, node);
+  }
+}
 
 }  // namespace hbtree
 

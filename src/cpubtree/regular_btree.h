@@ -122,6 +122,7 @@ class RegularBTree {
     int line = pos.line;
     int copied = 0;
     while (copied < max_matches && node != kNullRef) {
+      TraceNodeTouch(t, leaf_pool_, 0, NodeClass::kBigLeaf, node);
       const Leaf& leaf = leaf_pool_.secondary(node);
       for (; line < Shape::kLinesPerLeaf && copied < max_matches; ++line) {
         const KeyValue<K>* lp = leaf.pairs + line * kPairsPerLine;
@@ -162,6 +163,7 @@ class RegularBTree {
     HBTREE_DCHECK(depth < root_level_);
     NodeRef node = root_;
     for (int level = root_level_; level > root_level_ - depth; --level) {
+      TraceNodeTouch(t, inner_pool_, level, NodeClass::kInner, node);
       const Hot& hot = inner_pool_.primary(node);
       int c = SearchNode(hot, key, t);
       t->OnAccess(hot.refs + (c / kIdx) * kIdx, kCacheLineSize);
@@ -325,12 +327,14 @@ typename RegularBTree<K>::LeafPosition RegularBTree<K>::FindLeafPosition(
   NodeRef node = root_;
   int level = root_level_;
   while (level > 1) {
+    TraceNodeTouch(t, inner_pool_, level, NodeClass::kInner, node);
     const Hot& hot = inner_pool_.primary(node);
     int c = SearchNode(hot, key, t);
     t->OnAccess(hot.refs + (c / kIdx) * kIdx, kCacheLineSize);
     node = static_cast<NodeRef>(hot.refs[c]);
     --level;
   }
+  TraceNodeTouch(t, leaf_pool_, 1, NodeClass::kLastInner, node);
   const Hot& hot = leaf_pool_.primary(node);
   int c = SearchNode(hot, key, t);
   return LeafPosition{node, c};
@@ -342,6 +346,7 @@ LookupResult<K> RegularBTree<K>::SearchLeafLine(LeafPosition pos, K key,
                                                 Tracer* tracer) const {
   NullTracer null_tracer;
   auto* t = ResolveTracer(tracer, &null_tracer);
+  TraceNodeTouch(t, leaf_pool_, 0, NodeClass::kBigLeaf, pos.last_inner);
   const Leaf& leaf = leaf_pool_.secondary(pos.last_inner);
   const KeyValue<K>* line = leaf.pairs + pos.line * kPairsPerLine;
   t->OnAccess(line, kCacheLineSize);

@@ -15,6 +15,7 @@
 #include "hybrid/hb_fast.h"
 #include "hybrid/hb_implicit.h"
 #include "hybrid/hb_regular.h"
+#include "obs/heat.h"
 #include "obs/trace.h"
 #include "sim/resource.h"
 
@@ -72,6 +73,13 @@ struct PipelineConfig {
   /// per tree slot so multi-shard traces stay on separate tracks). Unused
   /// when tracing is compiled out.
   int trace_track_base = 0;
+
+  /// Per-level traffic attribution sink (DESIGN.md Section 13). When set,
+  /// the CPU-side stages (pre-descent, leaf search) run with a heat
+  /// tracer under the sink's mutex, taken once per stage loop. Null (the
+  /// default, and always null when heat is compiled out) keeps the
+  /// untraced fast path.
+  obs::PipelineHeat* heat = nullptr;
 };
 
 /// Aggregate result of one pipeline run.
@@ -215,6 +223,21 @@ class Scheduler {
 
 /// Tree-variant adapters: how to pre-descend on the CPU, launch the GPU
 /// kernel, and finish a query from its intermediate result.
+/// Forwards a stage's heat tracer into the host tree when its traversal
+/// entry point accepts one; trees without a traced overload silently run
+/// untraced (their traffic shows up only in the modelled stage times).
+template <typename Adapter, typename Tree, typename K, typename Tracer>
+std::uint64_t DescendTraced(const Tree& tree, K query, int depth,
+                            Tracer* tracer) {
+  if constexpr (requires {
+                  tree.host_tree().DescendLevels(query, depth, tracer);
+                }) {
+    return tree.host_tree().DescendLevels(query, depth, tracer);
+  } else {
+    return Adapter::Descend(tree, query, depth);
+  }
+}
+
 template <typename K>
 struct ImplicitAdapter {
   using Tree = HBImplicitTree<K>;
@@ -237,6 +260,19 @@ struct ImplicitAdapter {
   static LookupResult<K> Finish(const Tree& tree, std::uint64_t intermediate,
                                 K query) {
     return tree.host_tree().SearchLeafLine(intermediate, query);
+  }
+
+  template <typename Tracer>
+  static LookupResult<K> Finish(const Tree& tree, std::uint64_t intermediate,
+                                K query, Tracer* tracer) {
+    if constexpr (requires {
+                    tree.host_tree().SearchLeafLine(intermediate, query,
+                                                    tracer);
+                  }) {
+      return tree.host_tree().SearchLeafLine(intermediate, query, tracer);
+    } else {
+      return Finish(tree, intermediate, query);
+    }
   }
 };
 
@@ -265,6 +301,14 @@ struct RegularAdapter {
                                                UnpackLeafLine(intermediate)};
     return tree.host_tree().SearchLeafLine(pos, query);
   }
+
+  template <typename Tracer>
+  static LookupResult<K> Finish(const Tree& tree, std::uint64_t intermediate,
+                                K query, Tracer* tracer) {
+    typename RegularBTree<K>::LeafPosition pos{UnpackLeafNode(intermediate),
+                                               UnpackLeafLine(intermediate)};
+    return tree.host_tree().SearchLeafLine(pos, query, tracer);
+  }
 };
 
 template <typename K>
@@ -291,6 +335,18 @@ struct FastAdapter {
   static LookupResult<K> Finish(const Tree& tree, std::uint64_t intermediate,
                                 K query) {
     return tree.host_tree().VerifyAt(intermediate, query);
+  }
+
+  template <typename Tracer>
+  static LookupResult<K> Finish(const Tree& tree, std::uint64_t intermediate,
+                                K query, Tracer* tracer) {
+    if constexpr (requires {
+                    tree.host_tree().VerifyAt(intermediate, query, tracer);
+                  }) {
+      return tree.host_tree().VerifyAt(intermediate, query, tracer);
+    } else {
+      return Finish(tree, intermediate, query);
+    }
   }
 };
 
@@ -358,10 +414,20 @@ Status RunPipelineChecked(typename Adapter::Tree& tree, const K* queries,
         if (depth < static_cast<int>(table.size())) return table[depth];
         return depth * config.cpu_descend_us_per_level;
       };
-      for (std::uint32_t i = 0; i < n; ++i) {
-        const int depth = i < part1 ? d_levels : d_levels + 1;
-        start_nodes[i] = static_cast<std::uint32_t>(
-            Adapter::Descend(tree, queries[base + i], depth));
+      if (config.heat != nullptr) {
+        std::lock_guard<std::mutex> lock(config.heat->mu);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          const int depth = i < part1 ? d_levels : d_levels + 1;
+          start_nodes[i] = static_cast<std::uint32_t>(
+              DescendTraced<Adapter>(tree, queries[base + i], depth,
+                                     &config.heat->pre_descend));
+        }
+      } else {
+        for (std::uint32_t i = 0; i < n; ++i) {
+          const int depth = i < part1 ? d_levels : d_levels + 1;
+          start_nodes[i] = static_cast<std::uint32_t>(
+              Adapter::Descend(tree, queries[base + i], depth));
+        }
       }
       tpre = part1 * descend_cost(d_levels) +
              (n - part1) * descend_cost(d_levels + 1);
@@ -444,10 +510,20 @@ Status RunPipelineChecked(typename Adapter::Tree& tree, const K* queries,
     t3 += backoff_us;
 
     // -- T4: CPU leaf search ----------------------------------------------
-    for (std::uint32_t i = 0; i < n; ++i) {
-      LookupResult<K> r =
-          Adapter::Finish(tree, intermediate[i], queries[base + i]);
-      if (results != nullptr) (*results)[base + i] = r;
+    if (config.heat != nullptr) {
+      std::lock_guard<std::mutex> lock(config.heat->mu);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        LookupResult<K> r = Adapter::Finish(tree, intermediate[i],
+                                            queries[base + i],
+                                            &config.heat->cpu_leaf);
+        if (results != nullptr) (*results)[base + i] = r;
+      }
+    } else {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        LookupResult<K> r =
+            Adapter::Finish(tree, intermediate[i], queries[base + i]);
+        if (results != nullptr) (*results)[base + i] = r;
+      }
     }
     const double t4 = n / config.cpu_queries_per_us;
 

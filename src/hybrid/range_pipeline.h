@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "core/workload.h"
@@ -32,6 +33,20 @@ struct ImplicitRangeAdapter {
     return tree.host_tree().ScanLeaves(intermediate, first_key, max_matches,
                                        out);
   }
+
+  template <typename Tracer>
+  static int Scan(const Tree& tree, std::uint64_t intermediate, K first_key,
+                  int max_matches, KeyValue<K>* out, Tracer* tracer) {
+    if constexpr (requires {
+                    tree.host_tree().ScanLeaves(intermediate, first_key,
+                                                max_matches, out, tracer);
+                  }) {
+      return tree.host_tree().ScanLeaves(intermediate, first_key, max_matches,
+                                         out, tracer);
+    } else {
+      return Scan(tree, intermediate, first_key, max_matches, out);
+    }
+  }
 };
 
 template <typename K>
@@ -44,6 +59,15 @@ struct RegularRangeAdapter {
     typename RegularBTree<K>::LeafPosition pos{UnpackLeafNode(intermediate),
                                                UnpackLeafLine(intermediate)};
     return tree.host_tree().ScanLeaves(pos, first_key, max_matches, out);
+  }
+
+  template <typename Tracer>
+  static int Scan(const Tree& tree, std::uint64_t intermediate, K first_key,
+                  int max_matches, KeyValue<K>* out, Tracer* tracer) {
+    typename RegularBTree<K>::LeafPosition pos{UnpackLeafNode(intermediate),
+                                               UnpackLeafLine(intermediate)};
+    return tree.host_tree().ScanLeaves(pos, first_key, max_matches, out,
+                                       tracer);
   }
 };
 
@@ -134,24 +158,34 @@ Status RunRangeChecked(typename Adapter::Tree& tree,
         &stats.transfer_retries, &backoff_us));
     t3 += backoff_us;
 
-    // T4: CPU leaf-chain scan per query.
-    for (std::uint32_t i = 0; i < n; ++i) {
-      const auto& query = queries[base + i];
-      const int want = std::min(max_matches, query.match_count);
-      KeyValue<K>* out =
-          pairs != nullptr
-              ? pairs->data() + (base + i) * max_matches
-              : nullptr;
-      KeyValue<K> scratch[1];
-      int got;
-      if (out != nullptr) {
-        got = Adapter::Scan(tree, intermediate[i], query.first_key, want,
-                            out);
-      } else {
-        got = Adapter::Scan(tree, intermediate[i], query.first_key,
-                            std::min(want, 1), scratch);
+    // T4: CPU leaf-chain scan per query. With a heat sink configured the
+    // whole stage loop runs traced under the sink's mutex (same pattern
+    // as the lookup pipeline's T4).
+    {
+      std::unique_lock<std::mutex> heat_lock;
+      if (config.heat != nullptr) {
+        heat_lock = std::unique_lock<std::mutex>(config.heat->mu);
       }
-      if (counts != nullptr) (*counts)[base + i] = got;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const auto& query = queries[base + i];
+        const int want = std::min(max_matches, query.match_count);
+        KeyValue<K>* out =
+            pairs != nullptr
+                ? pairs->data() + (base + i) * max_matches
+                : nullptr;
+        KeyValue<K> scratch[1];
+        KeyValue<K>* dst = out != nullptr ? out : scratch;
+        const int limit = out != nullptr ? want : std::min(want, 1);
+        int got;
+        if (config.heat != nullptr) {
+          got = Adapter::Scan(tree, intermediate[i], query.first_key, limit,
+                              dst, &config.heat->scan);
+        } else {
+          got = Adapter::Scan(tree, intermediate[i], query.first_key, limit,
+                              dst);
+        }
+        if (counts != nullptr) (*counts)[base + i] = got;
+      }
     }
     const double t4 = n / config.cpu_queries_per_us;
 

@@ -1,7 +1,9 @@
 #ifndef HBTREE_MEM_PAIRED_POOL_H_
 #define HBTREE_MEM_PAIRED_POOL_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <type_traits>
 #include <vector>
 
@@ -57,6 +59,7 @@ class PairedPool {
   void Clear() {
     primary_chunks_.clear();
     secondary_chunks_.clear();
+    chunk_touches_.clear();
     free_list_.clear();
     next_slot_ = 0;
     live_ = 0;
@@ -125,12 +128,27 @@ class PairedPool {
     return primary_chunks_[i].template as<Primary>();
   }
 
+  /// Records one traversal touching `idx`'s chunk, feeding the
+  /// segment-temperature classifier (DESIGN.md Section 13). Concurrent
+  /// with reads; a relaxed counter is enough — temperature is sampled at
+  /// reporter granularity, not per-access.
+  void NoteTouch(Index idx) const {
+    HBTREE_DCHECK(idx / chunk_capacity_ < chunk_touches_.size());
+    chunk_touches_[idx / chunk_capacity_].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  /// Cumulative touches recorded against chunk `i` (a memory segment).
+  std::uint64_t chunk_touches(std::size_t i) const {
+    return chunk_touches_[i].load(std::memory_order_relaxed);
+  }
+
  private:
   void AddChunk() {
     primary_chunks_.emplace_back(chunk_capacity_ * sizeof(Primary),
                                  primary_page_, registry_);
     secondary_chunks_.emplace_back(chunk_capacity_ * sizeof(Secondary),
                                    secondary_page_, registry_);
+    chunk_touches_.emplace_back(0);
   }
 
   std::size_t chunk_capacity_;
@@ -139,6 +157,9 @@ class PairedPool {
   PageRegistry* registry_;
   std::vector<PagedBuffer> primary_chunks_;
   std::vector<PagedBuffer> secondary_chunks_;
+  // One touch counter per chunk; deque keeps the atomics at stable
+  // addresses while AddChunk grows the pool.
+  mutable std::deque<std::atomic<std::uint64_t>> chunk_touches_;
   std::vector<Index> free_list_;
   std::size_t next_slot_ = 0;
   std::size_t live_ = 0;

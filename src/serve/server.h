@@ -26,6 +26,7 @@
 #include "hybrid/batch_update.h"
 #include "hybrid/bucket_pipeline.h"
 #include "hybrid/hb_regular.h"
+#include "obs/heat.h"
 #include "obs/metrics.h"
 #include "obs/slo.h"
 #include "obs/trace.h"
@@ -193,6 +194,21 @@ struct ServerOptions {
   /// ServeStats::slos and as `slo.<name>.*` registry gauges. Clear to
   /// disable tracking.
   std::vector<obs::SloSpec> slos = DefaultServeSlos();
+
+  /// Keyspace-heat sketch shape (see obs::KeyRangeSketch): bins per
+  /// shard, and records between automatic count halvings. The default
+  /// decay cadence is high enough that bounded bench runs never decay
+  /// (keeping shard-merge reconciliation exact).
+  int heat_fanout = 64;
+  std::uint64_t heat_decay_every = 1ull << 22;
+  /// Merged hot-range report shape (see obs::MergeSketches): entries in
+  /// the top-K, and the hot flag's multiple over the uniform per-bin
+  /// expectation.
+  int heat_top_k = 32;
+  double heat_hot_factor = 4.0;
+  /// Segment-temperature classification thresholds (see
+  /// obs::SegmentTemperature), applied per reporter epoch.
+  obs::SegmentTemperature::Options heat_temperature;
 
   // -- Fault tolerance ----------------------------------------------------
 
@@ -552,6 +568,82 @@ class Server {
   /// implicit single default tenant).
   const std::vector<TenantSpec>& tenants() const { return tenants_; }
 
+  /// Assembled heat section: the shards' keyspace sketches merged into a
+  /// global top-K hot-range report (with per-tenant attribution), the
+  /// per-stage tree-level traffic summed across shards, and the pools'
+  /// latest temperature observation. Empty when heat observability is
+  /// compiled out (HBTREE_OBS_HEAT=0). Thread-safe; callable while
+  /// serving, though benches collect after Shutdown() for a stable view.
+  obs::HeatSection Heat() const {
+    obs::HeatSection heat;
+#if HBTREE_OBS_HEAT
+    std::vector<obs::KeyRangeSketch::Snapshot> snaps;
+    snaps.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+      if (shard->heat_sketch != nullptr) {
+        snaps.push_back(shard->heat_sketch->TakeSnapshot());
+      }
+    }
+    obs::MergeOptions merge;
+    merge.top_k = options_.heat_top_k;
+    merge.hot_factor = options_.heat_hot_factor;
+    heat.keyspace = obs::MergeSketches(snaps, merge);
+    heat.tenant_names.reserve(tenants_.size());
+    for (const TenantSpec& spec : tenants_) {
+      heat.tenant_names.push_back(spec.name);
+    }
+
+    // Stage traffic: same (level, class) cells summed across every
+    // shard's tracers, one stage at a time.
+    static constexpr const char* kStageNames[3] = {"pre_descend",
+                                                   "cpu_leaf", "scan"};
+    obs::LevelTraffic sums[3][obs::LevelHeatTracer::kCells] = {};
+    for (const auto& shard : shards_) {
+      if (shard->heat_pipeline == nullptr) continue;
+      std::lock_guard<std::mutex> lock(shard->heat_pipeline->mu);
+      const obs::LevelHeatTracer* tracers[3] = {
+          &shard->heat_pipeline->pre_descend, &shard->heat_pipeline->cpu_leaf,
+          &shard->heat_pipeline->scan};
+      for (int s = 0; s < 3; ++s) {
+        std::vector<obs::LevelTraffic> cells;
+        tracers[s]->Collect(&cells);
+        for (const obs::LevelTraffic& cell : cells) {
+          const int idx =
+              cell.node_class == obs::LevelHeatTracer::kOtherClass
+                  ? obs::LevelHeatTracer::kCells - 1
+                  : cell.level * obs::LevelHeatTracer::kClasses +
+                        cell.node_class;
+          obs::LevelTraffic& sum = sums[s][idx];
+          sum.level = cell.level;
+          sum.node_class = cell.node_class;
+          sum.touches += cell.touches;
+          sum.bytes += cell.bytes;
+          for (int h = 0; h < 4; ++h) sum.hit_bytes[h] += cell.hit_bytes[h];
+        }
+      }
+    }
+    for (int s = 0; s < 3; ++s) {
+      obs::StageHeat stage;
+      stage.stage = kStageNames[s];
+      for (const obs::LevelTraffic& cell : sums[s]) {
+        if (cell.touches > 0 || cell.bytes > 0) stage.levels.push_back(cell);
+      }
+      if (!stage.levels.empty()) heat.stages.push_back(std::move(stage));
+    }
+
+    obs::PoolTemperature inner;
+    obs::PoolTemperature leaf;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->heat_mutex);
+      AccumulatePool(&inner, shard->pool_inner);
+      AccumulatePool(&leaf, shard->pool_leaf);
+    }
+    if (inner.segments > 0) heat.pools.emplace_back("inner", inner);
+    if (leaf.segments > 0) heat.pools.emplace_back("leaf", leaf);
+#endif
+    return heat;
+  }
+
   /// Stops admission, drains every shard's lanes, and joins the workers.
   /// Safe to call more than once.
   void Shutdown() {
@@ -573,6 +665,11 @@ class Server {
     }
     reporter_cv_.notify_all();
     if (reporter_thread_.joinable()) reporter_thread_.join();
+    // Final temperature epoch: with the workers joined the pools are
+    // quiescent, so the last observation (and the mem.pool.* gauges it
+    // publishes) reflects the run's end state even when no reporter ever
+    // ticked.
+    HBTREE_HEAT_ONLY(ObservePoolTemperatures();)
     // Flush the tail window: a run shorter than the reporting interval
     // would otherwise never report (or feed the SLO tracker) at all. The
     // flush also runs with no reporter configured when SLOs are tracked,
@@ -726,6 +823,24 @@ class Server {
     // across shards (see ServeStats::modelled_makespan_us).
     double sim_pipeline_us = 0;
     double sim_update_us = 0;
+
+    // Heat observability (obs/heat.h). The sketch records every
+    // dispatched op's key at the admission-bucket boundary; the pipeline
+    // heat state carries the per-stage level tracers and their shared
+    // modelled cache hierarchy. Both stay null unless HBTREE_OBS_HEAT is
+    // compiled in (Init constructs them), so the default build pays
+    // nothing — not even the branch that would test the pointers.
+    std::unique_ptr<obs::KeyRangeSketch> heat_sketch;
+    std::unique_ptr<obs::PipelineHeat> heat_pipeline;
+
+    // Segment-temperature state, one observation per reporter epoch over
+    // the pinned snapshot's pools; heat_mutex guards the classifiers and
+    // the last observation (pool_inner / pool_leaf).
+    std::mutex heat_mutex;
+    obs::SegmentTemperature temp_inner;
+    obs::SegmentTemperature temp_leaf;
+    obs::PoolTemperature pool_inner;
+    obs::PoolTemperature pool_leaf;
 
     std::vector<std::thread> read_workers;
     std::thread update_worker;
@@ -889,6 +1004,42 @@ class Server {
                             shard->slot_b.track_base,
                             "shard" + std::to_string(i) + "/slot1");)
     }
+
+#if HBTREE_OBS_HEAT
+    // Heat state, per shard: a keyspace sketch over the shard's bootstrap
+    // key range (the same split ShardFor routes by) and the pipeline-stage
+    // tracers over the modelled CPU cache hierarchy. Tenant-resolved
+    // temperature options come from the server's knobs.
+    {
+      const std::uint64_t key_lo =
+          n > 0 ? static_cast<std::uint64_t>(sorted_pairs.front().key) : 0;
+      const std::uint64_t key_hi =
+          n > 0 ? static_cast<std::uint64_t>(sorted_pairs.back().key) : 0;
+      obs::KeyRangeSketch::Options sketch_options;
+      sketch_options.fanout = options_.heat_fanout;
+      sketch_options.tenants = tenants_.size();
+      sketch_options.decay_every = options_.heat_decay_every;
+      for (int i = 0; i < num_shards; ++i) {
+        const std::uint64_t lo =
+            i == 0 ? key_lo
+                   : static_cast<std::uint64_t>(shard_bounds_[i - 1]);
+        const std::uint64_t hi =
+            i + 1 < num_shards
+                ? static_cast<std::uint64_t>(shard_bounds_[i]) - 1
+                : key_hi;
+        shards_[static_cast<std::size_t>(i)]->heat_sketch =
+            std::make_unique<obs::KeyRangeSketch>(lo, std::max(lo, hi),
+                                                  sketch_options);
+        shards_[static_cast<std::size_t>(i)]->heat_pipeline =
+            std::make_unique<obs::PipelineHeat>(
+                options_.platform.cpu.cache_levels);
+        shards_[static_cast<std::size_t>(i)]->temp_inner =
+            obs::SegmentTemperature(options_.heat_temperature);
+        shards_[static_cast<std::size_t>(i)]->temp_leaf =
+            obs::SegmentTemperature(options_.heat_temperature);
+      }
+    }
+#endif
 
     // Per-tenant metric series (serve.tenant<T>.*), bound before the
     // workers start so the hot paths never touch the registry maps.
@@ -1102,6 +1253,10 @@ class Server {
     PipelineStats ps;
     PipelineConfig config = options_.pipeline;
     HBTREE_TRACE_ONLY(config.trace_track_base = slot.track_base;)
+    // Tree-level traffic attribution: the pipeline's CPU stages trace
+    // their node touches and modelled accesses into the shard's heat
+    // tracers (one mutex acquisition per stage loop, see PipelineHeat).
+    HBTREE_HEAT_ONLY(config.heat = shard.heat_pipeline.get();)
     // Effective depth shrinks for partial buckets so each sub-bucket keeps
     // at least min_sub_bucket keys (per-launch setup does not amortize
     // below that); full buckets still split pipeline_depth ways.
@@ -1329,6 +1484,15 @@ class Server {
         if (batch.empty()) continue;
       }
 
+      // Keyspace heat: every op this bucket actually dispatches (shed
+      // ops never touched the tree) lands one sketch record, attributed
+      // to its tenant. One multiply plus one relaxed add per op.
+      HBTREE_HEAT_ONLY(for (const ReadOp& heat_op : batch) {
+        shard.heat_sketch->Record(
+            static_cast<std::uint64_t>(heat_op.key),
+            static_cast<std::size_t>(heat_op.tenant));
+      })
+
       keys.clear();
       key_op.clear();
       for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -1367,15 +1531,38 @@ class Server {
           // shard's range continues into the next shard's snapshot,
           // pinned as it enters (per-shard consistency; see class docs).
           out[i].range.resize(batch[i].max_matches);
-          int matched = slot.tree.host_tree().RangeScan(
+          int matched;
+#if HBTREE_OBS_HEAT
+          // Traced scan: descent and leaf-chain touches land in the
+          // shard's `scan` stage tracer. The heat mutex is released
+          // before continuing into the next shard (locks are only ever
+          // taken in increasing shard order, so no cycle).
+          {
+            std::lock_guard<std::mutex> heat_lock(shard.heat_pipeline->mu);
+            matched = slot.tree.host_tree().RangeScan(
+                batch[i].key, batch[i].max_matches, out[i].range.data(),
+                &shard.heat_pipeline->scan);
+          }
+#else
+          matched = slot.tree.host_tree().RangeScan(
               batch[i].key, batch[i].max_matches, out[i].range.data());
+#endif
           for (std::size_t next = static_cast<std::size_t>(shard.index) + 1;
                matched < batch[i].max_matches && next < shards_.size();
                ++next) {
             auto next_guard = shards_[next]->snapshots.Acquire();
+#if HBTREE_OBS_HEAT
+            std::lock_guard<std::mutex> heat_lock(
+                shards_[next]->heat_pipeline->mu);
+            matched += next_guard.slot().tree.host_tree().RangeScan(
+                shard_bounds_[next - 1], batch[i].max_matches - matched,
+                out[i].range.data() + matched,
+                &shards_[next]->heat_pipeline->scan);
+#else
             matched += next_guard.slot().tree.host_tree().RangeScan(
                 shard_bounds_[next - 1], batch[i].max_matches - matched,
                 out[i].range.data() + matched);
+#endif
           }
           out[i].range.resize(matched);
         }
@@ -1458,6 +1645,9 @@ class Server {
                 .count());
         queue_wait_.Record(wait_ns);
         shard.queue_wait->Record(wait_ns);
+        HBTREE_HEAT_ONLY(shard.heat_sketch->Record(
+            static_cast<std::uint64_t>(ops[i].query.pair.key),
+            static_cast<std::size_t>(ops[i].tenant));)
         live.push_back(i);
         batch.push_back(ops[i].query);
       }
@@ -1574,6 +1764,64 @@ class Server {
     }
   }
 
+  // -- Segment temperature (heat observability) ---------------------------
+
+  static void AccumulatePool(obs::PoolTemperature* total,
+                             const obs::PoolTemperature& part) {
+    total->segments += part.segments;
+    total->hot += part.hot;
+    total->warm += part.warm;
+    total->cold += part.cold;
+    total->cold_fraction =
+        total->segments > 0
+            ? static_cast<double>(total->cold) / total->segments
+            : 0;
+  }
+
+  template <typename Pool>
+  static std::vector<std::uint64_t> CollectTouches(const Pool& pool) {
+    std::vector<std::uint64_t> touches(pool.chunk_count());
+    for (std::size_t i = 0; i < touches.size(); ++i) {
+      touches[i] = pool.chunk_touches(i);
+    }
+    return touches;
+  }
+
+  void PublishPoolGauges(const char* pool,
+                         const obs::PoolTemperature& temp) {
+    const std::string prefix = std::string("mem.pool.") + pool + ".";
+    metrics_.gauge(prefix + "segments")
+        .Set(static_cast<double>(temp.segments));
+    metrics_.gauge(prefix + "hot").Set(static_cast<double>(temp.hot));
+    metrics_.gauge(prefix + "warm").Set(static_cast<double>(temp.warm));
+    metrics_.gauge(prefix + "cold").Set(static_cast<double>(temp.cold));
+    metrics_.gauge(prefix + "cold_fraction").Set(temp.cold_fraction);
+  }
+
+  /// One temperature epoch: classifies every shard's pinned snapshot
+  /// pools from their cumulative chunk-touch counters and publishes the
+  /// aggregate as mem.pool.<pool>.* gauges. Runs on the reporter cadence
+  /// plus once at Shutdown — never on the serving hot path. Pinning the
+  /// snapshot keeps the pool's chunk list stable while it is read (the
+  /// update worker only mutates the instance readers have drained from).
+  void ObservePoolTemperatures() {
+    obs::PoolTemperature inner_total;
+    obs::PoolTemperature leaf_total;
+    for (const auto& shard : shards_) {
+      auto guard = shard->snapshots.Acquire();
+      const auto& tree = guard.slot().tree.host_tree();
+      std::lock_guard<std::mutex> lock(shard->heat_mutex);
+      shard->pool_inner =
+          shard->temp_inner.Observe(CollectTouches(tree.inner_pool()));
+      shard->pool_leaf =
+          shard->temp_leaf.Observe(CollectTouches(tree.leaf_pool()));
+      AccumulatePool(&inner_total, shard->pool_inner);
+      AccumulatePool(&leaf_total, shard->pool_leaf);
+    }
+    PublishPoolGauges("inner", inner_total);
+    PublishPoolGauges("leaf", leaf_total);
+  }
+
   void ReporterLoop() {
     HBTREE_TRACE_THREAD_NAME("serve.metrics_reporter");
     std::unique_lock<std::mutex> lock(reporter_mutex_);
@@ -1583,6 +1831,7 @@ class Server {
         return;
       }
       lock.unlock();
+      HBTREE_HEAT_ONLY(ObservePoolTemperatures();)
       const obs::MetricsSnapshot window = metrics_.CollectWindow();
       slo_tracker_.Observe(window);
       if (options_.metrics_report_sink) {

@@ -75,6 +75,13 @@ std::vector<Scenario> BuildMatrix() {
   zipfian.chooser.kind = KeyChooserKind::kZipfian;
   matrix.push_back({zipfian, DatasetKind::kSequential});
 
+  // Flat key popularity: the negative control for the heat pipeline —
+  // no range may clear the hot-range threshold (see scripts/check_heat.py).
+  WorkloadSpec uniform = WorkloadSpec::YcsbMix('b');
+  uniform.name = "uniform";
+  uniform.chooser.kind = KeyChooserKind::kUniform;
+  matrix.push_back({uniform, DatasetKind::kSequential});
+
   WorkloadSpec scan_heavy;
   scan_heavy.name = "scan_heavy";
   scan_heavy.read_bp = 1500;

@@ -58,7 +58,8 @@ struct Scenario {
 };
 
 /// The checked-in scenario matrix `check.sh workloads` runs: the six
-/// YCSB mixes plus hotspot, zipfian (unscrambled, hot-shard), scan-heavy,
+/// YCSB mixes plus hotspot, zipfian (unscrambled, hot-shard), uniform
+/// (flat popularity — the heat pipeline's negative control), scan-heavy,
 /// rmw-heavy, insert-heavy, and the OSM real-key variant.
 const std::vector<Scenario>& ScenarioMatrix();
 
