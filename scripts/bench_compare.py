@@ -53,6 +53,10 @@ SKIP = {
     "shards", "read_workers", "fault_rate", "overlapped_buckets",
     "update_batches", "retries", "device_faults", "breaker_opens",
     "breaker_closes", "cpu_fallback_buckets", "shed", "slo_max_burn",
+    # Mirror-sync path counts are workload bookkeeping (how many batches
+    # took the delta vs full path); the modelled cost they produce is
+    # what matters, and sync_us is banded by the *_us rule.
+    "delta_syncs", "full_syncs",
 }
 META_IDENTITY = ("platform", "n", "clients", "lookups_per_client",
                  "updates", "bucket", "seed", "retries", "deadline_us",
@@ -188,6 +192,24 @@ def heat_level_shares(heat):
     return shares
 
 
+def kernel_level_ratios(heat):
+    """Per-level node_loads/node_queries of the batched GPU traversal.
+
+    The ratio is the level-wise dedup fingerprint: ~0 at the root (every
+    batch shares one node), rising towards 1 at the fan-out levels. A
+    ratio drifting up means runs stopped collapsing (sort broken, runs
+    fragmented); drifting down this much means the traffic model changed.
+    """
+    kernel = heat.get("kernel")
+    if not kernel:
+        return None
+    loads = kernel.get("node_loads", [])
+    queries = kernel.get("node_queries", [])
+    return {level: loads[level] / q
+            for level, q in enumerate(queries)
+            if q > 0 and level < len(loads)}
+
+
 def compare_heat(cmp, baseline, candidate):
     """Heat-shape drift bands: the workload's access pattern fingerprint.
 
@@ -225,6 +247,23 @@ def compare_heat(cmp, baseline, candidate):
                 f"{base_ranges[0].get('hot')} -> "
                 f"{cand_ranges[0].get('hot')} (the top range changed "
                 f"temperature class)")
+    base_kernel = kernel_level_ratios(base)
+    cand_kernel = kernel_level_ratios(cand)
+    if base_kernel and cand_kernel is not None:
+        for level, b in base_kernel.items():
+            c = cand_kernel.get(level)
+            if c is None:
+                cmp.regressions.append(
+                    f"heat.kernel.level{level}: baseline saw kernel "
+                    f"traffic at this tree level, candidate saw none")
+                continue
+            cmp.compared += 1
+            diff = abs(c - b)
+            if diff > cmp.args.heat_tolerance:
+                cmp.regressions.append(
+                    f"heat.kernel.level{level}.loads_per_query: "
+                    f"{b:.3f} -> {c:.3f} (moved {diff:.3f}, tolerance "
+                    f"{cmp.args.heat_tolerance:.2f})")
     base_shares = heat_level_shares(base)
     cand_shares = heat_level_shares(cand)
     for stage, cells in base_shares.items():

@@ -270,6 +270,56 @@ def validate_heat_pools(path, pools):
     return len(pools)
 
 
+def validate_heat_kernel(path, kernel):
+    """Checks the level-wise dispatch reconciliation invariant.
+
+    node_loads[l] counts nodes the batched kernel actually materialised
+    at tree level l; node_queries[l] counts queries that passed through
+    that level.  Level-wise dispatch resolves a run of queries sharing a
+    node with one load, so wherever a level saw traffic the loads must
+    be in [1, queries], and across a whole serve run (many batches, a
+    shared root) the totals must collapse strictly below one-load-per-
+    query — equality means the dedup never fired.
+    """
+    if not isinstance(kernel, dict):
+        fail(path, "heat.kernel is not an object")
+    for key in ("launches", "dram_bytes", "l2_bytes", "node_loads",
+                "node_queries"):
+        if key not in kernel:
+            fail(path, f"heat.kernel missing key {key}")
+    for key in ("launches", "dram_bytes", "l2_bytes"):
+        check_finite_number(path, f"heat.kernel.{key}", kernel[key])
+        if kernel[key] < 0:
+            fail(path, f"heat.kernel.{key} is negative")
+    loads, queries = kernel["node_loads"], kernel["node_queries"]
+    if not isinstance(loads, list) or not isinstance(queries, list):
+        fail(path, "heat.kernel node_loads/node_queries must be arrays")
+    if len(loads) != len(queries):
+        fail(path, f"heat.kernel node_loads has {len(loads)} levels but "
+                   f"node_queries has {len(queries)}")
+    for level, (l, q) in enumerate(zip(loads, queries)):
+        ctx = f"heat.kernel level {level}"
+        check_finite_number(path, f"{ctx} node_loads", l)
+        check_finite_number(path, f"{ctx} node_queries", q)
+        if l < 0 or q < 0:
+            fail(path, f"{ctx} has a negative counter")
+        if q > 0 and not 1 <= l <= q:
+            fail(path, f"{ctx} loaded {l} nodes for {q} queries "
+                       f"(expected 1 <= loads <= queries)")
+        if q == 0 and l != 0:
+            fail(path, f"{ctx} loaded {l} nodes but saw no queries")
+    total_loads, total_queries = sum(loads), sum(queries)
+    active = sum(1 for q in queries if q > 0)
+    # Strictness only holds once batches average more than one query per
+    # level (a degenerate 1-query batch legitimately loads 1 node/level).
+    if total_queries > kernel["launches"] * max(active, 1):
+        if total_loads >= total_queries:
+            fail(path, f"heat.kernel loads {total_loads} did not collapse "
+                       f"below queries {total_queries}; level-wise dedup "
+                       f"is not taking effect")
+    return f"{active} active levels, {total_loads}/{total_queries} loads"
+
+
 def validate_heat(path, heat):
     for key in ("keyspace", "levels", "pools"):
         if key not in heat:
@@ -277,7 +327,10 @@ def validate_heat(path, heat):
     ranges = validate_heat_keyspace(path, heat["keyspace"])
     cells = validate_heat_levels(path, heat["levels"])
     pools = validate_heat_pools(path, heat["pools"])
-    return f"{ranges} ranges, {cells} level cells, {pools} pools"
+    detail = f"{ranges} ranges, {cells} level cells, {pools} pools"
+    if "kernel" in heat:
+        detail += "; kernel: " + validate_heat_kernel(path, heat["kernel"])
+    return detail
 
 
 def validate_metrics_v1(path, doc):

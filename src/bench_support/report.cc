@@ -55,6 +55,9 @@ BenchReport::Row& BenchReport::AddServeStatsRow(
       .Num("read_p99_us", stats.read_latency.p99_us, 1)
       .Num("queue_wait_p99_us", stats.queue_wait.p99_us, 1)
       .Num("modelled_ops_per_s", stats.modelled_ops_per_second, 0)
+      .Num("sync_us", stats.sim_sync_us, 0)
+      .Num("delta_syncs", static_cast<double>(stats.delta_syncs), 0)
+      .Num("full_syncs", static_cast<double>(stats.full_syncs), 0)
       .Num("retries",
            static_cast<double>(stats.transfer_retries + stats.kernel_retries +
                                stats.sync_retries),

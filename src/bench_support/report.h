@@ -57,10 +57,11 @@ class BenchReport {
   /// shards, read_workers, reads_per_s, updates_per_s, read_p50_us,
   /// read_p99_us, queue_wait_p99_us, modelled_ops_per_s (modelled
   /// serving capacity — total ops over the busiest shard's modelled busy
-  /// time), retries (transfer + kernel + sync), device_faults,
-  /// breaker_opens, breaker_closes, cpu_fallback_buckets, shed (reads +
-  /// updates). Callers may prepend their sweep variable before calling
-  /// and append extra columns after.
+  /// time), sync_us (modelled I-segment mirror sync time), delta_syncs /
+  /// full_syncs (which path each sync took), retries (transfer + kernel
+  /// + sync), device_faults, breaker_opens, breaker_closes,
+  /// cpu_fallback_buckets, shed (reads + updates). Callers may prepend
+  /// their sweep variable before calling and append extra columns after.
   Row& AddServeStatsRow(Row& row, const serve::ServeStats& stats);
 
   /// The canonical per-tenant column set for multi-tenant serving

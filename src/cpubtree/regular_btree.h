@@ -72,6 +72,15 @@ class RegularBTree {
     double leaf_fill = 1.0;
     double inner_fill = 1.0;
     std::size_t pool_chunk_nodes = 2048;
+    /// Gapped-leaf insert policy (BS-tree style): when the destination
+    /// cache line is full, shift boundary pairs toward the nearest line
+    /// with a gap instead of redistributing the whole big leaf. Above
+    /// this occupancy the gaps are nearly exhausted and a full
+    /// redistribution (which re-spreads the slack evenly) wins.
+    double gap_spill_occupancy = 0.85;
+    /// How many lines to each side the spill searches for a gap before
+    /// giving up and redistributing the whole leaf.
+    int gap_spill_window = 8;
   };
 
   RegularBTree(const Config& config, PageRegistry* registry)
@@ -206,6 +215,9 @@ class RegularBTree {
   using LeafPool = PairedPool<Hot, Leaf>;
   const InnerPool& inner_pool() const { return inner_pool_; }
   const LeafPool& leaf_pool() const { return leaf_pool_; }
+  /// Mutable pool access for the delta-sync driver (dirty-list handoff).
+  InnerPool& inner_pool() { return inner_pool_; }
+  LeafPool& leaf_pool() { return leaf_pool_; }
   const Hot& inner_hot(NodeRef ref) const { return inner_pool_.primary(ref); }
   const Hot& last_hot(NodeRef ref) const { return leaf_pool_.primary(ref); }
   const Leaf& big_leaf(NodeRef ref) const { return leaf_pool_.secondary(ref); }
@@ -284,10 +296,24 @@ class RegularBTree {
   /// Sets parent pointers of `node`'s children in [first, last) to `node`.
   void AdoptChildren(NodeRef node, int first, int last);
 
-  static void RecordModified(std::vector<ModifiedNode>* modified,
-                             bool last_level, NodeRef ref) {
+  /// Every hot-fragment change funnels through here: the owning pool's
+  /// dirty mark is what makes the delta I-segment sync sound, so it is
+  /// unconditional — `modified` (the caller's per-batch list) is optional.
+  void RecordModified(std::vector<ModifiedNode>* modified, bool last_level,
+                      NodeRef ref) {
+    if (last_level) {
+      leaf_pool_.MarkDirty(ref);
+    } else {
+      inner_pool_.MarkDirty(ref);
+    }
     if (modified != nullptr) modified->push_back({last_level, ref});
   }
+
+  /// BS-tree style local insert: makes room for `pair` (destined for the
+  /// full line `line` at intra-line position implied by key order) by
+  /// re-flowing pairs between `line` and the nearest line with a gap.
+  /// Returns false when no gap lies within the configured window.
+  bool SpillIntoGap(NodeRef last_inner, int line, const KeyValue<K>& pair);
 
   template <typename Tracer>
   static Tracer* ResolveTracer(Tracer* tracer, NullTracer* fallback) {
@@ -589,25 +615,36 @@ bool RegularBTree<K>::ApplyNonStructural(NodeRef last_inner, bool is_insert,
       size_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
-    // Line full: redistribute the whole big leaf including the new pair.
+    // Line full. While the leaf still has slack, shift pairs toward the
+    // nearest gapped line (a local patch of O(window) lines); once
+    // occupancy crosses the threshold, or no gap is near, fall back to
+    // redistributing the whole big leaf, which re-spreads the slack.
     HBTREE_CHECK(leaf.info.pair_count <
                  static_cast<std::uint32_t>(kLeafCap));
-    std::vector<KeyValue<K>> all;
-    all.reserve(leaf.info.pair_count + 1);
-    for (int l = 0; l < Shape::kLinesPerLeaf; ++l) {
-      const KeyValue<K>* src = leaf.pairs + l * kPairsPerLine;
-      for (int i = 0; i < kPairsPerLine && src[i].key != kMax; ++i) {
-        all.push_back(src[i]);
+    const bool crowded =
+        static_cast<double>(leaf.info.pair_count) >=
+        config_.gap_spill_occupancy * kLeafCap;
+    if (crowded || !SpillIntoGap(last_inner, line, pair)) {
+      std::vector<KeyValue<K>> all;
+      all.reserve(leaf.info.pair_count + 1);
+      for (int l = 0; l < Shape::kLinesPerLeaf; ++l) {
+        const KeyValue<K>* src = leaf.pairs + l * kPairsPerLine;
+        for (int i = 0; i < kPairsPerLine && src[i].key != kMax; ++i) {
+          all.push_back(src[i]);
+        }
       }
+      auto it = std::lower_bound(
+          all.begin(), all.end(), pair.key,
+          [](const KeyValue<K>& kv, K k) { return kv.key < k; });
+      all.insert(it, pair);
+      // The node's external bound covers everything it can ever receive
+      // and becomes the new last-live separator.
+      FillLeaf(last_inner, all.data(), static_cast<int>(all.size()),
+               leaf.info.upper_bound);
     }
-    auto it = std::lower_bound(
-        all.begin(), all.end(), pair.key,
-        [](const KeyValue<K>& kv, K k) { return kv.key < k; });
-    all.insert(it, pair);
-    // The node's external bound covers everything it can ever receive and
-    // becomes the new last-live separator.
-    FillLeaf(last_inner, all.data(), static_cast<int>(all.size()),
-             leaf.info.upper_bound);
+    // Either path leaves pair_count including the new pair (FillLeaf
+    // counts it; SpillIntoGap increments) and rewrites separators, so the
+    // hot fragment must re-sync.
     RecordModified(modified, /*last_level=*/true, last_inner);
     size_.fetch_add(1, std::memory_order_relaxed);
     return true;
@@ -619,6 +656,79 @@ bool RegularBTree<K>::ApplyNonStructural(NodeRef last_inner, bool is_insert,
   lp[live - 1] = KeyValue<K>{kMax, kMax};
   --leaf.info.pair_count;
   size_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+template <typename K>
+bool RegularBTree<K>::SpillIntoGap(NodeRef last_inner, int line,
+                                   const KeyValue<K>& pair) {
+  Hot& hot = leaf_pool_.primary(last_inner);
+  Leaf& leaf = leaf_pool_.secondary(last_inner);
+  // Nearest line with a free slot, preferring the closer side. Lines
+  // strictly between `line` and the chosen gap are therefore full.
+  const int window = std::max(1, config_.gap_spill_window);
+  int gap = -1;
+  for (int d = 1; d <= window && gap < 0; ++d) {
+    const int right = line + d;
+    const int left = line - d;
+    if (right < Shape::kLinesPerLeaf &&
+        LiveInLine(leaf.pairs + right * kPairsPerLine) < kPairsPerLine) {
+      gap = right;
+    } else if (left >= 0 && LiveInLine(leaf.pairs + left * kPairsPerLine) <
+                                kPairsPerLine) {
+      gap = left;
+    }
+  }
+  if (gap < 0) return false;
+
+  const int lo = std::min(line, gap);
+  const int hi = std::max(line, gap);
+  const int nlines = hi - lo + 1;
+
+  // Separator discipline: the leaf's last live line carries the node's
+  // external bound as its separator (the pin; kMax on the rightmost
+  // spine). If the re-flowed range covers that line, the range's new last
+  // line (hi) inherits the pin; otherwise keys[hi] is a mid-leaf bound
+  // the content still respects and must stay put. Both cases reduce to
+  // "restore keys[hi]" with the right value.
+  const int old_last = LastLiveLine(leaf);
+  HBTREE_DCHECK(old_last >= line);  // search never selects past the pin
+  const K end_sep = old_last <= hi ? hot.keys[old_last] : hot.keys[hi];
+
+  // Gather the range's pairs plus the new one (sorted by construction).
+  KeyValue<K> buf[kLeafCap + 1];
+  int count = 0;
+  bool placed = false;
+  for (int l = lo; l <= hi; ++l) {
+    const KeyValue<K>* lp = leaf.pairs + l * kPairsPerLine;
+    for (int i = 0; i < kPairsPerLine && lp[i].key != kMax; ++i) {
+      if (!placed && pair.key < lp[i].key) {
+        buf[count++] = pair;
+        placed = true;
+      }
+      buf[count++] = lp[i];
+    }
+  }
+  if (!placed) buf[count++] = pair;
+
+  // Spread evenly (front-heavy) back over [lo, hi]: the interior lines
+  // were full and only one gap line joined, so every line receives at
+  // least two pairs — no empty line appears mid-leaf.
+  const int base = count / nlines;
+  const int extra = count % nlines;
+  int taken = 0;
+  for (int l = lo; l <= hi; ++l) {
+    const int here = base + (l - lo < extra ? 1 : 0);
+    KeyValue<K>* lp = leaf.pairs + l * kPairsPerLine;
+    for (int i = 0; i < kPairsPerLine; ++i) {
+      lp[i] = i < here ? buf[taken + i] : KeyValue<K>{kMax, kMax};
+    }
+    hot.keys[l] = buf[taken + here - 1].key;
+    taken += here;
+  }
+  hot.keys[hi] = end_sep;
+  RebuildIndexes(hot);
+  ++leaf.info.pair_count;
   return true;
 }
 

@@ -221,6 +221,11 @@ double TransferEngine::StreamedCopyToDevice(DevicePtr dst, const void* src,
          static_cast<double>(bytes) / (pcie_.bandwidth_h2d_gbps * 1e3);
 }
 
+double TransferEngine::StreamedHostToDeviceUs(std::size_t bytes) const {
+  return pcie_.streamed_init_us +
+         static_cast<double>(bytes) / (pcie_.bandwidth_h2d_gbps * 1e3);
+}
+
 double TransferEngine::HostToDeviceUs(std::size_t bytes) const {
   return pcie_.transfer_init_us +
          static_cast<double>(bytes) / (pcie_.bandwidth_h2d_gbps * 1e3);

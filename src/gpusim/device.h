@@ -229,6 +229,10 @@ class TransferEngine {
 
   double HostToDeviceUs(std::size_t bytes) const;
   double DeviceToHostUs(std::size_t bytes) const;
+  /// Modelled cost of one streamed (queued) H2D transfer of `bytes`,
+  /// without performing it — planning input for the delta-vs-full
+  /// I-segment sync decision.
+  double StreamedHostToDeviceUs(std::size_t bytes) const;
 
   /// Copies host -> device as one of many small queued transfers (the
   /// synchronized update method's unit); charged the amortized streamed

@@ -23,14 +23,19 @@ void WarpScope::RecordAccess(DevicePtr base,
   // Section 5.2). An element straddling a segment boundary costs two.
   std::uint64_t segments[2 * kWarpSize];
   int count = 0;
+  bool sorted = true;
   for (int i = 0; i < lanes; ++i) {
     std::uint64_t first = (base.offset + lane_offsets[i]) / kTransactionBytes;
     std::uint64_t last =
         (base.offset + lane_offsets[i] + width - 1) / kTransactionBytes;
+    if (count > 0 && first < segments[count - 1]) sorted = false;
     segments[count++] = first;
     if (last != first) segments[count++] = last;
   }
-  std::sort(segments, segments + count);
+  // The batch kernels emit lane offsets in ascending order (sorted
+  // queries, ascending lanes within a team), so the segment list usually
+  // arrives pre-sorted and only adjacent duplicates need collapsing.
+  if (!sorted) std::sort(segments, segments + count);
   const auto* end = std::unique(segments, segments + count);
   for (const std::uint64_t* seg = segments; seg != end; ++seg) {
     ++stats_->memory_transactions;

@@ -22,6 +22,14 @@ struct KernelStats {
   std::uint64_t shared_bank_conflicts = 0;
   std::uint64_t divergent_branches = 0;
 
+  /// Level-wise dispatch accounting (DESIGN.md §14), indexed by tree
+  /// level: `node_loads_by_level[l]` counts the distinct inner nodes the
+  /// launch actually loaded from device memory at level l (one per run of
+  /// sorted queries sharing a node), `node_queries_by_level[l]` the
+  /// queries resolved there. Empty for per-query kernels.
+  std::vector<std::uint64_t> node_loads_by_level;
+  std::vector<std::uint64_t> node_queries_by_level;
+
   KernelStats& operator+=(const KernelStats& other) {
     warps_executed += other.warps_executed;
     warp_instructions += other.warp_instructions;
@@ -32,7 +40,16 @@ struct KernelStats {
     shared_accesses += other.shared_accesses;
     shared_bank_conflicts += other.shared_bank_conflicts;
     divergent_branches += other.divergent_branches;
+    MergeLevels(&node_loads_by_level, other.node_loads_by_level);
+    MergeLevels(&node_queries_by_level, other.node_queries_by_level);
     return *this;
+  }
+
+ private:
+  static void MergeLevels(std::vector<std::uint64_t>* into,
+                          const std::vector<std::uint64_t>& from) {
+    if (from.size() > into->size()) into->resize(from.size(), 0);
+    for (std::size_t i = 0; i < from.size(); ++i) (*into)[i] += from[i];
   }
 };
 
@@ -97,6 +114,20 @@ class WarpScope {
   /// One warp-wide shared-memory access; `lane_banks[i]` is the bank
   /// (word address % 32) lane i touches. Conflicting lanes serialize.
   void SharedAccess(const int* lane_banks, int lanes);
+
+  /// One warp-wide shared-memory access where lane i touches bank
+  /// `i % kSharedBanks` — the stride-1 word layout every kernel here uses
+  /// for its per-thread flag arrays. The conflict degree is then
+  /// ceil(lanes / kSharedBanks) by construction (at most one replay per
+  /// full wrap of the banks), so the accounting is closed-form and the
+  /// per-call 32-bank histogram of SharedAccess() is skipped. Charges
+  /// exactly what SharedAccess(identity_banks, lanes) would.
+  void SharedAccessUniform(int lanes) {
+    const int degree = (lanes + kSharedBanks - 1) / kSharedBanks;
+    stats_->shared_accesses += 1;
+    stats_->shared_bank_conflicts += static_cast<std::uint64_t>(degree - 1);
+    stats_->warp_instructions += static_cast<std::uint64_t>(degree);
+  }
 
   /// `count` warp-wide ALU/control instructions.
   void Instruction(int count = 1) {

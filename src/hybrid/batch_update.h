@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/macros.h"
@@ -46,6 +47,10 @@ struct BatchUpdateConfig {
   double cpu_update_us = 0.15;
   /// Modelled per-query lock acquisition overhead, µs.
   double lock_overhead_us = 0.02;
+  /// Modelled per-query cost of the key sort that precedes the
+  /// asynchronous apply (same rate the read path charges its bucket
+  /// sort). Serial: it runs before the workers fan out.
+  double sort_us_per_query = 0.004;
   /// Parallel scaling efficiency of the lock-based phase. Updates are
   /// dependent random accesses, so extra threads mostly hide latency the
   /// way software pipelining would; the paper measures only ~3x from 16
@@ -63,6 +68,9 @@ struct BatchUpdateStats {
   std::uint64_t structural = 0;  // handled via the single-threaded path
   std::uint64_t modified_nodes = 0;
   std::uint64_t sync_retries = 0;  // transient sync faults retried
+  std::uint64_t delta_syncs = 0;   // I-segment syncs taking the delta path
+  std::uint64_t full_syncs = 0;    // I-segment syncs taking the full path
+  std::uint64_t delta_nodes = 0;   // hot fragments streamed by delta syncs
   double update_us = 0;  // modelled tree-update time
   double sync_us = 0;    // modelled I-segment synchronization time
   double total_us = 0;   // method-dependent combination
@@ -134,20 +142,52 @@ Status TryRunBatchUpdate(HBRegularTree<K>& tree,
     return sync_status;
   }
 
-  // Asynchronous methods: apply everything in main memory first.
+  // Asynchronous methods: apply everything in main memory first, in key
+  // order. The stable sort keeps same-key ops in arrival order, and the
+  // sorted stream is what makes gapped leaves pay: updates landing in
+  // the same big leaf form a run that reuses one descent (the leaf's
+  // external bound tells us when the run ends) and edits the leaf's
+  // lines sequentially instead of hopping across the keyspace. The
+  // per-update cost model is unchanged; the sort is charged explicitly
+  // (sort_us_per_query, same rate as the read path's bucket sort).
   const bool parallel = method == UpdateMethod::kAsyncParallel;
   std::uint64_t applied = 0;
   std::uint64_t structural = 0;
 
+  // Packed (key, index) records sort in-cache instead of chasing the
+  // batch array through an index indirection; ordering by (key, index)
+  // reproduces stable_sort's same-key arrival order exactly, which is
+  // what makes the sorted replay equivalent to batch-order replay.
+  std::vector<std::pair<K, std::uint32_t>> keyed(batch.size());
+  for (std::uint32_t i = 0; i < batch.size(); ++i) {
+    keyed[i] = {batch[i].pair.key, i};
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<std::uint32_t> order(batch.size());
+  for (std::uint32_t i = 0; i < batch.size(); ++i) order[i] = keyed[i].second;
+
   if (!parallel) {
-    for (const auto& update : batch) {
-      NodeRef ln = host.FindLastInner(update.pair.key);
+    NodeRef cached = kNullRef;
+    K cached_bound{};
+    for (std::uint32_t idx : order) {
+      const auto& update = batch[idx];
       const bool is_insert = update.kind == UpdateQuery<K>::Kind::kInsert;
+      // Ascending keys: while the key stays under the cached leaf's
+      // external bound it descends to the same last-inner node.
+      NodeRef ln;
+      if (cached != kNullRef && update.pair.key <= cached_bound) {
+        ln = cached;
+      } else {
+        ln = host.FindLastInner(update.pair.key);
+        cached = ln;
+        cached_bound = host.big_leaf(ln).info.upper_bound;
+      }
       if (host.WouldBeStructural(ln, is_insert, update.pair.key)) {
         ++structural;
         bool ok = is_insert ? host.Insert(update.pair, &modified)
                             : host.Erase(update.pair.key, &modified);
         if (ok) ++applied;
+        cached = kNullRef;  // the split/merge moved this leaf's range
       } else if (host.ApplyNonStructural(ln, is_insert, update.pair,
                                          &modified)) {
         ++applied;
@@ -176,14 +216,39 @@ Status TryRunBatchUpdate(HBRegularTree<K>& tree,
       std::vector<std::vector<ModifiedNode>> worker_modified(workers);
       std::vector<std::uint64_t> worker_applied(workers, 0);
       const std::size_t span = (end - begin + workers - 1) / workers;
+      // Workers take contiguous slices of the sorted order. A run of
+      // equal keys must not straddle a slice boundary — same-key ops
+      // only keep their arrival order within one worker — so boundaries
+      // advance past it (every worker computes the same adjustment).
+      auto slice_edge = [&](std::size_t x) {
+        while (x > begin && x < end &&
+               batch[order[x]].pair.key == batch[order[x - 1]].pair.key) {
+          ++x;
+        }
+        return x;
+      };
       auto run_worker = [&](int w) {
-        const std::size_t lo = begin + w * span;
-        const std::size_t hi = std::min(end, lo + span);
+        const std::size_t lo = slice_edge(begin + w * span);
+        const std::size_t hi =
+            slice_edge(std::min(end, begin + (w + 1) * span));
+        NodeRef cached = kNullRef;
+        K cached_bound{};
         for (std::size_t i = lo; i < hi; ++i) {
-          const auto& update = batch[i];
+          const auto& update = batch[order[i]];
           const bool is_insert =
               update.kind == UpdateQuery<K>::Kind::kInsert;
-          NodeRef ln = host.FindLastInner(update.pair.key);
+          // Descent reuse is safe here because every structural query is
+          // deferred: nothing in the parallel phase changes a leaf's
+          // external bound, so a cached (node, bound) stays valid for
+          // the whole group.
+          NodeRef ln;
+          if (cached != kNullRef && update.pair.key <= cached_bound) {
+            ln = cached;
+          } else {
+            ln = host.FindLastInner(update.pair.key);
+            cached = ln;
+            cached_bound = host.big_leaf(ln).info.upper_bound;
+          }
           // The structural check reads the same leaf state a
           // concurrent ApplyNonStructural writes, so it must run
           // under the node's stripe lock too (an unlocked
@@ -193,7 +258,7 @@ Status TryRunBatchUpdate(HBRegularTree<K>& tree,
           std::lock_guard<std::mutex> lock(stripes[ln % kStripes]);
           if (host.WouldBeStructural(ln, is_insert, update.pair.key)) {
             deferred[w].push_back(&update);
-            continue;
+            continue;  // deferred: the leaf is untouched, cache holds
           }
           if (host.ApplyNonStructural(ln, is_insert, update.pair,
                                       &worker_modified[w])) {
@@ -232,7 +297,11 @@ Status TryRunBatchUpdate(HBRegularTree<K>& tree,
   stats.structural = structural;
   stats.modified_nodes = modified.size();
 
-  // One bulk I-segment transfer.
+  // One I-segment transfer: TrySyncISegment streams only the dirty hot
+  // fragments when the mirror allows it, else uploads the whole segment.
+  const std::uint64_t delta0 = tree.delta_syncs();
+  const std::uint64_t full0 = tree.full_syncs();
+  const std::uint64_t delta_nodes0 = tree.delta_nodes_synced();
   double sync_us = 0;
   double backoff_us = 0;
   {
@@ -242,18 +311,23 @@ Status TryRunBatchUpdate(HBRegularTree<K>& tree,
         &stats.sync_retries, &backoff_us);
   }
   stats.sync_us = sync_us + backoff_us;
+  stats.delta_syncs = tree.delta_syncs() - delta0;
+  stats.full_syncs = tree.full_syncs() - full0;
+  stats.delta_nodes = tree.delta_nodes_synced() - delta_nodes0;
 
+  const double sort_us = batch.size() * config.sort_us_per_query;
   const double single_us =
       batch.size() * config.cpu_update_us +
       structural * config.cpu_update_us;  // structural queries run twice
   if (parallel) {
     const double lock_us = batch.size() * config.lock_overhead_us;
     stats.update_us =
+        sort_us +
         (single_us + lock_us) /
             (config.model_threads * config.parallel_efficiency) +
         structural * config.cpu_update_us;  // serial tail
   } else {
-    stats.update_us = single_us;
+    stats.update_us = sort_us + single_us;
   }
   stats.total_us = stats.update_us + stats.sync_us;
   return sync_status;

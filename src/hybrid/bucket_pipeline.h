@@ -45,6 +45,17 @@ struct PipelineConfig {
   /// with the CPU cost model on a traced run (see bench_support).
   double cpu_queries_per_us = 1.0;
 
+  /// Level-wise batch dispatch (DESIGN.md §14): sort each bucket by key
+  /// so that runs of queries sharing an inner node resolve with one
+  /// modelled node load per level instead of one per query. Applies to
+  /// tree variants with a level-wise kernel (implicit, regular); others
+  /// keep the per-query launch. Results are written back in the caller's
+  /// original query order either way.
+  bool level_wise = true;
+  /// Modelled CPU cost of the bucket key sort, µs per query (charged to
+  /// the pre-GPU stage when level_wise is active; ~250 M keys/s radix).
+  double sort_us_per_query = 0.004;
+
   // -- Load balancing (Section 5.5). Defaults = all inner levels on GPU. --
   int cpu_descend_levels = 0;    // D
   double cpu_split_ratio = 1.0;  // R: fraction descending only D levels on
@@ -241,6 +252,7 @@ std::uint64_t DescendTraced(const Tree& tree, K query, int depth,
 template <typename K>
 struct ImplicitAdapter {
   using Tree = HBImplicitTree<K>;
+  static constexpr bool kLevelWise = true;
 
   static int Height(const Tree& tree) { return tree.host_tree().height(); }
 
@@ -255,6 +267,15 @@ struct ImplicitAdapter {
     auto params = tree.MakeKernelParams(queries, results, count, start_level,
                                         start_nodes);
     return RunImplicitInnerSearch<K>(tree.device(), params);
+  }
+
+  static gpu::KernelStats LaunchLevelWise(Tree& tree, gpu::DevicePtr queries,
+                                          gpu::DevicePtr results,
+                                          std::uint32_t count, int start_level,
+                                          gpu::DevicePtr start_nodes) {
+    auto params = tree.MakeKernelParams(queries, results, count, start_level,
+                                        start_nodes);
+    return RunImplicitInnerSearchLevelWise<K>(tree.device(), params);
   }
 
   static LookupResult<K> Finish(const Tree& tree, std::uint64_t intermediate,
@@ -279,6 +300,7 @@ struct ImplicitAdapter {
 template <typename K>
 struct RegularAdapter {
   using Tree = HBRegularTree<K>;
+  static constexpr bool kLevelWise = true;
 
   static int Height(const Tree& tree) { return tree.host_tree().height(); }
 
@@ -293,6 +315,15 @@ struct RegularAdapter {
     auto params = tree.MakeKernelParams(queries, results, count, start_level,
                                         start_nodes);
     return RunRegularInnerSearch<K>(tree.device(), params);
+  }
+
+  static gpu::KernelStats LaunchLevelWise(Tree& tree, gpu::DevicePtr queries,
+                                          gpu::DevicePtr results,
+                                          std::uint32_t count, int start_level,
+                                          gpu::DevicePtr start_nodes) {
+    auto params = tree.MakeKernelParams(queries, results, count, start_level,
+                                        start_nodes);
+    return RunRegularInnerSearchLevelWise<K>(tree.device(), params);
   }
 
   static LookupResult<K> Finish(const Tree& tree, std::uint64_t intermediate,
@@ -314,6 +345,16 @@ struct RegularAdapter {
 template <typename K>
 struct FastAdapter {
   using Tree = HBFastTree<K>;
+  /// HB-FAST has no level-wise kernel (the block search is already
+  /// layout-coalesced); the pipeline keeps its per-query launch.
+  static constexpr bool kLevelWise = false;
+
+  static gpu::KernelStats LaunchLevelWise(Tree& tree, gpu::DevicePtr queries,
+                                          gpu::DevicePtr results,
+                                          std::uint32_t count, int start_level,
+                                          gpu::DevicePtr start_nodes) {
+    return Launch(tree, queries, results, count, start_level, start_nodes);
+  }
 
   static int Height(const Tree& tree) {
     return tree.host_tree().block_levels();
@@ -367,6 +408,7 @@ Status RunPipelineChecked(typename Adapter::Tree& tree, const K* queries,
       std::clamp(config.cpu_descend_levels, 0, std::max(height - 2, 0));
   const double split = std::clamp(config.cpu_split_ratio, 0.0, 1.0);
   const bool balanced = (d_levels > 0 || split < 1.0) && height >= 2;
+  const bool level_wise = config.level_wise && Adapter::kLevelWise;
 
   if (config.bucket_size <= 0) {
     return Status::InvalidArgument("bucket_size must be positive");
@@ -392,14 +434,50 @@ Status RunPipelineChecked(typename Adapter::Tree& tree, const K* queries,
   // descent can reach has fewer than 2^32 nodes.
   std::vector<std::uint32_t> start_nodes(m);
   std::vector<std::uint64_t> intermediate(m);
+  // Level-wise dispatch: per-bucket sort permutation and sorted staging
+  // buffer. The device sees the sorted keys; Finish maps each result back
+  // through `order` so callers keep their original query order.
+  std::vector<std::uint32_t> order(level_wise ? m : 0);
+  std::vector<K> sorted_q(level_wise ? m : 0);
   std::vector<double> bucket_end;
   double latency_sum = 0;
 
   if (results != nullptr) results->resize(count);
 
+  if (level_wise && config.heat != nullptr) {
+    // Sorted buckets let the CPU-side tracers attribute per-batch (not
+    // per-query) node traffic: consecutive same-node touches collapse.
+    std::lock_guard<std::mutex> lock(config.heat->mu);
+    config.heat->pre_descend.set_collapse_repeats(true);
+    config.heat->cpu_leaf.set_collapse_repeats(true);
+  }
+
   for (std::size_t base = 0; base < count; base += m) {
     const std::uint32_t n =
         static_cast<std::uint32_t>(std::min<std::size_t>(m, count - base));
+
+    // -- Level-wise dispatch: stage this bucket in sorted key order so
+    // queries sharing a node form consecutive runs (ties break by index,
+    // keeping the permutation deterministic).
+    const K* bq = queries + base;
+    if (level_wise) {
+      for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+      std::sort(order.begin(), order.begin() + n,
+                [&](std::uint32_t a, std::uint32_t b) {
+                  const K ka = queries[base + a];
+                  const K kb = queries[base + b];
+                  return ka < kb || (ka == kb && a < b);
+                });
+      for (std::uint32_t i = 0; i < n; ++i) {
+        sorted_q[i] = queries[base + order[i]];
+      }
+      bq = sorted_q.data();
+      if (config.heat != nullptr) {
+        std::lock_guard<std::mutex> lock(config.heat->mu);
+        config.heat->pre_descend.ResetRepeatMemo();
+        config.heat->cpu_leaf.ResetRepeatMemo();
+      }
+    }
 
     // -- CPU pre-descent (Section 5.5): R*n queries descend D levels, the
     // rest D+1; the kernel is launched once per part with the matching
@@ -419,19 +497,20 @@ Status RunPipelineChecked(typename Adapter::Tree& tree, const K* queries,
         for (std::uint32_t i = 0; i < n; ++i) {
           const int depth = i < part1 ? d_levels : d_levels + 1;
           start_nodes[i] = static_cast<std::uint32_t>(
-              DescendTraced<Adapter>(tree, queries[base + i], depth,
+              DescendTraced<Adapter>(tree, bq[i], depth,
                                      &config.heat->pre_descend));
         }
       } else {
         for (std::uint32_t i = 0; i < n; ++i) {
           const int depth = i < part1 ? d_levels : d_levels + 1;
           start_nodes[i] = static_cast<std::uint32_t>(
-              Adapter::Descend(tree, queries[base + i], depth));
+              Adapter::Descend(tree, bq[i], depth));
         }
       }
       tpre = part1 * descend_cost(d_levels) +
              (n - part1) * descend_cost(d_levels + 1);
     }
+    if (level_wise) tpre += n * config.sort_us_per_query;
 
     // -- T1: queries (+ start nodes) to device, one combined transfer.
     // Transient transfer faults retry with exponential backoff; the
@@ -441,8 +520,7 @@ Status RunPipelineChecked(typename Adapter::Tree& tree, const K* queries,
     HBTREE_RETURN_IF_ERROR(fault::RetryTransient(
         retry,
         [&] {
-          return transfer.TryCopyToDevice(q_dev.get(), queries + base,
-                                          n * sizeof(K));
+          return transfer.TryCopyToDevice(q_dev.get(), bq, n * sizeof(K));
         },
         &stats.transfer_retries, &backoff_us));
     if (balanced) {
@@ -468,18 +546,27 @@ Status RunPipelineChecked(typename Adapter::Tree& tree, const K* queries,
             HBTREE_RETURN_IF_ERROR(injector->Check(fault::Site::kKernel));
           }
           gpu::KernelStats attempt;
+          auto launch = [&](gpu::DevicePtr q, gpu::DevicePtr r,
+                            std::uint32_t cnt, int start_level,
+                            gpu::DevicePtr s) {
+            return level_wise
+                       ? Adapter::LaunchLevelWise(tree, q, r, cnt,
+                                                  start_level, s)
+                       : Adapter::Launch(tree, q, r, cnt, start_level, s);
+          };
           if (!balanced) {
-            attempt = Adapter::Launch(tree, q_dev.get(), r_dev.get(), n,
-                                      height, gpu::DevicePtr{});
+            attempt = launch(q_dev.get(), r_dev.get(), n, height,
+                             gpu::DevicePtr{});
           } else {
+            // Both parts of the split are contiguous slices of the sorted
+            // bucket, so each launch still sees sorted queries.
             if (part1 > 0) {
-              attempt += Adapter::Launch(tree, q_dev.get(), r_dev.get(),
-                                         part1, height - d_levels,
-                                         s_dev.get());
+              attempt += launch(q_dev.get(), r_dev.get(), part1,
+                                height - d_levels, s_dev.get());
             }
             if (part1 < n) {
-              attempt += Adapter::Launch(
-                  tree, q_dev.get() + part1 * sizeof(K),
+              attempt += launch(
+                  q_dev.get() + part1 * sizeof(K),
                   r_dev.get() + part1 * sizeof(std::uint64_t), n - part1,
                   height - d_levels - 1,
                   s_dev.get() + part1 * sizeof(std::uint32_t));
@@ -490,6 +577,21 @@ Status RunPipelineChecked(typename Adapter::Tree& tree, const K* queries,
         },
         &stats.kernel_retries, &backoff_us));
     stats.kernel += ks;
+    if (config.heat != nullptr) {
+      std::lock_guard<std::mutex> lock(config.heat->mu);
+      obs::PipelineHeat& heat = *config.heat;
+      if (ks.node_loads_by_level.size() > heat.kernel_node_loads.size()) {
+        heat.kernel_node_loads.resize(ks.node_loads_by_level.size(), 0);
+        heat.kernel_node_queries.resize(ks.node_loads_by_level.size(), 0);
+      }
+      for (std::size_t l = 0; l < ks.node_loads_by_level.size(); ++l) {
+        heat.kernel_node_loads[l] += ks.node_loads_by_level[l];
+        heat.kernel_node_queries[l] += ks.node_queries_by_level[l];
+      }
+      heat.kernel_dram_bytes += ks.dram_bytes;
+      heat.kernel_l2_bytes += ks.l2_bytes;
+      heat.kernel_launches += balanced && part1 > 0 && part1 < n ? 2 : 1;
+    }
     const gpu::KernelTime kt = gpu::EstimateKernelTime(device.spec(), ks);
     if (const gpu::Device::DeviceMetrics* m = device.metrics()) {
       m->kernel_launches->Increment();
@@ -509,20 +611,23 @@ Status RunPipelineChecked(typename Adapter::Tree& tree, const K* queries,
         &stats.transfer_retries, &backoff_us));
     t3 += backoff_us;
 
-    // -- T4: CPU leaf search ----------------------------------------------
+    // -- T4: CPU leaf search (results map back through the sort
+    // permutation when dispatch was level-wise). -------------------------
     if (config.heat != nullptr) {
       std::lock_guard<std::mutex> lock(config.heat->mu);
       for (std::uint32_t i = 0; i < n; ++i) {
-        LookupResult<K> r = Adapter::Finish(tree, intermediate[i],
-                                            queries[base + i],
+        LookupResult<K> r = Adapter::Finish(tree, intermediate[i], bq[i],
                                             &config.heat->cpu_leaf);
-        if (results != nullptr) (*results)[base + i] = r;
+        if (results != nullptr) {
+          (*results)[base + (level_wise ? order[i] : i)] = r;
+        }
       }
     } else {
       for (std::uint32_t i = 0; i < n; ++i) {
-        LookupResult<K> r =
-            Adapter::Finish(tree, intermediate[i], queries[base + i]);
-        if (results != nullptr) (*results)[base + i] = r;
+        LookupResult<K> r = Adapter::Finish(tree, intermediate[i], bq[i]);
+        if (results != nullptr) {
+          (*results)[base + (level_wise ? order[i] : i)] = r;
+        }
       }
     }
     const double t4 = n / config.cpu_queries_per_us;

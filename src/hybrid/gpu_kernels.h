@@ -2,6 +2,7 @@
 #define HBTREE_HYBRID_GPU_KERNELS_H_
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "core/macros.h"
@@ -103,11 +104,9 @@ gpu::KernelStats RunImplicitInnerSearch(gpu::Device& device,
 
       // flag[threadIdx] = (teamQuery <= selfKey); write + barrier + read
       // neighbour flag + conditional result write (Snippet 3 lines 13-24).
-      int banks[gpu::WarpScope::kWarpSize];
-      for (int i = 0; i < lanes; ++i) banks[i] = i % gpu::WarpScope::kSharedBanks;
-      warp.SharedAccess(banks, lanes);  // flag store
+      warp.SharedAccessUniform(lanes);  // flag store
       warp.Instruction(2);              // compare + selfFlag
-      warp.SharedAccess(banks, lanes);  // neighbour flag load
+      warp.SharedAccessUniform(lanes);  // neighbour flag load
       warp.Instruction(2);              // transition test + result store
       warp.Instruction(2);              // __syncthreads x2 (warp-level)
 
@@ -128,6 +127,124 @@ gpu::KernelStats RunImplicitInnerSearch(gpu::Device& device,
 
     // Scatter leaf line indices (one lane per team writes; consecutive
     // 8-byte results coalesce into one transaction per warp).
+    std::uint64_t roff[gpu::WarpScope::kWarpSize];
+    for (int t = 0; t < teams; ++t) {
+      roff[t] = (warp_base + t) * sizeof(std::uint64_t);
+    }
+    warp.Scatter(p.results, roff, teams, node);
+  }
+  return stats;
+}
+
+/// Level-wise variant of the implicit inner search (DESIGN.md §14).
+///
+/// Expects the launch's queries in sorted key order. Teams whose node at
+/// the current level equals the previous team's node (a "run") reuse the
+/// leader's node line from shared memory instead of re-issuing the global
+/// gather — the batch loads each distinct node once per level, which is
+/// the FPGA batch-search idea mapped onto warps. The compute side (flag
+/// exchange, compare, clamp) is unchanged: every query is still resolved
+/// individually. Run boundaries carry across warps, so the per-level node
+/// loads equal the number of distinct start nodes in the whole launch.
+template <typename K>
+gpu::KernelStats RunImplicitInnerSearchLevelWise(
+    gpu::Device& device, const ImplicitKernelParams<K>& p) {
+  gpu::KernelStats stats;
+  constexpr int kTeam = KeyTraits<K>::kPerCacheLine;
+  const int teams_per_warp = gpu::WarpScope::kWarpSize / kTeam;
+  if (p.count == 0) return stats;
+
+  stats.node_loads_by_level.assign(p.start_level + 1, 0);
+  stats.node_queries_by_level.assign(p.start_level + 1, 0);
+  // Run-leader carry across warps: the node the previous team visited at
+  // each level (sorted batches make equal-node runs consecutive).
+  constexpr std::uint64_t kNone = ~0ull;
+  std::vector<std::uint64_t> prev_node(p.start_level + 1, kNone);
+
+  for (std::uint32_t warp_base = 0; warp_base < p.count;
+       warp_base += teams_per_warp) {
+    const int teams =
+        static_cast<int>(std::min<std::uint32_t>(teams_per_warp,
+                                                 p.count - warp_base));
+    const int lanes = teams * kTeam;
+    gpu::WarpScope warp(&device, &stats, lanes);
+
+    K team_query[gpu::WarpScope::kWarpSize];
+    {
+      std::uint64_t qoff[gpu::WarpScope::kWarpSize];
+      for (int t = 0; t < teams; ++t) qoff[t] = (warp_base + t) * sizeof(K);
+      warp.Gather(p.queries, qoff, teams, team_query);
+    }
+
+    std::uint64_t node[gpu::WarpScope::kWarpSize];
+    if (p.start_nodes.is_null()) {
+      for (int t = 0; t < teams; ++t) node[t] = 0;
+    } else {
+      std::uint64_t soff[gpu::WarpScope::kWarpSize];
+      std::uint32_t start32[gpu::WarpScope::kWarpSize];
+      for (int t = 0; t < teams; ++t) {
+        soff[t] = (warp_base + t) * sizeof(std::uint32_t);
+      }
+      warp.Gather(p.start_nodes, soff, teams, start32);
+      for (int t = 0; t < teams; ++t) node[t] = start32[t];
+    }
+
+    for (int level = p.start_level; level >= 1; --level) {
+      // Run leaders issue the node-line gather; followers reuse it.
+      std::uint64_t goff[gpu::WarpScope::kWarpSize];
+      int gl = 0;
+      int leaders = 0;
+      for (int t = 0; t < teams; ++t) {
+        const std::uint64_t prev = t == 0 ? prev_node[level] : node[t - 1];
+        if (node[t] != prev) {
+          ++leaders;
+          const std::uint64_t node_byte =
+              (p.level_offsets[level] + node[t]) * kCacheLineSize;
+          for (int lane = 0; lane < kTeam; ++lane) {
+            goff[gl++] = node_byte + lane * sizeof(K);
+          }
+        }
+      }
+      prev_node[level] = node[teams - 1];
+      if (gl > 0) warp.RecordAccess(p.nodes, goff, gl, sizeof(K));
+      const int follower_lanes = lanes - gl;
+      if (follower_lanes > 0) {
+        warp.SharedAccessUniform(follower_lanes);  // leader-line broadcast
+      }
+      // Functional node read for every team (followers take the leader's
+      // line from shared memory; the broadcast above is its charge).
+      K self_key[gpu::WarpScope::kWarpSize];
+      for (int t = 0; t < teams; ++t) {
+        const std::uint64_t node_byte =
+            (p.level_offsets[level] + node[t]) * kCacheLineSize;
+        std::memcpy(&self_key[t * kTeam],
+                    device.HostView(p.nodes + node_byte), kTeam * sizeof(K));
+      }
+
+      // Flag exchange + result, identical to the per-query kernel: the
+      // search itself still happens per query.
+      warp.SharedAccessUniform(lanes);  // flag store
+      warp.Instruction(2);              // compare + selfFlag
+      warp.SharedAccessUniform(lanes);  // neighbour flag load
+      warp.Instruction(2);              // transition test + result store
+      warp.Instruction(2);              // __syncthreads x2 (warp-level)
+
+      for (int t = 0; t < teams; ++t) {
+        int result = 0;
+        for (int lane = 0; lane < kTeam; ++lane) {
+          if (self_key[t * kTeam + lane] < team_query[t]) ++result;
+        }
+        HBTREE_DCHECK(result < p.fanout);
+        node[t] = node[t] * p.fanout + static_cast<std::uint64_t>(result);
+        const std::uint64_t bound = p.level_alloc[level - 1];
+        if (node[t] >= bound) node[t] = bound - 1;
+      }
+      warp.Instruction(1);  // the clamp
+
+      stats.node_loads_by_level[level] += static_cast<std::uint64_t>(leaders);
+      stats.node_queries_by_level[level] += static_cast<std::uint64_t>(teams);
+    }
+
     std::uint64_t roff[gpu::WarpScope::kWarpSize];
     for (int t = 0; t < teams; ++t) {
       roff[t] = (warp_base + t) * sizeof(std::uint64_t);
@@ -210,8 +327,6 @@ gpu::KernelStats RunRegularInnerSearch(gpu::Device& device,
 
     std::uint64_t offsets[gpu::WarpScope::kWarpSize];
     K lane_key[gpu::WarpScope::kWarpSize];
-    int banks[gpu::WarpScope::kWarpSize];
-    for (int i = 0; i < lanes; ++i) banks[i] = i % gpu::WarpScope::kSharedBanks;
 
     int line_result[gpu::WarpScope::kWarpSize];
     for (int level = p.start_level; level >= 1; --level) {
@@ -226,9 +341,9 @@ gpu::KernelStats RunRegularInnerSearch(gpu::Device& device,
         }
       }
       warp.Gather(pool, offsets, lanes, lane_key);
-      warp.SharedAccess(banks, lanes);
+      warp.SharedAccessUniform(lanes);
       warp.Instruction(4);
-      warp.SharedAccess(banks, lanes);
+      warp.SharedAccessUniform(lanes);
       int s[gpu::WarpScope::kWarpSize];
       for (int t = 0; t < teams; ++t) {
         int count_less = 0;
@@ -249,9 +364,9 @@ gpu::KernelStats RunRegularInnerSearch(gpu::Device& device,
         }
       }
       warp.Gather(pool, offsets, lanes, lane_key);
-      warp.SharedAccess(banks, lanes);
+      warp.SharedAccessUniform(lanes);
       warp.Instruction(4);
-      warp.SharedAccess(banks, lanes);
+      warp.SharedAccessUniform(lanes);
       for (int t = 0; t < teams; ++t) {
         int count_less = 0;
         for (int lane = 0; lane < kTeam; ++lane) {
@@ -277,6 +392,197 @@ gpu::KernelStats RunRegularInnerSearch(gpu::Device& device,
     }
 
     // Scatter packed (last inner node, leaf line) results.
+    std::uint64_t packed[gpu::WarpScope::kWarpSize];
+    std::uint64_t roff[gpu::WarpScope::kWarpSize];
+    for (int t = 0; t < teams; ++t) {
+      packed[t] = PackLeafPosition(static_cast<NodeRef>(node[t]),
+                                   line_result[t]);
+      roff[t] = (warp_base + t) * sizeof(std::uint64_t);
+    }
+    warp.Scatter(p.results, roff, teams, packed);
+  }
+  return stats;
+}
+
+/// Level-wise variant of the regular-tree inner search (DESIGN.md §14).
+///
+/// Same contract as RunImplicitInnerSearchLevelWise: the launch's queries
+/// arrive sorted, so consecutive teams sharing a node form a run. The run
+/// leader issues the global gathers (index line, key line, child ref);
+/// followers take the lines from shared memory. Key-line and child-ref
+/// gathers additionally dedupe on the selected line — queries of one run
+/// that fall into the same key line share that fetch too. Per-level node
+/// loads (the index-line leaders) equal the distinct start nodes of the
+/// launch at that level.
+template <typename K>
+gpu::KernelStats RunRegularInnerSearchLevelWise(
+    gpu::Device& device, const RegularKernelParams<K>& p) {
+  gpu::KernelStats stats;
+  using Shape = RegularShape<K>;
+  constexpr int kTeam = Shape::kIdx;
+  const int teams_per_warp = gpu::WarpScope::kWarpSize / kTeam;
+  constexpr std::uint64_t kHotBytes = sizeof(RegularInnerHot<K>);
+  constexpr std::uint64_t kKeysBase = Shape::kIdx * sizeof(K);
+  constexpr std::uint64_t kRefsBase =
+      kKeysBase + Shape::kFanout * sizeof(K);
+  if (p.count == 0) return stats;
+
+  stats.node_loads_by_level.assign(p.start_level + 1, 0);
+  stats.node_queries_by_level.assign(p.start_level + 1, 0);
+  // Cross-warp run carries: previous team's node, (node, key line) and
+  // (node, result line) per level. Lines fit in 16 bits, so the packed
+  // carries can never collide with the ~0 sentinel.
+  constexpr std::uint64_t kNone = ~0ull;
+  std::vector<std::uint64_t> prev_node(p.start_level + 1, kNone);
+  std::vector<std::uint64_t> prev_kline(p.start_level + 1, kNone);
+  std::vector<std::uint64_t> prev_rline(p.start_level + 1, kNone);
+
+  for (std::uint32_t warp_base = 0; warp_base < p.count;
+       warp_base += teams_per_warp) {
+    const int teams =
+        static_cast<int>(std::min<std::uint32_t>(teams_per_warp,
+                                                 p.count - warp_base));
+    const int lanes = teams * kTeam;
+    gpu::WarpScope warp(&device, &stats, lanes);
+
+    K team_query[gpu::WarpScope::kWarpSize];
+    {
+      std::uint64_t qoff[gpu::WarpScope::kWarpSize];
+      for (int t = 0; t < teams; ++t) qoff[t] = (warp_base + t) * sizeof(K);
+      warp.Gather(p.queries, qoff, teams, team_query);
+    }
+
+    std::uint64_t node[gpu::WarpScope::kWarpSize];
+    if (p.start_nodes.is_null()) {
+      for (int t = 0; t < teams; ++t) node[t] = p.root;
+    } else {
+      std::uint64_t soff[gpu::WarpScope::kWarpSize];
+      std::uint32_t start32[gpu::WarpScope::kWarpSize];
+      for (int t = 0; t < teams; ++t) {
+        soff[t] = (warp_base + t) * sizeof(std::uint32_t);
+      }
+      warp.Gather(p.start_nodes, soff, teams, start32);
+      for (int t = 0; t < teams; ++t) node[t] = start32[t];
+    }
+
+    std::uint64_t goff[gpu::WarpScope::kWarpSize];
+    K lane_key[gpu::WarpScope::kWarpSize];
+
+    int line_result[gpu::WarpScope::kWarpSize];
+    for (int level = p.start_level; level >= 1; --level) {
+      const bool last = level == 1;
+      const gpu::DevicePtr pool = last ? p.last_hot : p.inner_hot;
+
+      // Step 1: index line — run leaders gather, followers broadcast.
+      int gl = 0;
+      int leaders = 0;
+      for (int t = 0; t < teams; ++t) {
+        const std::uint64_t prev = t == 0 ? prev_node[level] : node[t - 1];
+        if (node[t] != prev) {
+          ++leaders;
+          const std::uint64_t base = node[t] * kHotBytes;
+          for (int lane = 0; lane < kTeam; ++lane) {
+            goff[gl++] = base + lane * sizeof(K);
+          }
+        }
+      }
+      prev_node[level] = node[teams - 1];
+      if (gl > 0) warp.RecordAccess(pool, goff, gl, sizeof(K));
+      if (lanes - gl > 0) warp.SharedAccessUniform(lanes - gl);
+      for (int t = 0; t < teams; ++t) {
+        std::memcpy(&lane_key[t * kTeam],
+                    device.HostView(pool + node[t] * kHotBytes),
+                    kTeam * sizeof(K));
+      }
+      warp.SharedAccessUniform(lanes);
+      warp.Instruction(4);
+      warp.SharedAccessUniform(lanes);
+      int s[gpu::WarpScope::kWarpSize];
+      for (int t = 0; t < teams; ++t) {
+        int count_less = 0;
+        for (int lane = 0; lane < kTeam; ++lane) {
+          if (lane_key[t * kTeam + lane] < team_query[t]) ++count_less;
+        }
+        HBTREE_DCHECK(count_less < kTeam);
+        s[t] = count_less;
+      }
+
+      // Step 2: key line — dedupe on (node, selected line); sorted runs
+      // make equal selections consecutive here too.
+      gl = 0;
+      for (int t = 0; t < teams; ++t) {
+        const std::uint64_t kline =
+            (node[t] << 16) | static_cast<std::uint64_t>(s[t]);
+        const std::uint64_t prev =
+            t == 0 ? prev_kline[level]
+                   : (node[t - 1] << 16) | static_cast<std::uint64_t>(s[t - 1]);
+        if (kline != prev) {
+          const std::uint64_t base =
+              node[t] * kHotBytes + kKeysBase +
+              static_cast<std::uint64_t>(s[t]) * kTeam * sizeof(K);
+          for (int lane = 0; lane < kTeam; ++lane) {
+            goff[gl++] = base + lane * sizeof(K);
+          }
+        }
+      }
+      prev_kline[level] = (node[teams - 1] << 16) |
+                          static_cast<std::uint64_t>(s[teams - 1]);
+      if (gl > 0) warp.RecordAccess(pool, goff, gl, sizeof(K));
+      if (lanes - gl > 0) warp.SharedAccessUniform(lanes - gl);
+      for (int t = 0; t < teams; ++t) {
+        std::memcpy(&lane_key[t * kTeam],
+                    device.HostView(pool + node[t] * kHotBytes + kKeysBase +
+                                    static_cast<std::uint64_t>(s[t]) * kTeam *
+                                        sizeof(K)),
+                    kTeam * sizeof(K));
+      }
+      warp.SharedAccessUniform(lanes);
+      warp.Instruction(4);
+      warp.SharedAccessUniform(lanes);
+      for (int t = 0; t < teams; ++t) {
+        int count_less = 0;
+        for (int lane = 0; lane < kTeam; ++lane) {
+          if (lane_key[t * kTeam + lane] < team_query[t]) ++count_less;
+        }
+        HBTREE_DCHECK(count_less < kTeam);
+        line_result[t] = s[t] * kTeam + count_less;
+      }
+
+      stats.node_loads_by_level[level] += static_cast<std::uint64_t>(leaders);
+      stats.node_queries_by_level[level] += static_cast<std::uint64_t>(teams);
+
+      if (last) break;
+
+      // Step 3: child reference — dedupe on (node, result line).
+      gl = 0;
+      for (int t = 0; t < teams; ++t) {
+        const std::uint64_t rline =
+            (node[t] << 16) | static_cast<std::uint64_t>(line_result[t]);
+        const std::uint64_t prev =
+            t == 0 ? prev_rline[level]
+                   : (node[t - 1] << 16) |
+                         static_cast<std::uint64_t>(line_result[t - 1]);
+        if (rline != prev) {
+          goff[gl++] = node[t] * kHotBytes + kRefsBase +
+                       static_cast<std::uint64_t>(line_result[t]) * sizeof(K);
+        }
+      }
+      prev_rline[level] = (node[teams - 1] << 16) |
+                          static_cast<std::uint64_t>(line_result[teams - 1]);
+      if (gl > 0) warp.RecordAccess(pool, goff, gl, sizeof(K));
+      if (teams - gl > 0) warp.SharedAccessUniform(teams - gl);
+      warp.Instruction(1);
+      for (int t = 0; t < teams; ++t) {
+        K child_ref;
+        std::memcpy(&child_ref,
+                    device.HostView(pool + node[t] * kHotBytes + kRefsBase +
+                                    static_cast<std::uint64_t>(line_result[t]) *
+                                        sizeof(K)),
+                    sizeof(K));
+        node[t] = static_cast<std::uint64_t>(child_ref);
+      }
+    }
+
     std::uint64_t packed[gpu::WarpScope::kWarpSize];
     std::uint64_t roff[gpu::WarpScope::kWarpSize];
     for (int t = 0; t < teams; ++t) {

@@ -1,6 +1,7 @@
 #ifndef HBTREE_HYBRID_HB_REGULAR_H_
 #define HBTREE_HYBRID_HB_REGULAR_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstring>
@@ -40,6 +41,12 @@ class HBRegularTree {
     /// Headroom factor for the device arrays so node allocations from
     /// updates rarely force a device realloc.
     double device_headroom = 1.25;
+    /// TrySyncISegment takes the delta path only when its worst-case
+    /// modelled cost (every dirty fragment shipped as its own streamed
+    /// transfer — run coalescing can only improve on that) stays below
+    /// this fraction of the full-mirror upload cost. Below 1.0 keeps a
+    /// margin so borderline batches prefer the simpler full path.
+    double delta_sync_cost_margin = 0.9;
   };
 
   HBRegularTree(const Config& config, PageRegistry* registry,
@@ -112,14 +119,67 @@ class HBRegularTree {
     return Status::Ok();
   }
 
-  /// Fault-aware whole-mirror sync. Failure (device OOM during realloc or
-  /// an injected transfer fault) marks the mirror stale; success restores
-  /// it (mirror_valid() == true) — this is the recovery path a circuit
-  /// breaker probes.
+  /// Fault-aware I-segment sync, delta-first (Section 5.6): when the
+  /// mirror is valid, the device arrays are big enough, and the pools'
+  /// dirty lists cover only a small fraction of the segment, streams just
+  /// the dirty hot fragments (coalescing slot runs) instead of
+  /// re-uploading the whole mirror. Falls back to the full upload
+  /// otherwise. A delta-path fault marks the mirror stale but KEEPS the
+  /// dirty marks, so the retry — which sees mirror_valid() == false —
+  /// takes the full path and repairs everything the delta would have
+  /// missed. Failure on the full path behaves as before (device OOM or
+  /// injected transfer fault → stale mirror); success restores it — the
+  /// recovery path a circuit breaker probes.
   Status TrySyncISegment(double* us = nullptr) {
-    HBTREE_RETURN_IF_ERROR(TryReallocAndSync());
-    if (us != nullptr) *us = transfer_->HostToDeviceUs(i_segment_bytes());
+    const std::size_t dirty = host_tree_.inner_pool().dirty_count() +
+                              host_tree_.leaf_pool().dirty_count();
+    const bool fits = host_tree_.inner_pool().high_water() <=
+                          inner_capacity_ &&
+                      host_tree_.leaf_pool().high_water() <= last_capacity_;
+    const double delta_worst_us =
+        static_cast<double>(dirty) *
+        transfer_->StreamedHostToDeviceUs(sizeof(Hot));
+    const bool delta_ok =
+        fits && mirror_valid() &&
+        delta_worst_us <= config_.delta_sync_cost_margin *
+                              transfer_->HostToDeviceUs(i_segment_bytes());
+    if (!delta_ok) {
+      HBTREE_RETURN_IF_ERROR(TryReallocAndSync());
+      full_syncs_.fetch_add(1, std::memory_order_relaxed);
+      if (us != nullptr) *us = transfer_->HostToDeviceUs(i_segment_bytes());
+      return Status::Ok();
+    }
+    // Delta: one H2D transfer for fault purposes, like the bulk path.
+    fault::FaultInjector* injector = device_->fault_injector();
+    if (injector != nullptr) {
+      const Status status = injector->Check(fault::Site::kTransferH2D);
+      if (!status.ok()) {
+        mirror_valid_.store(false, std::memory_order_relaxed);
+        return status;
+      }
+    }
+    double t = 0;
+    std::size_t nodes = 0;
+    t += CopyDirtySlots(host_tree_.inner_pool(), device_inner_, &nodes);
+    t += CopyDirtySlots(host_tree_.leaf_pool(), device_last_, &nodes);
+    host_tree_.inner_pool().ClearDirty();
+    host_tree_.leaf_pool().ClearDirty();
+    sync_epoch_.fetch_add(1, std::memory_order_relaxed);
+    delta_syncs_.fetch_add(1, std::memory_order_relaxed);
+    delta_nodes_synced_.fetch_add(nodes, std::memory_order_relaxed);
+    if (us != nullptr) *us = t;
     return Status::Ok();
+  }
+
+  /// Sync-path outcome counters (serve/bench observability).
+  std::uint64_t delta_syncs() const {
+    return delta_syncs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t full_syncs() const {
+    return full_syncs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t delta_nodes_synced() const {
+    return delta_nodes_synced_.load(std::memory_order_relaxed);
   }
 
   /// True while the device mirror reflects every host-side update that
@@ -217,6 +277,10 @@ class HBRegularTree {
       }
     }
     CopyPools();
+    // The full upload absorbs every host-side change, so the pools'
+    // dirty lists restart empty.
+    host_tree_.inner_pool().ClearDirty();
+    host_tree_.leaf_pool().ClearDirty();
     sync_epoch_.fetch_add(1, std::memory_order_relaxed);
     mirror_valid_.store(true, std::memory_order_relaxed);
     return Status::Ok();
@@ -247,6 +311,35 @@ class HBRegularTree {
     }
   }
 
+  /// Streams a pool's dirty hot fragments to the device mirror, sorting
+  /// the slots and coalescing adjacent runs (split at chunk boundaries,
+  /// where host storage stops being contiguous) into single transfers.
+  /// Returns the modelled transfer time; adds the slot count to `*nodes`.
+  template <typename Pool>
+  double CopyDirtySlots(const Pool& pool, gpu::DevicePtr base,
+                        std::size_t* nodes) {
+    std::vector<typename Pool::Index> slots = pool.dirty_slots();
+    if (slots.empty()) return 0;
+    std::sort(slots.begin(), slots.end());
+    const std::size_t chunk_slots = pool.chunk_capacity();
+    double t = 0;
+    std::size_t i = 0;
+    while (i < slots.size()) {
+      std::size_t j = i + 1;
+      while (j < slots.size() && slots[j] == slots[j - 1] + 1 &&
+             slots[j] / chunk_slots == slots[i] / chunk_slots) {
+        ++j;
+      }
+      const std::size_t run = j - i;
+      t += transfer_->StreamedCopyToDevice(
+          base + static_cast<std::uint64_t>(slots[i]) * sizeof(Hot),
+          &pool.primary(slots[i]), run * sizeof(Hot));
+      i = j;
+    }
+    *nodes += slots.size();
+    return t;
+  }
+
   Config config_;
   RegularBTree<K> host_tree_;
   gpu::Device* device_;
@@ -257,6 +350,9 @@ class HBRegularTree {
   std::size_t last_capacity_ = 0;
   std::atomic<std::uint64_t> sync_epoch_{0};
   std::atomic<bool> mirror_valid_{false};
+  std::atomic<std::uint64_t> delta_syncs_{0};
+  std::atomic<std::uint64_t> full_syncs_{0};
+  std::atomic<std::uint64_t> delta_nodes_synced_{0};
 };
 
 }  // namespace hbtree

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <type_traits>
 #include <vector>
 
@@ -63,6 +64,9 @@ class PairedPool {
     free_list_.clear();
     next_slot_ = 0;
     live_ = 0;
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    dirty_flags_.clear();
+    dirty_slots_.clear();
   }
 
   /// Allocates one paired slot. Contents are unspecified; callers
@@ -142,6 +146,46 @@ class PairedPool {
     return chunk_touches_[i].load(std::memory_order_relaxed);
   }
 
+  // -- Dirty tracking (delta synchronization, Section 5.6) ------------------
+  //
+  // Update paths mark the primary fragments they rewrote; a delta sync
+  // streams only those slots to the device mirror instead of re-uploading
+  // the whole segment. Marks deduplicate, so the list is bounded by the
+  // slot count. MarkDirty is safe to call concurrently (the parallel
+  // batch updater holds per-node locks, not a pool-wide one);
+  // dirty_slots()/ClearDirty() expect the quiesced single-threaded sync
+  // phase.
+
+  void MarkDirty(Index idx) {
+    HBTREE_DCHECK(idx < next_slot_);
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    if (idx >= dirty_flags_.size()) dirty_flags_.resize(capacity(), 0);
+    if (!dirty_flags_[idx]) {
+      dirty_flags_[idx] = 1;
+      dirty_slots_.push_back(idx);
+    }
+  }
+
+  std::size_t dirty_count() const {
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    return dirty_slots_.size();
+  }
+
+  /// Slots marked since the last ClearDirty, in mark order (callers sort).
+  std::vector<Index> dirty_slots() const {
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    return dirty_slots_;
+  }
+
+  /// Drops all marks — call only after the device mirror has absorbed
+  /// every dirty slot (a failed sync must keep its marks so the retry
+  /// still knows what diverged).
+  void ClearDirty() {
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    for (Index idx : dirty_slots_) dirty_flags_[idx] = 0;
+    dirty_slots_.clear();
+  }
+
  private:
   void AddChunk() {
     primary_chunks_.emplace_back(chunk_capacity_ * sizeof(Primary),
@@ -163,6 +207,10 @@ class PairedPool {
   std::vector<Index> free_list_;
   std::size_t next_slot_ = 0;
   std::size_t live_ = 0;
+  // Dirty-slot set for delta sync: dedup flags plus insertion-order list.
+  mutable std::mutex dirty_mu_;
+  std::vector<std::uint8_t> dirty_flags_;
+  std::vector<Index> dirty_slots_;
 };
 
 }  // namespace hbtree

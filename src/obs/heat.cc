@@ -202,6 +202,24 @@ void AppendHeatJson(JsonWriter& writer, const HeatSection& heat) {
   }
   writer.EndObject();
 
+  writer.Key("kernel");
+  writer.BeginObject();
+  writer.Key("launches");
+  writer.Uint(heat.kernel.launches);
+  writer.Key("dram_bytes");
+  writer.Uint(heat.kernel.dram_bytes);
+  writer.Key("l2_bytes");
+  writer.Uint(heat.kernel.l2_bytes);
+  writer.Key("node_loads");
+  writer.BeginArray();
+  for (std::uint64_t v : heat.kernel.node_loads) writer.Uint(v);
+  writer.EndArray();
+  writer.Key("node_queries");
+  writer.BeginArray();
+  for (std::uint64_t v : heat.kernel.node_queries) writer.Uint(v);
+  writer.EndArray();
+  writer.EndObject();
+
   writer.Key("pools");
   writer.BeginObject();
   for (const auto& [name, pool] : heat.pools) {

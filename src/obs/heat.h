@@ -228,16 +228,38 @@ class LevelHeatTracer {
   static constexpr int kOtherClass = 3;
   static constexpr int kCells = kMaxLevels * kClasses + 1;
 
-  explicit LevelHeatTracer(sim::CacheHierarchy* caches) : caches_(caches) {}
+  explicit LevelHeatTracer(sim::CacheHierarchy* caches) : caches_(caches) {
+    ResetRepeatMemo();
+  }
 
   void OnQueryStart() { current_ = kCells - 1; }
   void OnQueryEnd() { current_ = kCells - 1; }
 
-  void OnNodeTouch(int level, NodeClass cls, std::uint32_t /*node*/) {
+  void OnNodeTouch(int level, NodeClass cls, std::uint32_t node) {
     if (level < 0) level = 0;
     if (level >= kMaxLevels) level = kMaxLevels - 1;
     current_ = level * kClasses + static_cast<int>(cls);
+    if (collapse_repeats_) {
+      // Level-wise dispatch (DESIGN.md §14): consecutive queries of a
+      // sorted batch that revisit the same node are one batch-level node
+      // touch. Bytes still accrue per access — the cache hierarchy shows
+      // the repeats as (cheap) upper-level hits.
+      if (last_touch_[current_] == node) return;
+      last_touch_[current_] = node;
+    }
     cells_[current_].touches += 1;
+  }
+
+  /// Opt-in: collapse consecutive touches of the same node within a cell
+  /// into one counted touch (per-batch attribution for sorted dispatch).
+  void set_collapse_repeats(bool on) {
+    collapse_repeats_ = on;
+    if (!on) ResetRepeatMemo();
+  }
+  /// Forgets the last-node memo — call at batch boundaries so touch
+  /// counts stay exactly "distinct runs per batch".
+  void ResetRepeatMemo() {
+    for (auto& n : last_touch_) n = kNoNode;
   }
 
   void OnAccess(const void* addr, std::size_t bytes) {
@@ -258,12 +280,17 @@ class LevelHeatTracer {
   void Reset() {
     for (auto& cell : cells_) cell = LevelTraffic{};
     current_ = kCells - 1;
+    ResetRepeatMemo();
   }
 
  private:
+  static constexpr std::uint64_t kNoNode = ~std::uint64_t{0};
+
   sim::CacheHierarchy* caches_;
   int current_ = kCells - 1;
+  bool collapse_repeats_ = false;
   LevelTraffic cells_[kCells] = {};
+  std::uint64_t last_touch_[kCells];  // ctor/ResetRepeatMemo fill kNoNode
 };
 
 /// Per-shard heat state for the CPU-side pipeline stages: one shared
@@ -283,6 +310,18 @@ struct PipelineHeat {
   LevelHeatTracer pre_descend;
   LevelHeatTracer cpu_leaf;
   LevelHeatTracer scan;
+
+  /// Kernel-side per-batch traffic from the level-wise dispatch
+  /// (DESIGN.md §14), accumulated under `mu` once per launch: distinct
+  /// inner-node loads and queries resolved per tree level, plus the
+  /// modelled device byte split of the launches. node_loads reconciling
+  /// with "distinct start nodes per level" (not queries × levels) is the
+  /// level-wise accounting invariant validate_metrics.py checks.
+  std::vector<std::uint64_t> kernel_node_loads;
+  std::vector<std::uint64_t> kernel_node_queries;
+  std::uint64_t kernel_dram_bytes = 0;
+  std::uint64_t kernel_l2_bytes = 0;
+  std::uint64_t kernel_launches = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -333,15 +372,32 @@ struct StageHeat {
   std::vector<LevelTraffic> levels;
 };
 
+/// GPU-kernel traffic of the level-wise dispatch (DESIGN.md §14), summed
+/// across shards: per tree level, the distinct nodes the launches loaded
+/// and the queries they resolved, plus the modelled device byte split.
+/// `node_loads[l] < node_queries[l]` is the level-wise win; equality per
+/// query would mean the batch degenerated to per-query traversal.
+struct KernelHeat {
+  std::vector<std::uint64_t> node_loads;    // indexed by tree level
+  std::vector<std::uint64_t> node_queries;  // indexed by tree level
+  std::uint64_t dram_bytes = 0;
+  std::uint64_t l2_bytes = 0;
+  std::uint64_t launches = 0;
+
+  bool empty() const { return node_loads.empty() && launches == 0; }
+};
+
 /// The `heat` section of an hbtree.bench.v1 report.
 struct HeatSection {
   KeyspaceHeat keyspace;
   std::vector<StageHeat> stages;
+  KernelHeat kernel;
   std::vector<std::pair<std::string, PoolTemperature>> pools;
   std::vector<std::string> tenant_names;
 
   bool empty() const {
-    return keyspace.empty() && stages.empty() && pools.empty();
+    return keyspace.empty() && stages.empty() && kernel.empty() &&
+           pools.empty();
   }
 };
 

@@ -48,9 +48,16 @@ class AdmissionQueue {
     not_full_.wait(lock,
                    [this] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
+    const bool was_empty = items_.empty();
     items_.push_back(std::move(item));
     lock.unlock();
-    not_empty_.notify_one();
+    // Wake a consumer only on the empty -> non-empty transition. A
+    // consumer that already saw the queue non-empty drains everything it
+    // finds when its fill window ticks over, so per-item wakes buy no
+    // extra throughput — they just turn every admitted op into a futex
+    // wake + context switch, which on a saturated core is the dominant
+    // cost of admission.
+    if (was_empty) not_empty_.notify_one();
     return true;
   }
 
@@ -76,9 +83,10 @@ class AdmissionQueue {
       return PushResult::kTimeout;
     }
     if (closed_) return PushResult::kClosed;
+    const bool was_empty = items_.empty();
     items_.push_back(std::move(item));
     lock.unlock();
-    not_empty_.notify_one();
+    if (was_empty) not_empty_.notify_one();  // see Push(): transition-only wake
     return PushResult::kOk;
   }
 
@@ -118,8 +126,14 @@ class AdmissionQueue {
         break;  // fill window expired: ship the partial bucket
       }
     }
+    const bool leftover = !items_.empty();
     lock.unlock();
     not_full_.notify_all();
+    // Transition-only producer wakes mean a sibling consumer sleeping in
+    // its idle wait was never notified about backlog this consumer could
+    // not carry (popped == max with items left). Hand the wake off so the
+    // backlog does not sit until that sibling's idle poll expires.
+    if (leftover) not_empty_.notify_one();
     return popped;
   }
 

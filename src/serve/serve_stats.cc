@@ -18,6 +18,8 @@ std::string ServeStats::ToString() const {
       "  queue  wait   us: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n"
       "  simulated platform: pipeline %.0f us, updates %.0f us "
       "(%llu applied, %llu structural)\n"
+      "  mirror sync: %.0f us; %llu delta / %llu full syncs, %llu "
+      "fragments streamed\n"
       "  modelled capacity: %.0f ops/s (busiest-shard makespan %.0f us)\n"
       "  faults: %llu injected, %llu device faults, %llu sync failures, "
       "retries %llu/%llu/%llu (transfer/kernel/sync)\n"
@@ -39,7 +41,10 @@ std::string ServeStats::ToString() const {
       update_latency.max_us, queue_wait.p50_us, queue_wait.p90_us,
       queue_wait.p99_us, queue_wait.max_us, sim_pipeline_us, sim_update_us,
       static_cast<unsigned long long>(applied),
-      static_cast<unsigned long long>(structural),
+      static_cast<unsigned long long>(structural), sim_sync_us,
+      static_cast<unsigned long long>(delta_syncs),
+      static_cast<unsigned long long>(full_syncs),
+      static_cast<unsigned long long>(delta_sync_nodes),
       modelled_ops_per_second, modelled_makespan_us,
       static_cast<unsigned long long>(faults_injected),
       static_cast<unsigned long long>(device_faults),

@@ -72,6 +72,13 @@ struct ServeStats {
   // Simulated-platform aggregates (µs on the modelled hardware clock).
   double sim_pipeline_us = 0;
   double sim_update_us = 0;
+  // I-segment mirror synchronization: modelled time and how each sync
+  // travelled — delta (dirty hot fragments streamed in place) vs full
+  // re-upload. sim_sync_us is included in sim_update_us.
+  double sim_sync_us = 0;
+  std::uint64_t delta_syncs = 0;
+  std::uint64_t full_syncs = 0;
+  std::uint64_t delta_sync_nodes = 0;  // hot fragments streamed by deltas
 
   // Modelled serving capacity. Shards are independent modelled devices,
   // so their busy times overlap; within a shard, read buckets and update

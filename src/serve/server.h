@@ -17,6 +17,12 @@
 #include <utility>
 #include <vector>
 
+#if defined(__linux__)
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
 #include "core/macros.h"
 #include "core/status.h"
 #include "core/types.h"
@@ -161,15 +167,36 @@ struct ServerOptions {
   UpdateMethod update_method = UpdateMethod::kAsyncParallel;
 
   /// Tree build configuration. Leaf slack keeps most online inserts
-  /// non-structural, as the paper's update analysis assumes.
-  double leaf_fill = 0.9;
+  /// non-structural, as the paper's update analysis assumes — and it
+  /// must sit BELOW the tree's gap_spill_occupancy (0.85): at 0.7 fill
+  /// every leaf cache line keeps at least one gap (2-3 of 4 pairs
+  /// live), so a batched insert is usually an in-line patch of one warm
+  /// line instead of a whole-leaf redistribution. 0.9 fill looked
+  /// denser but started every leaf above the spill threshold, turning
+  /// most line-full inserts into 256-pair rewrites.
+  double leaf_fill = 0.7;
 
   /// Admission-queue capacity per lane (reads / updates, per shard);
   /// producers block when a lane is full (backpressure).
   std::size_t queue_capacity = 64 * 1024;
 
-  /// Updates per committed batch (flush threshold).
-  int update_batch_size = 16 * 1024;
+  /// Updates per committed batch (flush threshold). Gapped leaves make
+  /// small commits cheap — most ops patch a cache line in place and the
+  /// mirror re-syncs only dirtied deltas — so the batch no longer needs
+  /// to be huge to amortise publish cost, and a smaller flush threshold
+  /// shortens the commit span an admitted update can sit behind.
+  int update_batch_size = 4 * 1024;
+
+  /// Scheduling niceness applied to read dispatch workers (Linux only;
+  /// 0 disables). Read workers chew through deep asynchronous client
+  /// windows — thousands of lookups in flight absorb a few extra
+  /// milliseconds of dispatch delay without any op noticing — while
+  /// every millisecond the update committer is preempted accrues on the
+  /// wall latency of every update queued behind the commit. On hosts
+  /// with fewer cores than serving threads, giving the bulk read
+  /// dispatchers a small positive nice keeps the commit path scheduled;
+  /// raising one's own niceness needs no privilege.
+  int read_worker_nice = 2;
 
   /// How long a batcher waits for a partial bucket/batch to fill before
   /// shipping it — the added latency bound under light load. Read workers
@@ -500,6 +527,10 @@ class Server {
       std::lock_guard<std::mutex> lock(sim_mutex_);
       stats.sim_pipeline_us = sim_pipeline_us_;
       stats.sim_update_us = sim_update_us_;
+      stats.sim_sync_us = sim_sync_us_;
+      stats.delta_syncs = delta_syncs_;
+      stats.full_syncs = full_syncs_;
+      stats.delta_sync_nodes = delta_sync_nodes_;
       stats.applied = applied_;
       stats.structural = structural_;
       // Modelled makespan: shards are independent devices, so their busy
@@ -629,6 +660,24 @@ class Server {
         if (cell.touches > 0 || cell.bytes > 0) stage.levels.push_back(cell);
       }
       if (!stage.levels.empty()) heat.stages.push_back(std::move(stage));
+    }
+
+    // Kernel-side level-wise traffic, summed across shards.
+    for (const auto& shard : shards_) {
+      if (shard->heat_pipeline == nullptr) continue;
+      std::lock_guard<std::mutex> lock(shard->heat_pipeline->mu);
+      const obs::PipelineHeat& hp = *shard->heat_pipeline;
+      if (hp.kernel_node_loads.size() > heat.kernel.node_loads.size()) {
+        heat.kernel.node_loads.resize(hp.kernel_node_loads.size(), 0);
+        heat.kernel.node_queries.resize(hp.kernel_node_loads.size(), 0);
+      }
+      for (std::size_t l = 0; l < hp.kernel_node_loads.size(); ++l) {
+        heat.kernel.node_loads[l] += hp.kernel_node_loads[l];
+        heat.kernel.node_queries[l] += hp.kernel_node_queries[l];
+      }
+      heat.kernel.dram_bytes += hp.kernel_dram_bytes;
+      heat.kernel.l2_bytes += hp.kernel_l2_bytes;
+      heat.kernel.launches += hp.kernel_launches;
     }
 
     obs::PoolTemperature inner;
@@ -1203,9 +1252,20 @@ class Server {
   void RecordLatencyWithExemplar(obs::Histogram* histogram,
                                  Clock::time_point start, int shard_index,
                                  std::uint64_t span_id, double modelled_us) {
+    RecordLatencyWithExemplar(histogram, start, Clock::now(), shard_index,
+                              span_id, modelled_us);
+  }
+
+  /// Overload with a caller-supplied completion timestamp: the bucket /
+  /// batch completion loops resolve every op in one pass, so one
+  /// Clock::now() per loop is exact while saving two clock reads per op
+  /// on the hottest path in the server.
+  void RecordLatencyWithExemplar(obs::Histogram* histogram,
+                                 Clock::time_point start, Clock::time_point now,
+                                 int shard_index, std::uint64_t span_id,
+                                 double modelled_us) {
     const std::uint64_t ns = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                             start)
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - start)
             .count());
 #if HBTREE_OBS_TRACING
     if (span_id != 0) {
@@ -1372,6 +1432,14 @@ class Server {
                           ".read" + std::to_string(worker_index);)
     HBTREE_TRACE_THREAD_NAME(worker_name.c_str());
     (void)worker_index;
+#if defined(__linux__)
+    // See ServerOptions::read_worker_nice: bulk dispatch yields the core
+    // to the latency-critical commit path when they contend.
+    if (options_.read_worker_nice > 0) {
+      setpriority(PRIO_PROCESS, static_cast<id_t>(syscall(SYS_gettid)),
+                  options_.read_worker_nice);
+    }
+#endif
     // Per-shard arrival rate is ~1/num_shards of the aggregate, and
     // co-workers on the same queue split that stream again; scale the
     // fill window to match (see ServerOptions::max_batch_delay).
@@ -1573,16 +1641,19 @@ class Server {
       {
         HBTREE_TRACE_SPAN_ARG("bucket.complete", "serve", "ops",
                               static_cast<double>(batch.size()));
+        const Clock::time_point completed = Clock::now();
         for (std::size_t i = 0; i < batch.size(); ++i) {
           const bool is_range = batch[i].max_matches > 0;
           TenantHandles& tenant = tenant_metrics_[static_cast<std::size_t>(
               batch[i].tenant)];
           batch[i].done.set_value(std::move(out[i]));
           RecordLatencyWithExemplar(&read_latency_, batch[i].admitted,
-                                    shard.index, dispatch_info.span_id,
+                                    completed, shard.index,
+                                    dispatch_info.span_id,
                                     dispatch_info.modelled_us);
           RecordLatencyWithExemplar(tenant.read_latency, batch[i].admitted,
-                                    shard.index, dispatch_info.span_id,
+                                    completed, shard.index,
+                                    dispatch_info.span_id,
                                     dispatch_info.modelled_us);
           if (is_range) {
             ranges_done_.Increment();
@@ -1672,30 +1743,53 @@ class Server {
             obs::ScopedSpan commit_span("update.commit", "serve", "updates",
                                         static_cast<double>(batch.size()));
             commit_span_id = commit_span.EnsureSpanId();)
-        shard.snapshots.Publish([&](TreeSlot& slot) {
-          BatchUpdateStats pass;
-          const Status status =
-              TryRunBatchUpdate(slot.tree, batch, options_.update_method,
-                                options_.update, &pass);
-          sync_retries += pass.sync_retries;
-          if (!status.ok() && sync_status.ok()) sync_status = status;
-          if (!recorded) {
-            first_pass = pass;
-            recorded = true;
-          }
-        });
+        shard.snapshots.Publish(
+            [&](TreeSlot& slot) {
+              BatchUpdateStats pass;
+              const Status status =
+                  TryRunBatchUpdate(slot.tree, batch, options_.update_method,
+                                    options_.update, &pass);
+              sync_retries += pass.sync_retries;
+              if (!status.ok() && sync_status.ok()) sync_status = status;
+              if (!recorded) {
+                first_pass = pass;
+                recorded = true;
+              }
+            },
+            [&] {
+              // Commit point: the epoch flipped, so every lookup admitted
+              // from here on sees this batch (readers still pinned to the
+              // old instance acquired before the flip and get the
+              // pre-batch snapshot they are entitled to). Resolve the ops
+              // now — the reader drain and the converge pass that follow
+              // only protect the retired copy and would otherwise double
+              // the latency every committed update observes.
+              const std::uint64_t seq =
+                  shard.committed_batches.fetch_add(
+                      1, std::memory_order_acq_rel) +
+                  1;
+              committed_batches_.fetch_add(1, std::memory_order_acq_rel);
+              committed_batches_metric_.Increment();
+              shard.update_batches->Increment();
+              const Clock::time_point committed = Clock::now();
+              for (std::size_t idx : live) {
+                UpdateOp& op = ops[idx];
+                op.done.set_value(UpdateResult{Status::Ok(), seq});
+                RecordLatencyWithExemplar(&update_latency_, op.admitted,
+                                          committed, shard.index,
+                                          commit_span_id,
+                                          first_pass.total_us);
+                updates_done_.Increment();
+                tenant_metrics_[static_cast<std::size_t>(op.tenant)]
+                    .updates->Increment();
+              }
+            });
       }
       sync_retries_.Add(sync_retries);
       if (!sync_status.ok()) {
         sync_failures_.Increment();
       }
 
-      const std::uint64_t seq =
-          shard.committed_batches.fetch_add(1, std::memory_order_acq_rel) +
-          1;
-      committed_batches_.fetch_add(1, std::memory_order_acq_rel);
-      committed_batches_metric_.Increment();
-      shard.update_batches->Increment();
       epoch_gauge_.Set(static_cast<double>(epoch()));
       {
         std::lock_guard<std::mutex> lock(sim_mutex_);
@@ -1703,15 +1797,10 @@ class Server {
         shard.sim_update_us += first_pass.total_us;
         applied_ += first_pass.applied;
         structural_ += first_pass.structural;
-      }
-      for (std::size_t idx : live) {
-        UpdateOp& op = ops[idx];
-        op.done.set_value(UpdateResult{Status::Ok(), seq});
-        RecordLatencyWithExemplar(&update_latency_, op.admitted, shard.index,
-                                  commit_span_id, first_pass.total_us);
-        updates_done_.Increment();
-        tenant_metrics_[static_cast<std::size_t>(op.tenant)]
-            .updates->Increment();
+        sim_sync_us_ += first_pass.sync_us;
+        delta_syncs_ += first_pass.delta_syncs;
+        full_syncs_ += first_pass.full_syncs;
+        delta_sync_nodes_ += first_pass.delta_nodes;
       }
     }
   }
@@ -1921,6 +2010,10 @@ class Server {
   mutable std::mutex sim_mutex_;
   double sim_pipeline_us_ = 0;
   double sim_update_us_ = 0;
+  double sim_sync_us_ = 0;
+  std::uint64_t delta_syncs_ = 0;
+  std::uint64_t full_syncs_ = 0;
+  std::uint64_t delta_sync_nodes_ = 0;
   std::uint64_t applied_ = 0;
   std::uint64_t structural_ = 0;
 };

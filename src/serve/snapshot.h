@@ -109,6 +109,20 @@ class SnapshotPair {
   /// concurrently — a shard's read workers all pin the same active slot.
   template <typename Fn>
   void Publish(Fn&& mutate) {
+    Publish(std::forward<Fn>(mutate), [] {});
+  }
+
+  /// Publish() with a commit hook: `after_swap` runs right after the
+  /// epoch flip — the batch's linearization point. Every reader that
+  /// acquires from then on lands on the updated instance, so the batch
+  /// is visible to all future lookups and can never be rolled back;
+  /// readers still pinned to the old instance acquired before the flip
+  /// and are entitled to the pre-batch snapshot. Callers resolve the
+  /// batch's completions there instead of after Publish returns: neither
+  /// the drain (which only gates mutation of the retired copy) nor the
+  /// catch-up re-apply should hold completed operations hostage.
+  template <typename Fn, typename AfterSwap>
+  void Publish(Fn&& mutate, AfterSwap&& after_swap) {
     HBTREE_TRACE_SPAN_ARG("snapshot.publish", "serve", "epoch",
                           epoch_.load(std::memory_order_relaxed));
     const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
@@ -121,6 +135,7 @@ class SnapshotPair {
     // guaranteed to see the new epoch in its revalidation and back off
     // this slot.
     epoch_.store(epoch + 1, std::memory_order_seq_cst);
+    after_swap();
     {
       HBTREE_TRACE_SPAN("snapshot.drain", "serve");
       WaitForDrain(static_cast<int>(epoch & 1));

@@ -20,26 +20,6 @@ CacheLevel::CacheLevel(const Config& config) : config_(config) {
   tags_.assign(num_sets_ * ways_, 0);
 }
 
-bool CacheLevel::Access(std::uint64_t line_addr) {
-  const std::uint64_t set = line_addr & (num_sets_ - 1);
-  const std::uint64_t tag = line_addr + 1;  // +1 so 0 means "empty way"
-  std::uint64_t* ways = &tags_[set * ways_];
-  for (int i = 0; i < ways_; ++i) {
-    if (ways[i] == tag) {
-      // Move to front (MRU position).
-      for (int j = i; j > 0; --j) ways[j] = ways[j - 1];
-      ways[0] = tag;
-      ++hits_;
-      return true;
-    }
-  }
-  // Miss: install as MRU, evicting the LRU way.
-  for (int j = ways_ - 1; j > 0; --j) ways[j] = ways[j - 1];
-  ways[0] = tag;
-  ++misses_;
-  return false;
-}
-
 void CacheLevel::Flush() { tags_.assign(tags_.size(), 0); }
 
 const char* HitLevelName(HitLevel level) {
@@ -63,18 +43,6 @@ CacheHierarchy::CacheHierarchy(std::vector<CacheLevel::Config> levels) {
     HBTREE_CHECK(config.line_size == line_size_);
     levels_.emplace_back(config);
   }
-}
-
-HitLevel CacheHierarchy::AccessLine(std::uint64_t line_addr) {
-  ++accesses_;
-  for (std::size_t i = 0; i < levels_.size(); ++i) {
-    if (levels_[i].Access(line_addr)) return static_cast<HitLevel>(i);
-    // Miss: fall through and install in the next level too (the loop
-    // continues, so every level on the miss path installs the line —
-    // modelling an inclusive hierarchy).
-  }
-  ++memory_accesses_;
-  return HitLevel::kMemory;
 }
 
 void CacheHierarchy::Flush() {

@@ -26,8 +26,34 @@ class CacheLevel {
   explicit CacheLevel(const Config& config);
 
   /// Accesses `line_addr` (already divided by line size). Returns true on
-  /// hit; on miss the line is installed, evicting the LRU way.
-  bool Access(std::uint64_t line_addr);
+  /// hit; on miss the line is installed, evicting the LRU way. Inline —
+  /// the trace-driven simulators call this for every modelled memory
+  /// access, so it is one of the hottest functions in the whole host
+  /// process; the MRU short-circuit covers the common repeated-line case
+  /// without any way shifting.
+  bool Access(std::uint64_t line_addr) {
+    const std::uint64_t set = line_addr & (num_sets_ - 1);
+    const std::uint64_t tag = line_addr + 1;  // +1 so 0 means "empty way"
+    std::uint64_t* ways = &tags_[set * ways_];
+    if (ways[0] == tag) {  // already MRU: nothing to reorder
+      ++hits_;
+      return true;
+    }
+    for (int i = 1; i < ways_; ++i) {
+      if (ways[i] == tag) {
+        // Move to front (MRU position).
+        for (int j = i; j > 0; --j) ways[j] = ways[j - 1];
+        ways[0] = tag;
+        ++hits_;
+        return true;
+      }
+    }
+    // Miss: install as MRU, evicting the LRU way.
+    for (int j = ways_ - 1; j > 0; --j) ways[j] = ways[j - 1];
+    ways[0] = tag;
+    ++misses_;
+    return false;
+  }
 
   void Flush();
 
@@ -63,7 +89,17 @@ class CacheHierarchy {
   HitLevel Access(const void* addr) {
     return AccessLine(reinterpret_cast<std::uintptr_t>(addr) / line_size_);
   }
-  HitLevel AccessLine(std::uint64_t line_addr);
+  HitLevel AccessLine(std::uint64_t line_addr) {
+    ++accesses_;
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+      if (levels_[i].Access(line_addr)) return static_cast<HitLevel>(i);
+      // Miss: fall through and install in the next level too (the loop
+      // continues, so every level on the miss path installs the line —
+      // modelling an inclusive hierarchy).
+    }
+    ++memory_accesses_;
+    return HitLevel::kMemory;
+  }
 
   void Flush();
   void ResetStats();

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/workload.h"
+#include "cpubtree/regular_btree.h"
+#include "fault/fault_injector.h"
+#include "gpusim/device.h"
+#include "hybrid/gpu_kernels.h"
+#include "hybrid/hb_regular.h"
+#include "sim/platform.h"
+
+namespace hbtree {
+namespace {
+
+/// Differential coverage for the gapped-leaf insert path (DESIGN.md §14):
+/// clustered inserts drive lines full and spill into nearby gaps, deletes
+/// reopen them, and everything is replayed against std::map with full
+/// structural validation. Plus the delta I-segment sync: path selection,
+/// mirror correctness after a delta, and the injected-fault fallback to
+/// the stale-mirror + full-repair sequence.
+
+template <typename K>
+RegularBTree<K> MakeGappedTree(PageRegistry* registry,
+                               double leaf_fill = 0.6,
+                               double spill_occupancy = 0.85,
+                               int spill_window = 8) {
+  typename RegularBTree<K>::Config config;
+  config.leaf_fill = leaf_fill;
+  config.gap_spill_occupancy = spill_occupancy;
+  config.gap_spill_window = spill_window;
+  return RegularBTree<K>(config, registry);
+}
+
+template <typename K>
+class GappedLeafDiffTest : public ::testing::Test {};
+
+using KeyTypes = ::testing::Types<Key64, Key32>;
+TYPED_TEST_SUITE(GappedLeafDiffTest, KeyTypes);
+
+TYPED_TEST(GappedLeafDiffTest, ClusteredInsertsMatchMapReplay) {
+  using K = TypeParam;
+  PageRegistry registry;
+  auto tree = MakeGappedTree<K>(&registry);
+  auto data = GenerateDataset<K>(8000, /*seed=*/21);
+  tree.Build(data);
+  std::map<K, K> model;
+  for (const auto& kv : data) model[kv.key] = kv.value;
+
+  // Clustered runs of consecutive keys: each run lands in one leaf line
+  // until it fills, so the spill path fires constantly; interleaved
+  // deletes reopen gaps the next run spills back into.
+  Rng rng(22);
+  for (int round = 0; round < 400; ++round) {
+    K anchor = static_cast<K>(rng.NextBounded(KeyTraits<K>::kMax - 64));
+    const int run = 1 + static_cast<int>(rng.NextBounded(12));
+    for (int i = 0; i < run; ++i) {
+      const K key = anchor + static_cast<K>(i);
+      const K value = static_cast<K>(rng.Next());
+      const bool inserted = tree.Insert({key, value});
+      ASSERT_EQ(inserted, model.emplace(key, value).second)
+          << "round " << round << " key " << key;
+    }
+    if (round % 3 == 0 && !model.empty()) {
+      auto it = model.lower_bound(anchor);
+      for (int i = 0; i < 4 && it != model.end(); ++i) {
+        ASSERT_TRUE(tree.Erase(it->first));
+        it = model.erase(it);
+      }
+    }
+    if (round % 50 == 49) tree.Validate();
+  }
+  tree.Validate();
+  ASSERT_EQ(tree.size(), model.size());
+  for (const auto& [key, value] : model) {
+    auto result = tree.Search(key);
+    ASSERT_TRUE(result.found) << key;
+    ASSERT_EQ(result.value, value) << key;
+  }
+}
+
+TYPED_TEST(GappedLeafDiffTest, SpillAndRedistributePathsConverge) {
+  using K = TypeParam;
+  // Same insert stream through the gapped tree and through one with
+  // spilling disabled (occupancy 0 makes every leaf "crowded", forcing
+  // the full gather-and-redistribute fallback on every full line). Both
+  // must agree with the model and each other — the gap layout changes
+  // where pairs sit inside a leaf, never what the tree contains.
+  PageRegistry registry_a;
+  PageRegistry registry_b;
+  auto gapped = MakeGappedTree<K>(&registry_a);
+  auto eager = MakeGappedTree<K>(&registry_b, /*leaf_fill=*/0.6,
+                                 /*spill_occupancy=*/0.0);
+  auto data = GenerateDataset<K>(6000, /*seed=*/23);
+  gapped.Build(data);
+  eager.Build(data);
+  std::map<K, K> model;
+  for (const auto& kv : data) model[kv.key] = kv.value;
+
+  Rng rng(24);
+  for (int round = 0; round < 300; ++round) {
+    K anchor = static_cast<K>(rng.NextBounded(KeyTraits<K>::kMax - 32));
+    for (int i = 0; i < 8; ++i) {
+      const K key = anchor + static_cast<K>(i);
+      const K value = static_cast<K>(rng.Next());
+      const bool a = gapped.Insert({key, value});
+      const bool b = eager.Insert({key, value});
+      ASSERT_EQ(a, b) << key;
+      ASSERT_EQ(a, model.emplace(key, value).second) << key;
+    }
+  }
+  gapped.Validate();
+  eager.Validate();
+  ASSERT_EQ(gapped.size(), model.size());
+  ASSERT_EQ(eager.size(), model.size());
+  for (const auto& [key, value] : model) {
+    ASSERT_EQ(gapped.Search(key).value, value) << key;
+    ASSERT_EQ(eager.Search(key).value, value) << key;
+  }
+}
+
+TYPED_TEST(GappedLeafDiffTest, SpillBoundaryCrossesIntoSplit) {
+  using K = TypeParam;
+  // Hammer one key neighbourhood until its leaf crosses the occupancy
+  // threshold and finally splits: the insert stream walks spill → crowded
+  // fallback → structural split in order, validating after every insert.
+  PageRegistry registry;
+  auto tree = MakeGappedTree<K>(&registry, /*leaf_fill=*/0.5,
+                                /*spill_occupancy=*/0.85,
+                                /*spill_window=*/2);
+  std::vector<KeyValue<K>> data;
+  const K base = static_cast<K>(1) << 20;
+  for (K k = 0; k < 512; ++k) {
+    data.push_back({base + k * 16, k});
+  }
+  tree.Build(data);
+  std::map<K, K> model;
+  for (const auto& kv : data) model[kv.key] = kv.value;
+
+  for (K k = 0; k < 2048; ++k) {
+    const K key = base + k * 4 + 1;  // between the built keys
+    const K value = static_cast<K>(k);
+    ASSERT_EQ(tree.Insert({key, value}), model.emplace(key, value).second);
+    tree.Validate();
+  }
+  ASSERT_EQ(tree.size(), model.size());
+  for (const auto& [key, value] : model) {
+    ASSERT_EQ(tree.Search(key).value, value) << key;
+  }
+}
+
+struct SyncFixture {
+  sim::PlatformSpec platform = sim::PlatformSpec::M1();
+  PageRegistry registry;
+  gpu::Device device{platform.gpu};
+  gpu::TransferEngine transfer{&device, platform.pcie};
+};
+
+/// Inserts clustered runs of consecutive keys so leaf lines fill and the
+/// gapped spill (or redistribute) path rewrites separators — in-line
+/// inserts with slack deliberately do NOT dirty the mirror (the hot
+/// fragment is unchanged), so dirtying requires full lines. Returns the
+/// keys that actually went in.
+template <typename K>
+std::vector<K> InsertClustered(HBRegularTree<K>& tree,
+                               const std::vector<KeyValue<K>>& data,
+                               int clusters, int per_cluster,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<K> keys;
+  for (int c = 0; c < clusters; ++c) {
+    const K anchor = data[rng.NextBounded(data.size())].key;
+    if (anchor >= KeyTraits<K>::kMax - static_cast<K>(per_cluster) - 1) {
+      continue;
+    }
+    for (int i = 1; i <= per_cluster; ++i) {
+      const K key = anchor + static_cast<K>(i);
+      if (tree.host_tree().Insert({key, static_cast<K>(i)})) {
+        keys.push_back(key);
+      }
+    }
+  }
+  return keys;
+}
+
+template <typename K>
+void ExpectKernelFinds(SyncFixture& fx, HBRegularTree<K>& tree,
+                       const std::vector<K>& keys) {
+  const std::uint32_t count = static_cast<std::uint32_t>(keys.size());
+  gpu::DevicePtr q_dev = fx.device.Malloc(count * sizeof(K));
+  gpu::DevicePtr r_dev = fx.device.Malloc(count * sizeof(std::uint64_t));
+  fx.transfer.CopyToDevice(q_dev, keys.data(), count * sizeof(K));
+  auto params = tree.MakeKernelParams(q_dev, r_dev, count);
+  RunRegularInnerSearch<K>(fx.device, params);
+  std::vector<std::uint64_t> results(count);
+  fx.transfer.CopyToHost(results.data(), r_dev,
+                         count * sizeof(std::uint64_t));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    typename RegularBTree<K>::LeafPosition pos{UnpackLeafNode(results[i]),
+                                               UnpackLeafLine(results[i])};
+    ASSERT_TRUE(tree.host_tree().SearchLeafLine(pos, keys[i]).found) << i;
+  }
+  fx.device.Free(q_dev);
+  fx.device.Free(r_dev);
+}
+
+TEST(DeltaSync, SmallDirtySetStreamsDeltaAndMirrorStaysCorrect) {
+  SyncFixture fx;
+  HBRegularTree<Key64>::Config config;
+  config.tree.leaf_fill = 0.6;
+  HBRegularTree<Key64> tree(config, &fx.registry, &fx.device, &fx.transfer);
+  auto data = GenerateDataset<Key64>(200000, /*seed=*/31);
+  ASSERT_TRUE(tree.Build(data));
+  ASSERT_TRUE(tree.mirror_valid());
+
+  auto keys = InsertClustered<Key64>(tree, data, 8, 16, /*seed=*/32);
+  ASSERT_FALSE(keys.empty());
+  ASSERT_GT(tree.host_tree().leaf_pool().dirty_count(), 0u);
+
+  double us = 0;
+  ASSERT_TRUE(tree.TrySyncISegment(&us).ok());
+  EXPECT_EQ(tree.delta_syncs(), 1u);
+  EXPECT_EQ(tree.full_syncs(), 0u);
+  EXPECT_GT(tree.delta_nodes_synced(), 0u);
+  // The modelled delta must beat the full re-upload — that is the whole
+  // point of the cost-based path choice.
+  EXPECT_LT(us, fx.transfer.HostToDeviceUs(tree.i_segment_bytes()));
+  EXPECT_EQ(tree.host_tree().leaf_pool().dirty_count(), 0u);
+  EXPECT_TRUE(tree.mirror_valid());
+
+  // The device mirror must now answer for the new keys.
+  ExpectKernelFinds<Key64>(fx, tree, keys);
+}
+
+TEST(DeltaSync, LargeDirtySetTakesFullPath) {
+  SyncFixture fx;
+  HBRegularTree<Key64>::Config config;
+  HBRegularTree<Key64> tree(config, &fx.registry, &fx.device, &fx.transfer);
+  auto data = GenerateDataset<Key64>(100000, /*seed=*/33);
+  ASSERT_TRUE(tree.Build(data));
+
+  // Mark enough fragments dirty that even the worst-case delta estimate
+  // exceeds the margin times the full upload; the sync must prefer the
+  // bulk path (one big transfer beats thousands of streamed ones).
+  using Hot = RegularInnerHot<Key64>;
+  const double full_us = fx.transfer.HostToDeviceUs(tree.i_segment_bytes());
+  const double per_node_us = fx.transfer.StreamedHostToDeviceUs(sizeof(Hot));
+  const std::size_t need = static_cast<std::size_t>(
+                               config.delta_sync_cost_margin * full_us /
+                               per_node_us) +
+                           2;
+  auto& pool = tree.host_tree().leaf_pool();
+  ASSERT_GT(pool.high_water(), 0u);
+  for (std::size_t i = 0; i < need; ++i) {
+    pool.MarkDirty(static_cast<NodeRef>(i % pool.high_water()));
+  }
+  double us = 0;
+  ASSERT_TRUE(tree.TrySyncISegment(&us).ok());
+  EXPECT_EQ(tree.delta_syncs(), 0u);
+  EXPECT_EQ(tree.full_syncs(), 1u);
+  EXPECT_EQ(pool.dirty_count(), 0u);  // the bulk upload absorbs everything
+  EXPECT_TRUE(tree.mirror_valid());
+}
+
+TEST(DeltaSync, FaultOnDeltaPathFallsBackToStaleMirrorThenFullRepair) {
+  SyncFixture fx;
+  HBRegularTree<Key64>::Config config;
+  HBRegularTree<Key64> tree(config, &fx.registry, &fx.device, &fx.transfer);
+  auto data = GenerateDataset<Key64>(200000, /*seed=*/34);
+  ASSERT_TRUE(tree.Build(data));
+
+  auto keys = InsertClustered<Key64>(tree, data, 6, 12, /*seed=*/35);
+  ASSERT_FALSE(keys.empty());
+  const std::size_t dirty_before =
+      tree.host_tree().leaf_pool().dirty_count() +
+      tree.host_tree().inner_pool().dirty_count();
+  ASSERT_GT(dirty_before, 0u);
+
+  // First H2D op faults: the delta sync must fail WITHOUT half-applying —
+  // mirror marked stale, dirty set kept for the repair pass.
+  fault::FaultConfig fault_config;
+  fault_config.site(fault::Site::kTransferH2D).fail_ordinals = {1};
+  fault::FaultInjector injector(fault_config);
+  fx.device.set_fault_injector(&injector);
+  EXPECT_FALSE(tree.TrySyncISegment().ok());
+  EXPECT_FALSE(tree.mirror_valid());
+  EXPECT_EQ(tree.delta_syncs(), 0u);
+  EXPECT_EQ(tree.host_tree().leaf_pool().dirty_count() +
+                tree.host_tree().inner_pool().dirty_count(),
+            dirty_before);
+
+  // The retry sees the stale mirror, so it cannot take the delta path:
+  // it must run the full upload and repair everything.
+  fx.device.set_fault_injector(nullptr);
+  double us = 0;
+  ASSERT_TRUE(tree.TrySyncISegment(&us).ok());
+  EXPECT_EQ(tree.full_syncs(), 1u);
+  EXPECT_TRUE(tree.mirror_valid());
+  EXPECT_EQ(tree.host_tree().leaf_pool().dirty_count() +
+                tree.host_tree().inner_pool().dirty_count(),
+            0u);
+  ExpectKernelFinds<Key64>(fx, tree, keys);
+}
+
+}  // namespace
+}  // namespace hbtree

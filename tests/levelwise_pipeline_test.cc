@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/workload.h"
+#include "gpusim/device.h"
+#include "hybrid/bucket_pipeline.h"
+#include "hybrid/gpu_kernels.h"
+#include "hybrid/hb_implicit.h"
+#include "hybrid/hb_regular.h"
+#include "obs/heat.h"
+#include "sim/platform.h"
+
+namespace hbtree {
+namespace {
+
+/// Level-wise dispatch reconciliation (DESIGN.md §14): per launch of a
+/// sorted batch, the kernel's modelled node loads at each tree level must
+/// equal the number of *distinct* start nodes the batch visits at that
+/// level — computed here by an independent host traversal — and never
+/// queries x levels. Plus sorted-vs-unsorted result equivalence through
+/// the full pipeline.
+
+struct KernelFixture {
+  sim::PlatformSpec platform = sim::PlatformSpec::M1();
+  PageRegistry registry;
+  gpu::Device device{platform.gpu};
+  gpu::TransferEngine transfer{&device, platform.pcie};
+};
+
+/// Runs of equal values in an already-ordered sequence.
+std::uint64_t CountRuns(const std::vector<std::uint64_t>& seq) {
+  if (seq.empty()) return 0;
+  std::uint64_t runs = 1;
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    if (seq[i] != seq[i - 1]) ++runs;
+  }
+  return runs;
+}
+
+template <typename K>
+std::vector<K> SortedMixedQueries(const std::vector<KeyValue<K>>& data,
+                                  std::uint32_t count, std::uint64_t seed) {
+  auto queries =
+      MakeDistributedQueries<K>(count, Distribution::kUniform, seed);
+  for (std::size_t i = 0; i < count; i += 2) {
+    queries[i] = data[(i * 131) % data.size()].key;  // guaranteed hits
+  }
+  std::sort(queries.begin(), queries.end());
+  return queries;
+}
+
+TEST(ImplicitLevelWise, NodeLoadsEqualDistinctStartNodesPerLevel) {
+  KernelFixture fx;
+  HBImplicitTree<Key64>::Config config;
+  HBImplicitTree<Key64> tree(config, &fx.registry, &fx.device, &fx.transfer);
+  auto data = GenerateDataset<Key64>(500000, /*seed=*/1);
+  ASSERT_TRUE(tree.Build(data));
+  const auto& host = tree.host_tree();
+  const int height = host.height();
+  ASSERT_GE(height, 2);
+
+  constexpr std::uint32_t kCount = 4096;
+  auto queries = SortedMixedQueries<Key64>(data, kCount, /*seed=*/2);
+
+  gpu::DevicePtr q_dev = fx.device.Malloc(kCount * sizeof(Key64));
+  gpu::DevicePtr r_dev = fx.device.Malloc(kCount * sizeof(std::uint64_t));
+  fx.transfer.CopyToDevice(q_dev, queries.data(), kCount * sizeof(Key64));
+  auto params = tree.MakeKernelParams(q_dev, r_dev, kCount);
+
+  gpu::KernelStats base = RunImplicitInnerSearch<Key64>(fx.device, params);
+  gpu::KernelStats lw =
+      RunImplicitInnerSearchLevelWise<Key64>(fx.device, params);
+
+  // Functional identity: both kernels land every query on the same leaf
+  // line the host traversal computes.
+  std::vector<std::uint64_t> results(kCount);
+  fx.transfer.CopyToHost(results.data(), r_dev,
+                         kCount * sizeof(std::uint64_t));
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(results[i], host.FindLeafLine(queries[i])) << "query " << i;
+  }
+
+  // Exact reconciliation: at level l the batch's node sequence is the
+  // host descent truncated to that level; its run count is the distinct
+  // start nodes level-wise dispatch promises to load once each.
+  ASSERT_EQ(lw.node_loads_by_level.size(),
+            static_cast<std::size_t>(height) + 1);
+  for (int level = 1; level <= height; ++level) {
+    std::vector<std::uint64_t> nodes(kCount);
+    for (std::uint32_t i = 0; i < kCount; ++i) {
+      nodes[i] = host.DescendLevels(queries[i], height - level);
+    }
+    EXPECT_EQ(lw.node_loads_by_level[level], CountRuns(nodes))
+        << "level " << level;
+    EXPECT_EQ(lw.node_queries_by_level[level], kCount) << "level " << level;
+    EXPECT_LE(lw.node_loads_by_level[level],
+              lw.node_queries_by_level[level]);
+  }
+
+  // The per-query kernel reports no per-level counters; the level-wise
+  // one must win on the memory side of the cost model and nothing else.
+  EXPECT_TRUE(base.node_loads_by_level.empty());
+  EXPECT_EQ(lw.warps_executed, base.warps_executed);
+  EXPECT_LT(lw.memory_gathers, base.memory_gathers);
+  EXPECT_LT(lw.dram_bytes + lw.l2_bytes, base.dram_bytes + base.l2_bytes);
+}
+
+TEST(ImplicitLevelWise, ReconcilesFromPreDescendedStartNodes) {
+  // Composition with the CPU pre-descent split (Section 5.5): the launch
+  // starts below the root, and reconciliation holds per remaining level.
+  KernelFixture fx;
+  HBImplicitTree<Key64>::Config config;
+  HBImplicitTree<Key64> tree(config, &fx.registry, &fx.device, &fx.transfer);
+  auto data = GenerateDataset<Key64>(500000, /*seed=*/3);
+  ASSERT_TRUE(tree.Build(data));
+  const auto& host = tree.host_tree();
+  const int height = host.height();
+  const int cpu_depth = 2;
+  ASSERT_GT(height, cpu_depth);
+  const int start_level = height - cpu_depth;
+
+  constexpr std::uint32_t kCount = 2048;
+  auto queries = SortedMixedQueries<Key64>(data, kCount, /*seed=*/4);
+
+  std::vector<std::uint32_t> starts(kCount);
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    starts[i] =
+        static_cast<std::uint32_t>(host.DescendLevels(queries[i], cpu_depth));
+  }
+  gpu::DevicePtr q_dev = fx.device.Malloc(kCount * sizeof(Key64));
+  gpu::DevicePtr r_dev = fx.device.Malloc(kCount * sizeof(std::uint64_t));
+  gpu::DevicePtr s_dev = fx.device.Malloc(kCount * sizeof(std::uint32_t));
+  fx.transfer.CopyToDevice(q_dev, queries.data(), kCount * sizeof(Key64));
+  fx.transfer.CopyToDevice(s_dev, starts.data(),
+                           kCount * sizeof(std::uint32_t));
+
+  auto params = tree.MakeKernelParams(q_dev, r_dev, kCount, start_level,
+                                      s_dev);
+  gpu::KernelStats lw =
+      RunImplicitInnerSearchLevelWise<Key64>(fx.device, params);
+
+  std::vector<std::uint64_t> results(kCount);
+  fx.transfer.CopyToHost(results.data(), r_dev,
+                         kCount * sizeof(std::uint64_t));
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(results[i], host.FindLeafLine(queries[i])) << i;
+  }
+
+  ASSERT_EQ(lw.node_loads_by_level.size(),
+            static_cast<std::size_t>(start_level) + 1);
+  for (int level = 1; level <= start_level; ++level) {
+    std::vector<std::uint64_t> nodes(kCount);
+    for (std::uint32_t i = 0; i < kCount; ++i) {
+      nodes[i] = host.DescendLevels(queries[i], height - level);
+    }
+    EXPECT_EQ(lw.node_loads_by_level[level], CountRuns(nodes))
+        << "level " << level;
+  }
+}
+
+TEST(RegularLevelWise, NodeLoadsEqualDistinctStartNodesPerLevel) {
+  KernelFixture fx;
+  HBRegularTree<Key64>::Config config;
+  HBRegularTree<Key64> tree(config, &fx.registry, &fx.device, &fx.transfer);
+  auto data = GenerateDataset<Key64>(300000, /*seed=*/5);
+  ASSERT_TRUE(tree.Build(data));
+  const auto& host = tree.host_tree();
+  const int height = host.height();
+  ASSERT_GE(height, 2);
+
+  constexpr std::uint32_t kCount = 2048;
+  auto queries = SortedMixedQueries<Key64>(data, kCount, /*seed=*/6);
+
+  gpu::DevicePtr q_dev = fx.device.Malloc(kCount * sizeof(Key64));
+  gpu::DevicePtr r_dev = fx.device.Malloc(kCount * sizeof(std::uint64_t));
+  fx.transfer.CopyToDevice(q_dev, queries.data(), kCount * sizeof(Key64));
+  auto params = tree.MakeKernelParams(q_dev, r_dev, kCount);
+
+  gpu::KernelStats base = RunRegularInnerSearch<Key64>(fx.device, params);
+  gpu::KernelStats lw =
+      RunRegularInnerSearchLevelWise<Key64>(fx.device, params);
+
+  std::vector<std::uint64_t> results(kCount);
+  fx.transfer.CopyToHost(results.data(), r_dev,
+                         kCount * sizeof(std::uint64_t));
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    auto expect = host.FindLeafPosition(queries[i]);
+    ASSERT_EQ(UnpackLeafNode(results[i]), expect.last_inner) << i;
+    ASSERT_EQ(UnpackLeafLine(results[i]), expect.line) << i;
+  }
+
+  ASSERT_EQ(lw.node_loads_by_level.size(),
+            static_cast<std::size_t>(height) + 1);
+  for (int level = 1; level <= height; ++level) {
+    std::vector<std::uint64_t> nodes(kCount);
+    for (std::uint32_t i = 0; i < kCount; ++i) {
+      nodes[i] = static_cast<std::uint64_t>(
+          host.DescendLevels(queries[i], height - level));
+    }
+    EXPECT_EQ(lw.node_loads_by_level[level], CountRuns(nodes))
+        << "level " << level;
+    EXPECT_EQ(lw.node_queries_by_level[level], kCount) << "level " << level;
+  }
+  EXPECT_EQ(lw.warps_executed, base.warps_executed);
+  EXPECT_LT(lw.memory_gathers, base.memory_gathers);
+  EXPECT_LT(lw.dram_bytes + lw.l2_bytes, base.dram_bytes + base.l2_bytes);
+}
+
+template <typename Tree, typename K>
+void ExpectSameResults(Tree& tree, const std::vector<K>& queries,
+                       PipelineConfig config) {
+  std::vector<LookupResult<K>> level_wise_results;
+  std::vector<LookupResult<K>> per_query_results;
+  config.level_wise = true;
+  PipelineStats lw = RunSearchPipeline(tree, queries.data(), queries.size(),
+                                       config, &level_wise_results);
+  config.level_wise = false;
+  PipelineStats base = RunSearchPipeline(tree, queries.data(), queries.size(),
+                                         config, &per_query_results);
+  ASSERT_EQ(level_wise_results.size(), queries.size());
+  // Write-back through the sort permutation restores the caller's order:
+  // result i always answers query i.
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(level_wise_results[i].found, per_query_results[i].found) << i;
+    if (level_wise_results[i].found) {
+      ASSERT_EQ(level_wise_results[i].value, per_query_results[i].value) << i;
+    }
+  }
+  // Accounting invariant across all buckets: strictly fewer node loads
+  // than query-level touches, and a cheaper modelled memory side.
+  std::uint64_t loads = 0, queries_by_level = 0;
+  for (std::uint64_t v : lw.kernel.node_loads_by_level) loads += v;
+  for (std::uint64_t v : lw.kernel.node_queries_by_level) queries_by_level += v;
+  EXPECT_GT(loads, 0u);
+  EXPECT_LT(loads, queries_by_level);
+  EXPECT_LT(lw.kernel.memory_gathers, base.kernel.memory_gathers);
+  EXPECT_LT(lw.kernel.dram_bytes + lw.kernel.l2_bytes,
+            base.kernel.dram_bytes + base.kernel.l2_bytes);
+}
+
+TEST(LevelWisePipeline, UnsortedQueriesGetIdenticalAnswers) {
+  KernelFixture fx;
+  HBImplicitTree<Key64>::Config tree_config;
+  HBImplicitTree<Key64> tree(tree_config, &fx.registry, &fx.device,
+                             &fx.transfer);
+  auto data = GenerateDataset<Key64>(200000, /*seed=*/7);
+  ASSERT_TRUE(tree.Build(data));
+
+  auto queries = MakeDistributedQueries<Key64>(20000, Distribution::kZipf,
+                                               /*seed=*/8);
+  for (std::size_t i = 0; i < queries.size(); i += 3) {
+    queries[i] = data[(i * 53) % data.size()].key;
+  }
+  PipelineConfig config;
+  config.bucket_size = 4096;
+  ExpectSameResults<HBImplicitTree<Key64>, Key64>(tree, queries, config);
+}
+
+TEST(LevelWisePipeline, ComposesWithLoadBalancerSplit) {
+  KernelFixture fx;
+  HBImplicitTree<Key64>::Config tree_config;
+  HBImplicitTree<Key64> tree(tree_config, &fx.registry, &fx.device,
+                             &fx.transfer);
+  auto data = GenerateDataset<Key64>(200000, /*seed=*/9);
+  ASSERT_TRUE(tree.Build(data));
+
+  auto queries = MakeDistributedQueries<Key64>(16384, Distribution::kUniform,
+                                               /*seed=*/10);
+  for (std::size_t i = 0; i < queries.size(); i += 2) {
+    queries[i] = data[(i * 17) % data.size()].key;
+  }
+  // D=1, R=0.5: every bucket splits into two balanced launches starting
+  // at different levels; both are contiguous slices of the sorted bucket.
+  PipelineConfig config;
+  config.bucket_size = 4096;
+  config.cpu_descend_levels = 1;
+  config.cpu_split_ratio = 0.5;
+  config.cpu_descend_us_per_level = 0.01;
+  config.buckets_in_flight = 3;
+  ExpectSameResults<HBImplicitTree<Key64>, Key64>(tree, queries, config);
+}
+
+TEST(LevelWisePipeline, RegularTreeGetsIdenticalAnswers) {
+  KernelFixture fx;
+  HBRegularTree<Key64>::Config tree_config;
+  HBRegularTree<Key64> tree(tree_config, &fx.registry, &fx.device,
+                            &fx.transfer);
+  auto data = GenerateDataset<Key64>(200000, /*seed=*/11);
+  ASSERT_TRUE(tree.Build(data));
+
+  auto queries = MakeDistributedQueries<Key64>(16384, Distribution::kNormal,
+                                               /*seed=*/12);
+  for (std::size_t i = 0; i < queries.size(); i += 2) {
+    queries[i] = data[(i * 29) % data.size()].key;
+  }
+  PipelineConfig config;
+  config.bucket_size = 4096;
+  ExpectSameResults<HBRegularTree<Key64>, Key64>(tree, queries, config);
+}
+
+TEST(LevelWisePipeline, HeatSinkCarriesKernelTrafficAndCollapsedTouches) {
+  // The regular tree's leaf search is the stage with node-touch heat
+  // instrumentation (cpu_leaf big_leaf cells) — use it so the collapsed
+  // per-batch touch convention is observable.
+  KernelFixture fx;
+  HBRegularTree<Key64>::Config tree_config;
+  HBRegularTree<Key64> tree(tree_config, &fx.registry, &fx.device,
+                            &fx.transfer);
+  auto data = GenerateDataset<Key64>(200000, /*seed=*/13);
+  ASSERT_TRUE(tree.Build(data));
+
+  auto queries = MakeDistributedQueries<Key64>(8192, Distribution::kZipf,
+                                               /*seed=*/14);
+  obs::PipelineHeat heat(fx.platform.cpu.cache_levels);
+  PipelineConfig config;
+  config.bucket_size = 4096;
+  config.heat = &heat;
+  std::vector<LookupResult<Key64>> results;
+  RunSearchPipeline(tree, queries.data(), queries.size(), config, &results);
+
+  std::lock_guard<std::mutex> lock(heat.mu);
+  ASSERT_FALSE(heat.kernel_node_loads.empty());
+  EXPECT_EQ(heat.kernel_launches, 2u);  // 8192 queries / 4096 bucket
+  std::uint64_t loads = 0, queries_by_level = 0;
+  for (std::uint64_t v : heat.kernel_node_loads) loads += v;
+  for (std::uint64_t v : heat.kernel_node_queries) queries_by_level += v;
+  EXPECT_GT(loads, 0u);
+  EXPECT_LT(loads, queries_by_level);
+  EXPECT_GT(heat.kernel_dram_bytes + heat.kernel_l2_bytes, 0u);
+
+  // Collapse-repeats heat semantics: with sorted dispatch the CPU leaf
+  // tracer counts distinct leaf visits per batch, so a skewed stream
+  // cannot report more touches than queries — and must report fewer
+  // (Zipf repeats the hot keys back to back after the sort).
+  std::vector<obs::LevelTraffic> cells;
+  heat.cpu_leaf.Collect(&cells);
+  std::uint64_t touches = 0;
+  for (const auto& cell : cells) touches += cell.touches;
+  EXPECT_GT(touches, 0u);
+  EXPECT_LT(touches, queries.size());
+}
+
+}  // namespace
+}  // namespace hbtree
